@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! the isotonic solvers (both losses), Algorithm 2's run-length
+//! matching (against the dense expansion it replaces), EMD, the noise
+//! samplers, and the end-to-end top-down release.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_consistency::matching_dense::match_groups_dense_from_runs;
+use hcc_consistency::{match_groups, top_down_release, LevelMethod, TopDownConfig};
+use hcc_core::{emd, CountOfCounts};
+use hcc_data::{housing, HousingConfig};
+use hcc_estimators::VarianceRun;
+use hcc_isotonic::{
+    anchored_cumulative, isotonic_l1, isotonic_l1_weighted, isotonic_l2, project_simplex,
+    CumulativeLoss,
+};
+use hcc_noise::{DiscreteGaussian, DoubleGeometric, GeometricMechanism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy_cumulative(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| (i / 7) as i64 + rng.gen_range(-8..8))
+        .collect()
+}
+
+fn bench_isotonic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isotonic");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let y = noisy_cumulative(n, 1);
+        let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        g.bench_with_input(BenchmarkId::new("pav_l2", n), &yf, |b, y| {
+            b.iter(|| isotonic_l2(black_box(y)))
+        });
+        g.bench_with_input(BenchmarkId::new("pav_l1_median", n), &y, |b, y| {
+            b.iter(|| isotonic_l1(black_box(y)))
+        });
+        g.bench_with_input(BenchmarkId::new("anchored_l1", n), &y, |b, y| {
+            b.iter(|| anchored_cumulative(black_box(y), (n / 7) as u64, CumulativeLoss::L1))
+        });
+        let w = vec![1u64; n];
+        g.bench_with_input(BenchmarkId::new("pav_l1_weighted_unit", n), &y, |b, y| {
+            b.iter(|| isotonic_l1_weighted(black_box(y), &w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_projection");
+    g.sample_size(20);
+    for &n in &[1_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &y, |b, y| {
+            b.iter(|| project_simplex(black_box(y), 500.0))
+        });
+    }
+    g.finish();
+}
+
+/// Run-length matching vs the dense-size matching it supersedes: the
+/// paper's Algorithm 2 is O(G log G); the run-length variant is
+/// O(R log R) in distinct sizes R.
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+    for &groups in &[10_000u64, 100_000, 1_000_000] {
+        // 200 distinct sizes, 4 children.
+        let runs_per_child = 50;
+        let mut children: Vec<Vec<VarianceRun>> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for c_i in 0..4u64 {
+            let mut v = Vec::new();
+            for r in 0..runs_per_child {
+                v.push(VarianceRun {
+                    size: 1 + 4 * r + c_i,
+                    count: groups / (4 * runs_per_child),
+                    variance: 1.0 + rng.gen::<f64>(),
+                });
+            }
+            children.push(v);
+        }
+        let total: u64 = children.iter().flatten().map(|r| r.count).sum();
+        // Parent: same group count, shifted sizes.
+        let parent: Vec<VarianceRun> = (0..100)
+            .map(|r| VarianceRun {
+                size: 2 + 2 * r,
+                count: total / 100,
+                variance: 0.5,
+            })
+            .collect();
+        let parent_total: u64 = parent.iter().map(|r| r.count).sum();
+        assert_eq!(parent_total, total);
+        g.bench_with_input(
+            BenchmarkId::new("run_length", groups),
+            &(parent.clone(), children.clone()),
+            |b, (p, cs)| b.iter(|| match_groups(black_box(p), black_box(cs))),
+        );
+        // The dense O(G log G) reference from the paper, for the
+        // run-length-vs-dense ablation (skip the largest size: the
+        // expansion alone allocates 8 MB+ per iteration).
+        if groups <= 100_000 {
+            g.bench_with_input(
+                BenchmarkId::new("dense_reference", groups),
+                &(parent, children),
+                |b, (p, cs)| b.iter(|| match_groups_dense_from_runs(black_box(p), black_box(cs))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emd");
+    g.sample_size(30);
+    for &n in &[1_000u64, 100_000] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = CountOfCounts::from_group_sizes((0..n).map(|_| rng.gen_range(0..2000)));
+        let b_h = CountOfCounts::from_group_sizes((0..n).map(|_| rng.gen_range(0..2000)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_h), |b, (x, y)| {
+            b.iter(|| emd(black_box(x), black_box(y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise");
+    let dist = DoubleGeometric::new(0.5, 1.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    g.bench_function("double_geometric_sample", |b| {
+        b.iter(|| dist.sample(black_box(&mut rng)))
+    });
+    let mech = GeometricMechanism::new(0.5, 1.0);
+    let values: Vec<u64> = (0..10_000).collect();
+    g.bench_function("privatize_vec_10k", |b| {
+        b.iter(|| mech.privatize_vec(black_box(&values), &mut rng))
+    });
+    let dg = DiscreteGaussian::new(4.0);
+    g.bench_function("discrete_gaussian_sample", |b| {
+        b.iter(|| dg.sample(black_box(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let ds = housing(&HousingConfig {
+        scale: 2e-5,
+        seed: 6,
+        ..Default::default()
+    });
+    for (name, method) in [
+        ("topdown_hc", LevelMethod::Cumulative { bound: 20_000 }),
+        ("topdown_hg", LevelMethod::Unattributed),
+    ] {
+        let cfg = TopDownConfig::new(1.0).with_method(method);
+        g.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                top_down_release(
+                    black_box(&ds.hierarchy),
+                    black_box(&ds.data),
+                    &cfg,
+                    &mut rng,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_isotonic,
+    bench_simplex,
+    bench_matching,
+    bench_emd,
+    bench_noise,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the L1-vs-L2 Hc post-processing ablation. See crate
+//! docs for the HCC_* environment overrides.
+
+fn main() {
+    let cfg = hcc_bench::ExpConfig::from_env();
+    print!("{}", hcc_bench::experiments::ablation::run(&cfg));
+    eprintln!("CSV written under {}", cfg.out_dir.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the adaptive-method-selection extension experiment.
+
+fn main() {
+    let cfg = hcc_bench::ExpConfig::from_env();
+    print!("{}", hcc_bench::experiments::adaptive_exp::run(&cfg));
+    eprintln!("CSV written under {}", cfg.out_dir.display());
+}

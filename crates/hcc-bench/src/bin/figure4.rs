@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure4 experiment. See crate docs for
+//! the HCC_* environment overrides.
+
+fn main() {
+    let cfg = hcc_bench::ExpConfig::from_env();
+    print!("{}", hcc_bench::experiments::figure4::run(&cfg));
+    eprintln!("CSV written under {}", cfg.out_dir.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! writes a combined report plus per-experiment CSV files.
+
+fn main() {
+    let cfg = hcc_bench::ExpConfig::from_env();
+    let report = hcc_bench::experiments::run_all(&cfg);
+    print!("{report}");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("report.txt");
+    std::fs::write(&path, &report).expect("write report");
+    eprintln!("full report at {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Figure 6 — 3-level consistency (West Coast / State / County for the
+//! census-like data; the taxi data keeps its full geography).
+//!
+//! `Hc×Hc×Hc` vs `Hg×Hg×Hg` vs omniscient over the ε sweep. Expected
+//! shape: no method dominates everywhere, but `Hc` is generally the
+//! better default — the paper's closing recommendation.
+
+use crate::experiments::bottomup_table::three_level_datasets;
+use crate::experiments::figure5::run_with_levels;
+use crate::ExpConfig;
+
+/// Runs the 3-level consistency comparison.
+pub fn run(cfg: &ExpConfig) -> String {
+    run_with_levels(cfg, three_level_datasets(cfg), "figure6.csv")
+}

@@ -1,0 +1,32 @@
+//! One module per Section 6 table/figure.
+
+pub mod ablation;
+pub mod adaptive_exp;
+pub mod bottomup_table;
+pub mod figure1;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod naive_table;
+pub mod stats_table;
+
+/// Runs every experiment in paper order, returning the concatenated
+/// textual report.
+pub fn run_all(cfg: &crate::ExpConfig) -> String {
+    let mut out = String::new();
+    for (name, f) in [
+        ("§6.1 dataset statistics", stats_table::run as fn(&crate::ExpConfig) -> String),
+        ("Figure 1 error visualisation", figure1::run),
+        ("§6.2.1 naive method", naive_table::run),
+        ("§6.2.2 bottom-up vs Hc", bottomup_table::run),
+        ("Figure 4 merge strategies", figure4::run),
+        ("Figure 5 2-level consistency", figure5::run),
+        ("Figure 6 3-level consistency", figure6::run),
+        ("Ablation: Hc L1 vs L2", ablation::run),
+        ("Extension: adaptive method selection", adaptive_exp::run),
+    ] {
+        out.push_str(&format!("\n================ {name} ================\n"));
+        out.push_str(&f(cfg));
+    }
+    out
+}

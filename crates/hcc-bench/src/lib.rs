@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's Section 6 evaluation.
+//!
+//! Each experiment lives in [`experiments`] as a function taking an
+//! [`ExpConfig`] and returning a printable report while writing CSV
+//! series under `{out_dir}`. Thin binaries in `src/bin/` wrap each
+//! experiment; `run_all` regenerates everything.
+//!
+//! Environment overrides (all optional):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `HCC_RUNS` | repetitions averaged per point (paper: 10) | 3 |
+//! | `HCC_SCALE` | dataset scale multiplier | 0.2 |
+//! | `HCC_SEED` | RNG seed | 42 |
+//! | `HCC_BOUND` | public size bound `K` | 100000 |
+//! | `HCC_OUT` | output directory | `target/experiments` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::ExpConfig;

@@ -1,0 +1,93 @@
+//! Smoke tests: every experiment runs end-to-end at tiny scale and
+//! writes its CSV artifact with the advertised header.
+
+use hcc_bench::experiments;
+use hcc_bench::ExpConfig;
+
+fn tiny_cfg(subdir: &str) -> ExpConfig {
+    ExpConfig {
+        runs: 1,
+        scale: 0.02,
+        seed: 99,
+        bound: 2_000,
+        out_dir: std::env::temp_dir().join("hcc_bench_smoke").join(subdir),
+        epsilons: vec![0.1, 1.0],
+    }
+}
+
+fn assert_csv(cfg: &ExpConfig, name: &str, header_prefix: &str) {
+    let path = cfg.out_dir.join(name);
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    assert!(
+        content.starts_with(header_prefix),
+        "{name} header was {:?}",
+        content.lines().next()
+    );
+    assert!(content.lines().count() > 1, "{name} has no data rows");
+}
+
+#[test]
+fn stats_table_runs() {
+    let cfg = tiny_cfg("stats");
+    let report = experiments::stats_table::run(&cfg);
+    assert!(report.contains("housing"));
+    assert!(report.contains("taxi"));
+    assert_csv(&cfg, "stats_table.csv", "dataset,groups");
+}
+
+#[test]
+fn figure1_runs() {
+    let cfg = tiny_cfg("fig1");
+    let report = experiments::figure1::run(&cfg);
+    assert!(report.contains("error share"));
+    assert_csv(&cfg, "figure1.csv", "group_index_percentile");
+}
+
+#[test]
+fn naive_table_runs() {
+    let cfg = tiny_cfg("naive");
+    let report = experiments::naive_table::run(&cfg);
+    assert!(report.contains("naive"));
+    assert_csv(&cfg, "naive_table.csv", "dataset,naive_emd");
+}
+
+#[test]
+fn bottomup_table_runs() {
+    let cfg = tiny_cfg("bu");
+    let report = experiments::bottomup_table::run(&cfg);
+    assert!(report.contains("BottomUp"));
+    assert_csv(&cfg, "bottomup_table.csv", "dataset,level");
+}
+
+#[test]
+fn figure4_runs() {
+    let cfg = tiny_cfg("fig4");
+    let report = experiments::figure4::run(&cfg);
+    assert!(report.contains("weighted"));
+    assert_csv(&cfg, "figure4.csv", "dataset,combo");
+}
+
+#[test]
+fn figure5_runs() {
+    let cfg = tiny_cfg("fig5");
+    let report = experiments::figure5::run(&cfg);
+    assert!(report.contains("omniscient"));
+    assert_csv(&cfg, "figure5.csv", "dataset,eps_per_level");
+}
+
+#[test]
+fn figure6_runs() {
+    let cfg = tiny_cfg("fig6");
+    let report = experiments::figure6::run(&cfg);
+    assert!(report.contains("omniscient"));
+    assert_csv(&cfg, "figure6.csv", "dataset,eps_per_level");
+}
+
+#[test]
+fn ablation_runs() {
+    let cfg = tiny_cfg("abl");
+    let report = experiments::ablation::run(&cfg);
+    assert!(report.contains("Hc-L1"));
+    assert_csv(&cfg, "ablation_l1_vs_l2.csv", "dataset,eps");
+}

@@ -1,0 +1,274 @@
+//! A hierarchy-aligned set of count-of-counts histograms.
+
+use hcc_core::{children_sum_to_parent, CountOfCounts};
+use hcc_hierarchy::{Hierarchy, NodeId};
+
+/// Errors raised while assembling or validating hierarchical counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// The hierarchy has leaves at different depths; the level-by-level
+    /// algorithms require a uniform-depth tree.
+    NotUniformDepth,
+    /// A histogram was supplied for a node that is not a leaf.
+    NotALeaf(NodeId),
+    /// Two histograms were supplied for the same leaf.
+    DuplicateLeaf(NodeId),
+    /// The supplied per-node histograms are not additive up the tree.
+    Inconsistent {
+        /// The parent node at which the mismatch was detected.
+        node: NodeId,
+    },
+    /// A per-node vector had the wrong length for the hierarchy.
+    WrongNodeCount {
+        /// Number of histograms supplied.
+        got: usize,
+        /// Number of nodes in the hierarchy.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyError::NotUniformDepth => {
+                write!(f, "hierarchy leaves must all sit at the deepest level")
+            }
+            ConsistencyError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
+            ConsistencyError::DuplicateLeaf(n) => {
+                write!(f, "leaf {n} was supplied more than once")
+            }
+            ConsistencyError::Inconsistent { node } => {
+                write!(f, "children do not sum to parent at node {node}")
+            }
+            ConsistencyError::WrongNodeCount { got, expected } => {
+                write!(f, "got {got} histograms for a hierarchy of {expected} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+/// One count-of-counts histogram per hierarchy node, guaranteed (by
+/// construction or validation) to be *consistent*: every internal
+/// node's histogram equals the sum of its children's.
+///
+/// Used both for the sensitive input data and for the released
+/// private output — the desiderata of Section 3 are invariants of
+/// this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalCounts {
+    hists: Vec<CountOfCounts>,
+}
+
+impl HierarchicalCounts {
+    /// Builds from per-leaf histograms, aggregating internal nodes by
+    /// summation. Leaves not mentioned are treated as empty regions.
+    pub fn from_leaves(
+        hierarchy: &Hierarchy,
+        leaves: Vec<(NodeId, CountOfCounts)>,
+    ) -> Result<Self, ConsistencyError> {
+        if !hierarchy.is_uniform_depth() {
+            return Err(ConsistencyError::NotUniformDepth);
+        }
+        let mut hists = vec![CountOfCounts::new(); hierarchy.num_nodes()];
+        let mut seen = vec![false; hierarchy.num_nodes()];
+        for (node, h) in leaves {
+            if !hierarchy.is_leaf(node) {
+                return Err(ConsistencyError::NotALeaf(node));
+            }
+            if seen[node.index()] {
+                return Err(ConsistencyError::DuplicateLeaf(node));
+            }
+            seen[node.index()] = true;
+            hists[node.index()] = h;
+        }
+        // Aggregate bottom-up, deepest level first.
+        for l in (0..hierarchy.num_levels().saturating_sub(1)).rev() {
+            for &node in hierarchy.level(l) {
+                let mut acc = CountOfCounts::new();
+                for &c in hierarchy.children(node) {
+                    acc.add_assign(&hists[c.index()]);
+                }
+                hists[node.index()] = acc;
+            }
+        }
+        Ok(Self { hists })
+    }
+
+    /// Wraps a full per-node histogram vector (indexed by
+    /// [`NodeId::index`]), validating hierarchy shape and additivity.
+    pub fn from_node_histograms(
+        hierarchy: &Hierarchy,
+        hists: Vec<CountOfCounts>,
+    ) -> Result<Self, ConsistencyError> {
+        if hists.len() != hierarchy.num_nodes() {
+            return Err(ConsistencyError::WrongNodeCount {
+                got: hists.len(),
+                expected: hierarchy.num_nodes(),
+            });
+        }
+        if !hierarchy.is_uniform_depth() {
+            return Err(ConsistencyError::NotUniformDepth);
+        }
+        let out = Self { hists };
+        out.validate(hierarchy)?;
+        Ok(out)
+    }
+
+    /// Checks the consistency desideratum at every internal node.
+    pub fn validate(&self, hierarchy: &Hierarchy) -> Result<(), ConsistencyError> {
+        for node in hierarchy.iter() {
+            if hierarchy.is_leaf(node) {
+                continue;
+            }
+            let children = hierarchy
+                .children(node)
+                .iter()
+                .map(|c| &self.hists[c.index()]);
+            if children_sum_to_parent(&self.hists[node.index()], children).is_err() {
+                return Err(ConsistencyError::Inconsistent { node });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking variant of [`HierarchicalCounts::validate`], for
+    /// tests and examples.
+    pub fn assert_desiderata(&self, hierarchy: &Hierarchy) {
+        self.validate(hierarchy)
+            .expect("released histograms violate the consistency desideratum");
+    }
+
+    /// The histogram at a node.
+    pub fn node(&self, node: NodeId) -> &CountOfCounts {
+        &self.hists[node.index()]
+    }
+
+    /// The (public) number of groups at a node.
+    pub fn groups(&self, node: NodeId) -> u64 {
+        self.hists[node.index()].num_groups()
+    }
+
+    /// The per-node histograms, indexed by [`NodeId::index`].
+    pub fn as_slice(&self) -> &[CountOfCounts] {
+        &self.hists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_hierarchy::HierarchyBuilder;
+
+    fn two_level() -> (Hierarchy, NodeId, NodeId) {
+        let mut b = HierarchyBuilder::new("top");
+        let a = b.add_child(Hierarchy::ROOT, "a");
+        let c = b.add_child(Hierarchy::ROOT, "b");
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn from_leaves_aggregates() {
+        let (h, a, c) = two_level();
+        let data = HierarchicalCounts::from_leaves(
+            &h,
+            vec![
+                (a, CountOfCounts::from_group_sizes([4, 1])),
+                (c, CountOfCounts::from_group_sizes([2, 1])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            data.node(Hierarchy::ROOT),
+            &CountOfCounts::from_group_sizes([1, 1, 2, 4])
+        );
+        assert_eq!(data.groups(Hierarchy::ROOT), 4);
+        assert_eq!(data.groups(a), 2);
+        data.assert_desiderata(&h);
+    }
+
+    #[test]
+    fn missing_leaves_are_empty() {
+        let (h, a, _) = two_level();
+        let data = HierarchicalCounts::from_leaves(
+            &h,
+            vec![(a, CountOfCounts::from_group_sizes([3]))],
+        )
+        .unwrap();
+        assert_eq!(data.groups(Hierarchy::ROOT), 1);
+        data.assert_desiderata(&h);
+    }
+
+    #[test]
+    fn rejects_internal_node_as_leaf() {
+        let (h, _, _) = two_level();
+        let err = HierarchicalCounts::from_leaves(
+            &h,
+            vec![(Hierarchy::ROOT, CountOfCounts::new())],
+        )
+        .unwrap_err();
+        assert_eq!(err, ConsistencyError::NotALeaf(Hierarchy::ROOT));
+    }
+
+    #[test]
+    fn rejects_duplicate_leaf() {
+        let (h, a, _) = two_level();
+        let err = HierarchicalCounts::from_leaves(
+            &h,
+            vec![
+                (a, CountOfCounts::new()),
+                (a, CountOfCounts::from_group_sizes([1])),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, ConsistencyError::DuplicateLeaf(a));
+    }
+
+    #[test]
+    fn rejects_ragged_hierarchy() {
+        let mut b = HierarchyBuilder::new("r");
+        let mid = b.add_child(Hierarchy::ROOT, "mid");
+        let _deep = b.add_child(mid, "deep");
+        let _shallow = b.add_child(Hierarchy::ROOT, "shallow");
+        let h = b.build();
+        let err = HierarchicalCounts::from_leaves(&h, vec![]).unwrap_err();
+        assert_eq!(err, ConsistencyError::NotUniformDepth);
+    }
+
+    #[test]
+    fn from_node_histograms_validates() {
+        let (h, _, _) = two_level();
+        let good = vec![
+            CountOfCounts::from_group_sizes([1, 2]),
+            CountOfCounts::from_group_sizes([1]),
+            CountOfCounts::from_group_sizes([2]),
+        ];
+        assert!(HierarchicalCounts::from_node_histograms(&h, good).is_ok());
+
+        let bad = vec![
+            CountOfCounts::from_group_sizes([1, 1]),
+            CountOfCounts::from_group_sizes([1]),
+            CountOfCounts::from_group_sizes([2]),
+        ];
+        let err = HierarchicalCounts::from_node_histograms(&h, bad).unwrap_err();
+        assert_eq!(err, ConsistencyError::Inconsistent { node: Hierarchy::ROOT });
+
+        let err =
+            HierarchicalCounts::from_node_histograms(&h, vec![CountOfCounts::new()]).unwrap_err();
+        assert!(matches!(err, ConsistencyError::WrongNodeCount { got: 1, expected: 3 }));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            ConsistencyError::NotUniformDepth,
+            ConsistencyError::NotALeaf(Hierarchy::ROOT),
+            ConsistencyError::DuplicateLeaf(Hierarchy::ROOT),
+            ConsistencyError::Inconsistent { node: Hierarchy::ROOT },
+            ConsistencyError::WrongNodeCount { got: 1, expected: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Publication format for released histograms.
+//!
+//! Agencies publish count-of-counts tables as flat files (the 2010
+//! Census SF1 tables that motivate the paper are fixed-format text).
+//! This module serialises a [`HierarchicalCounts`] release to a simple
+//! long-form CSV — one row per `(region, size)` with a non-zero count
+//! — and parses it back, so a release can round-trip through storage.
+
+use hcc_core::CountOfCounts;
+use hcc_hierarchy::{Hierarchy, NodeId};
+
+use crate::counts::{ConsistencyError, HierarchicalCounts};
+
+/// Serialises a release as `region,level,size,count` CSV (header
+/// included). Regions are identified by name; only non-zero cells are
+/// emitted, so sparse histograms stay small.
+pub fn to_csv(hierarchy: &Hierarchy, release: &HierarchicalCounts) -> String {
+    let mut out = String::from("region,level,size,count\n");
+    for node in hierarchy.iter() {
+        let h = release.node(node);
+        for (size, &count) in h.as_slice().iter().enumerate() {
+            if count > 0 {
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    hierarchy.name(node),
+                    hierarchy.level_of(node),
+                    size,
+                    count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Errors raised while parsing a release CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// A row did not have the four expected fields, or a numeric field
+    /// failed to parse.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A row referenced a region name not present in the hierarchy.
+    UnknownRegion {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        region: String,
+    },
+    /// The parsed histograms are not hierarchically consistent.
+    Inconsistent(ConsistencyError),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::BadRow { line } => write!(f, "line {line}: malformed release row"),
+            ExportError::UnknownRegion { line, region } => {
+                write!(f, "line {line}: unknown region {region:?}")
+            }
+            ExportError::Inconsistent(e) => write!(f, "parsed release is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Parses a release CSV produced by [`to_csv`], validating
+/// hierarchical consistency on the way in.
+pub fn from_csv(hierarchy: &Hierarchy, text: &str) -> Result<HierarchicalCounts, ExportError> {
+    let mut by_name: std::collections::HashMap<&str, NodeId> = std::collections::HashMap::new();
+    for node in hierarchy.iter() {
+        by_name.insert(hierarchy.name(node), node);
+    }
+    let mut dense: Vec<Vec<u64>> = vec![Vec::new(); hierarchy.num_nodes()];
+    for (i, row) in text.lines().enumerate() {
+        let line = i + 1;
+        let row = row.trim();
+        if row.is_empty() || (i == 0 && row.starts_with("region,")) {
+            continue;
+        }
+        let mut fields = row.split(',');
+        let region = fields.next().ok_or(ExportError::BadRow { line })?;
+        let _level = fields.next().ok_or(ExportError::BadRow { line })?;
+        let size: usize = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ExportError::BadRow { line })?;
+        let count: u64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ExportError::BadRow { line })?;
+        if fields.next().is_some() {
+            return Err(ExportError::BadRow { line });
+        }
+        let &node = by_name.get(region).ok_or_else(|| ExportError::UnknownRegion {
+            line,
+            region: region.to_string(),
+        })?;
+        let v = &mut dense[node.index()];
+        if v.len() <= size {
+            v.resize(size + 1, 0);
+        }
+        v[size] += count;
+    }
+    let hists: Vec<CountOfCounts> = dense.into_iter().map(CountOfCounts::from_counts).collect();
+    HierarchicalCounts::from_node_histograms(hierarchy, hists).map_err(ExportError::Inconsistent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_hierarchy::HierarchyBuilder;
+
+    fn sample() -> (Hierarchy, HierarchicalCounts) {
+        let mut b = HierarchyBuilder::new("top");
+        let a = b.add_child(Hierarchy::ROOT, "a");
+        let c = b.add_child(Hierarchy::ROOT, "b");
+        let h = b.build();
+        let data = HierarchicalCounts::from_leaves(
+            &h,
+            vec![
+                (a, CountOfCounts::from_group_sizes([0, 1, 1, 4])),
+                (c, CountOfCounts::from_group_sizes([2, 2])),
+            ],
+        )
+        .unwrap();
+        (h, data)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (h, data) = sample();
+        let csv = to_csv(&h, &data);
+        let parsed = from_csv(&h, &csv).unwrap();
+        for node in h.iter() {
+            assert_eq!(parsed.node(node), data.node(node));
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let (h, data) = sample();
+        let csv = to_csv(&h, &data);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("region,level,size,count"));
+        // Root has one size-0 group (from leaf a).
+        assert!(csv.contains("top,0,0,1"));
+        assert!(csv.contains("a,1,4,1"));
+        assert!(csv.contains("b,1,2,2"));
+        // No zero-count rows.
+        assert!(!csv.lines().any(|l| l.ends_with(",0") && !l.starts_with("region")));
+    }
+
+    #[test]
+    fn rejects_malformed_and_unknown() {
+        let (h, _) = sample();
+        assert_eq!(
+            from_csv(&h, "region,level,size,count\na,1,notanumber,2"),
+            Err(ExportError::BadRow { line: 2 })
+        );
+        assert_eq!(
+            from_csv(&h, "region,level,size,count\nnope,1,2,3"),
+            Err(ExportError::UnknownRegion {
+                line: 2,
+                region: "nope".into()
+            })
+        );
+        assert_eq!(
+            from_csv(&h, "a,1,2,3,4"),
+            Err(ExportError::BadRow { line: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_release() {
+        let (h, _) = sample();
+        // Root claims a group the leaves don't have.
+        let bad = "region,level,size,count\ntop,0,5,1\n";
+        assert!(matches!(
+            from_csv(&h, bad),
+            Err(ExportError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ExportError::BadRow { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

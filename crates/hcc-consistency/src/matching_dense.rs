@@ -1,0 +1,257 @@
+//! Dense reference implementation of Algorithm 2.
+//!
+//! The paper states Algorithm 2 over the *expanded* unattributed
+//! histograms (`τ.Ĥg` has one entry per group), costing
+//! `O(τ.G log τ.G)`. The production implementation in
+//! [`crate::matching`] is the run-length compressed equivalent. This
+//! module implements the dense form literally — useful as an
+//! executable specification (the property tests assert pairwise
+//! equivalence of the two) and as the baseline for the
+//! run-length-vs-dense benchmark called out in DESIGN.md.
+
+use hcc_estimators::VarianceRun;
+use hcc_isotonic::apportion;
+
+use crate::matching::MatchSegment;
+
+/// One matched pair in the dense matching: group `parent_index` of
+/// the parent is group `child_index` of child `child`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DensePair {
+    /// Index into the parent's dense `Ĥg`.
+    pub parent_index: usize,
+    /// Which child the group belongs to.
+    pub child: usize,
+    /// Index into that child's dense `Ĥg`.
+    pub child_index: usize,
+}
+
+/// Expands variance runs into the dense `Ĥg` (sizes only).
+fn expand(runs: &[VarianceRun]) -> Vec<u64> {
+    let total: u64 = runs.iter().map(|r| r.count).sum();
+    let mut out = Vec::with_capacity(usize::try_from(total).expect("G too large for dense"));
+    for r in runs {
+        for _ in 0..r.count {
+            out.push(r.size);
+        }
+    }
+    out
+}
+
+/// Algorithm 2, dense form: returns one pair per group. Children are
+/// given as dense sorted size vectors.
+///
+/// Matches the smallest unmatched parent groups against the smallest
+/// unmatched child groups; when a parent tie-class is smaller than the
+/// pooled child tie-class, parent groups are apportioned across the
+/// children by largest remainder (footnote 10).
+pub fn match_groups_dense(parent: &[u64], children: &[Vec<u64>]) -> Vec<DensePair> {
+    let total: usize = children.iter().map(|c| c.len()).sum();
+    assert_eq!(
+        parent.len(),
+        total,
+        "parent has {} groups but children pool {}",
+        parent.len(),
+        total
+    );
+    debug_assert!(parent.windows(2).all(|w| w[0] <= w[1]));
+    for c in children {
+        debug_assert!(c.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    let mut pairs = Vec::with_capacity(parent.len());
+    let mut next_child_idx: Vec<usize> = vec![0; children.len()];
+    let mut pi = 0usize;
+    while pi < parent.len() {
+        // G_t: the run of parent groups tied at the current minimum.
+        let st = parent[pi];
+        let mut pt_end = pi;
+        while pt_end < parent.len() && parent[pt_end] == st {
+            pt_end += 1;
+        }
+        let gt = pt_end - pi;
+
+        // G_b: the pooled child groups tied at the minimum size.
+        let sb = children
+            .iter()
+            .enumerate()
+            .filter_map(|(c, v)| v.get(next_child_idx[c]).copied())
+            .min()
+            .expect("children exhausted before parent");
+        let mut members: Vec<(usize, usize)> = Vec::new(); // (child, count at sb)
+        for (c, v) in children.iter().enumerate() {
+            let start = next_child_idx[c];
+            let mut end = start;
+            while end < v.len() && v[end] == sb {
+                end += 1;
+            }
+            if end > start {
+                members.push((c, end - start));
+            }
+        }
+        let gb: usize = members.iter().map(|m| m.1).sum();
+
+        if gt >= gb {
+            // Match all of G_b now.
+            let mut p = pi;
+            for &(c, count) in &members {
+                for k in 0..count {
+                    pairs.push(DensePair {
+                        parent_index: p,
+                        child: c,
+                        child_index: next_child_idx[c] + k,
+                    });
+                    p += 1;
+                }
+                next_child_idx[c] += count;
+            }
+            pi += gb;
+        } else {
+            // Apportion G_t across the tied children.
+            let weights: Vec<u64> = members.iter().map(|m| m.1 as u64).collect();
+            let shares = apportion(gt as u64, &weights);
+            let mut p = pi;
+            for (&(c, _), &share) in members.iter().zip(shares.iter()) {
+                for k in 0..share as usize {
+                    pairs.push(DensePair {
+                        parent_index: p,
+                        child: c,
+                        child_index: next_child_idx[c] + k,
+                    });
+                    p += 1;
+                }
+                next_child_idx[c] += share as usize;
+            }
+            pi = pt_end;
+        }
+    }
+    pairs
+}
+
+/// Total |parent size − child size| cost of a dense matching.
+pub fn dense_cost(pairs: &[DensePair], parent: &[u64], children: &[Vec<u64>]) -> u64 {
+    pairs
+        .iter()
+        .map(|p| parent[p.parent_index].abs_diff(children[p.child][p.child_index]))
+        .sum()
+}
+
+/// Expands run-length [`MatchSegment`]s into their total cost, for
+/// equivalence checks against [`dense_cost`].
+pub fn segments_cost(segments: &[MatchSegment]) -> u64 {
+    segments.iter().map(|s| s.cost()).sum()
+}
+
+/// Convenience: runs the dense algorithm from variance runs (expanding
+/// internally). Intended for tests and benchmarks only.
+pub fn match_groups_dense_from_runs(
+    parent: &[VarianceRun],
+    children: &[Vec<VarianceRun>],
+) -> (Vec<DensePair>, u64) {
+    let p = expand(parent);
+    let cs: Vec<Vec<u64>> = children.iter().map(|c| expand(c)).collect();
+    let pairs = match_groups_dense(&p, &cs);
+    let cost = dense_cost(&pairs, &p, &cs);
+    (pairs, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_groups;
+    use proptest::prelude::*;
+
+    fn runs(pairs: &[(u64, u64)]) -> Vec<VarianceRun> {
+        pairs
+            .iter()
+            .map(|&(size, count)| VarianceRun {
+                size,
+                count,
+                variance: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_matches_paper_proportional_example() {
+        let parent = runs(&[(1, 300), (2, 100)]);
+        let children = vec![runs(&[(1, 200)]), runs(&[(1, 100)]), runs(&[(1, 100)])];
+        let (pairs, cost) = match_groups_dense_from_runs(&parent, &children);
+        assert_eq!(pairs.len(), 400);
+        assert_eq!(cost, 100);
+        // Every group matched exactly once on both sides.
+        let mut parent_seen = vec![false; 400];
+        for p in &pairs {
+            assert!(!parent_seen[p.parent_index], "parent matched twice");
+            parent_seen[p.parent_index] = true;
+        }
+        assert!(parent_seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (pairs, cost) = match_groups_dense_from_runs(&[], &[vec![], vec![]]);
+        assert!(pairs.is_empty());
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "children pool")]
+    fn dense_total_mismatch_panics() {
+        let _ = match_groups_dense(&[1, 2], &[vec![1]]);
+    }
+
+    proptest! {
+        /// The run-length production matching and the dense reference
+        /// agree on total cost and per-child match counts for random
+        /// decompositions.
+        #[test]
+        fn dense_and_runlength_agree(
+            child_sizes in prop::collection::vec((0u64..20, 1u64..4), 1..12),
+            shifts in prop::collection::vec(-2i64..3, 12),
+            nchild in 1usize..4,
+        ) {
+            // Children: scatter runs round-robin, coalesce.
+            let mut children: Vec<Vec<VarianceRun>> = vec![Vec::new(); nchild];
+            let mut all: Vec<u64> = Vec::new();
+            for (k, &(size, count)) in child_sizes.iter().enumerate() {
+                children[k % nchild].push(VarianceRun { size, count, variance: 1.0 });
+                for _ in 0..count { all.push(size); }
+            }
+            for c in &mut children {
+                c.sort_by_key(|r| r.size);
+                let mut merged: Vec<VarianceRun> = Vec::new();
+                for r in c.drain(..) {
+                    match merged.last_mut() {
+                        Some(last) if last.size == r.size => last.count += r.count,
+                        _ => merged.push(r),
+                    }
+                }
+                *c = merged;
+            }
+            // Parent: perturbed pooled multiset, re-sorted and run-encoded.
+            all.sort_unstable();
+            let mut shifted: Vec<u64> = all.iter().enumerate()
+                .map(|(i, &s)| (s as i64 + shifts[i % shifts.len()]).max(0) as u64)
+                .collect();
+            shifted.sort_unstable();
+            let mut parent: Vec<VarianceRun> = Vec::new();
+            for s in shifted {
+                match parent.last_mut() {
+                    Some(last) if last.size == s => last.count += 1,
+                    _ => parent.push(VarianceRun { size: s, count: 1, variance: 1.0 }),
+                }
+            }
+
+            let segments = match_groups(&parent, &children);
+            let (pairs, dense) = match_groups_dense_from_runs(&parent, &children);
+            prop_assert_eq!(segments_cost(&segments), dense);
+            // Per-child totals agree.
+            for c in 0..nchild {
+                let seg: u64 = segments.iter().filter(|s| s.child == c).map(|s| s.count).sum();
+                let den = pairs.iter().filter(|p| p.child == c).count() as u64;
+                prop_assert_eq!(seg, den);
+            }
+        }
+    }
+}

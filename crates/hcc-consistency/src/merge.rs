@@ -1,0 +1,190 @@
+//! Merging matched size estimates (Section 5.3).
+//!
+//! After matching, every group has two size estimates — one from the
+//! parent's histogram, one from its child's — plus variance estimates
+//! for both. The merged estimate becomes the child's updated value
+//! (and the parent side of the next level's matching).
+
+use hcc_estimators::{NodeEstimate, VarianceRun};
+
+use crate::matching::MatchSegment;
+
+/// How two matched size estimates are reconciled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MergeStrategy {
+    /// Inverse-variance weighted average (Equation 5); its variance is
+    /// the harmonic combination of Equation 6. Optimal when the
+    /// variance estimates are good — the paper's Figure 4 shows it
+    /// consistently beats plain averaging.
+    #[default]
+    WeightedAverage,
+    /// Plain average of the two estimates, with variance
+    /// `(V_p + V_c)/4`. The paper's naive comparison point.
+    PlainAverage,
+}
+
+impl MergeStrategy {
+    /// Merges one matched pair of estimates, returning
+    /// `(merged size, merged variance)`. The size is *not* yet
+    /// rounded — rounding happens once per segment in
+    /// [`merge_segments`], per the paper ("the size estimates are then
+    /// rounded").
+    pub fn combine(
+        &self,
+        parent_size: f64,
+        parent_variance: f64,
+        child_size: f64,
+        child_variance: f64,
+    ) -> (f64, f64) {
+        debug_assert!(parent_variance > 0.0 && child_variance > 0.0);
+        match self {
+            MergeStrategy::WeightedAverage => {
+                let wp = 1.0 / parent_variance;
+                let wc = 1.0 / child_variance;
+                ((parent_size * wp + child_size * wc) / (wp + wc), 1.0 / (wp + wc))
+            }
+            MergeStrategy::PlainAverage => (
+                (parent_size + child_size) / 2.0,
+                (parent_variance + child_variance) / 4.0,
+            ),
+        }
+    }
+}
+
+/// Applies the merge to every matched segment and reassembles each
+/// child's updated estimate (`c.Ĥ'g` with variances `c.V'g`).
+///
+/// `num_children` is the length of the `children` slice that produced
+/// the segments.
+pub fn merge_segments(
+    segments: &[MatchSegment],
+    strategy: MergeStrategy,
+    num_children: usize,
+) -> Vec<NodeEstimate> {
+    let mut per_child: Vec<Vec<VarianceRun>> = vec![Vec::new(); num_children];
+    for seg in segments {
+        let (size, variance) = strategy.combine(
+            seg.parent_size as f64,
+            seg.parent_variance,
+            seg.child_size as f64,
+            seg.child_variance,
+        );
+        per_child[seg.child].push(VarianceRun {
+            size: size.round().max(0.0) as u64,
+            count: seg.count,
+            variance,
+        });
+    }
+    per_child
+        .into_iter()
+        .map(NodeEstimate::from_variance_runs)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weighted_average_follows_equation5() {
+        // Parent: size 12, var 1; child: size 13, var 3. Weighted:
+        // (12/1 + 13/3) / (1/1 + 1/3) = (12 + 4.333)/1.333 = 12.25.
+        let (m, v) = MergeStrategy::WeightedAverage.combine(12.0, 1.0, 13.0, 3.0);
+        assert!((m - 12.25).abs() < 1e-12);
+        assert!((v - 0.75).abs() < 1e-12); // 1/(1 + 1/3)
+    }
+
+    #[test]
+    fn plain_average() {
+        let (m, v) = MergeStrategy::PlainAverage.combine(10.0, 1.0, 20.0, 9.0);
+        assert_eq!(m, 15.0);
+        assert_eq!(v, 2.5);
+    }
+
+    #[test]
+    fn equal_variances_reduce_weighted_to_plain() {
+        let (w, _) = MergeStrategy::WeightedAverage.combine(3.0, 2.0, 9.0, 2.0);
+        let (p, _) = MergeStrategy::PlainAverage.combine(3.0, 2.0, 9.0, 2.0);
+        assert_eq!(w, p);
+    }
+
+    #[test]
+    fn merge_segments_assembles_children() {
+        let segments = vec![
+            MatchSegment {
+                child: 0,
+                count: 2,
+                parent_size: 4,
+                parent_variance: 1.0,
+                child_size: 6,
+                child_variance: 1.0,
+            },
+            MatchSegment {
+                child: 1,
+                count: 1,
+                parent_size: 10,
+                parent_variance: 0.5,
+                child_size: 10,
+                child_variance: 8.0,
+            },
+        ];
+        let out = merge_segments(&segments, MergeStrategy::WeightedAverage, 2);
+        assert_eq!(out.len(), 2);
+        // Child 0: two groups at (4+6)/2 = 5.
+        assert_eq!(out[0].hist().count_of(5), 2);
+        assert_eq!(out[0].hist().num_groups(), 2);
+        // Child 1: one group at 10, with tightened variance.
+        assert_eq!(out[1].hist().count_of(10), 1);
+        assert!(out[1].variances()[0] < 0.5);
+    }
+
+    #[test]
+    fn empty_segments_give_empty_children() {
+        let out = merge_segments(&[], MergeStrategy::PlainAverage, 3);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|e| e.hist().is_empty()));
+    }
+
+    proptest! {
+        /// The weighted mean always lies between the two inputs and
+        /// its variance below both input variances.
+        #[test]
+        fn weighted_mean_is_contraction(
+            p in 0.0f64..1000.0,
+            c in 0.0f64..1000.0,
+            vp in 0.01f64..100.0,
+            vc in 0.01f64..100.0,
+        ) {
+            let (m, v) = MergeStrategy::WeightedAverage.combine(p, vp, c, vc);
+            prop_assert!(m >= p.min(c) - 1e-9 && m <= p.max(c) + 1e-9);
+            prop_assert!(v <= vp && v <= vc);
+        }
+
+        /// The merged group count of every child equals its matched
+        /// count regardless of strategy.
+        #[test]
+        fn group_counts_preserved(
+            counts in prop::collection::vec(1u64..20, 1..10),
+            weighted in any::<bool>(),
+        ) {
+            let segments: Vec<MatchSegment> = counts.iter().enumerate().map(|(i, &count)| {
+                MatchSegment {
+                    child: i % 3,
+                    count,
+                    parent_size: (i as u64 * 7) % 30,
+                    parent_variance: 1.0 + i as f64,
+                    child_size: (i as u64 * 5) % 30,
+                    child_variance: 2.0,
+                }
+            }).collect();
+            let strategy = if weighted { MergeStrategy::WeightedAverage } else { MergeStrategy::PlainAverage };
+            let out = merge_segments(&segments, strategy, 3);
+            #[allow(clippy::needless_range_loop)]
+            for c in 0..3 {
+                let expect: u64 = segments.iter().filter(|s| s.child == c).map(|s| s.count).sum();
+                prop_assert_eq!(out[c].hist().num_groups(), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The cumulative-sum histogram `Hc`.
+
+use crate::error::CoreError;
+use crate::histogram::CountOfCounts;
+
+/// Cumulative count-of-counts histogram: `cum[i]` is the number of
+/// groups of size `≤ i`. The sequence is non-decreasing and its last
+/// entry equals the total group count `G`.
+///
+/// The paper's `Hc` method adds noise to this representation (its
+/// global sensitivity is 1, Lemma 4) and the earth-mover's distance
+/// between two count-of-counts histograms is the L1 distance between
+/// their cumulative representations (Lemma 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cumulative {
+    cum: Vec<u64>,
+}
+
+impl Cumulative {
+    /// Builds the cumulative histogram of `h`, padded to cover sizes
+    /// `0..=k`. Sizes above `k` must have been truncated beforehand
+    /// (see [`CountOfCounts::truncated`]).
+    pub fn from_hist(h: &CountOfCounts, k: u64) -> Self {
+        let dense = h.padded(k);
+        let mut cum = Vec::with_capacity(dense.len());
+        let mut acc = 0u64;
+        for c in dense {
+            acc += c;
+            cum.push(acc);
+        }
+        Self { cum }
+    }
+
+    /// Validates and wraps a raw non-decreasing vector.
+    pub fn from_vec(cum: Vec<u64>) -> Result<Self, CoreError> {
+        for (i, w) in cum.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(CoreError::NotCumulative { index: i + 1 });
+            }
+        }
+        Ok(Self { cum })
+    }
+
+    /// The underlying non-decreasing vector; entry `i` covers sizes
+    /// `≤ i`.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.cum
+    }
+
+    /// Number of entries (max represented size + 1).
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the representation covers no sizes at all.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Total number of groups `G` (the last entry, or 0).
+    pub fn total(&self) -> u64 {
+        self.cum.last().copied().unwrap_or(0)
+    }
+
+    /// Converts back to the count-of-counts representation by
+    /// differencing.
+    pub fn to_hist(&self) -> CountOfCounts {
+        let mut counts = Vec::with_capacity(self.cum.len());
+        let mut prev = 0u64;
+        for &c in &self.cum {
+            counts.push(c - prev);
+            prev = c;
+        }
+        CountOfCounts::from_counts(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // If τ.H = [0, 2, 1, 2] then τ.Hc = [0, 2, 3, 5] (Section 3).
+        let h = CountOfCounts::from_counts(vec![0, 2, 1, 2]);
+        let c = Cumulative::from_hist(&h, 3);
+        assert_eq!(c.as_slice(), &[0, 2, 3, 5]);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn padding_repeats_total() {
+        let h = CountOfCounts::from_counts(vec![0, 2]);
+        let c = Cumulative::from_hist(&h, 4);
+        assert_eq!(c.as_slice(), &[0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = CountOfCounts::from_group_sizes([0, 1, 1, 3, 7, 7, 7]);
+        let c = Cumulative::from_hist(&h, 10);
+        assert_eq!(c.to_hist(), h);
+    }
+
+    #[test]
+    fn from_vec_rejects_decreasing() {
+        assert_eq!(
+            Cumulative::from_vec(vec![0, 3, 2]),
+            Err(CoreError::NotCumulative { index: 2 })
+        );
+        assert!(Cumulative::from_vec(vec![0, 0, 5, 5]).is_ok());
+        assert!(Cumulative::from_vec(vec![]).is_ok());
+    }
+
+    #[test]
+    fn empty_histogram_cumulative() {
+        let h = CountOfCounts::new();
+        let c = Cumulative::from_hist(&h, 3);
+        assert_eq!(c.as_slice(), &[0, 0, 0, 0]);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.to_hist(), h);
+    }
+}

@@ -1,0 +1,163 @@
+//! Earth-mover's distance between count-of-counts histograms.
+//!
+//! The paper's error measure (Section 3.1): the minimum number of
+//! people that must be added to or removed from groups to transform
+//! one histogram into the other. By Lemma 1 this equals the L1
+//! distance between the cumulative histograms, and — when the number
+//! of groups is fixed — the L1 distance between the unattributed
+//! (`Hg`) representations.
+
+use crate::error::CoreError;
+use crate::histogram::CountOfCounts;
+
+/// Earth-mover's distance between two histograms with the same number
+/// of groups, computed in `O(max_size)` as the L1 distance between the
+/// cumulative histograms.
+///
+/// Panics if the two histograms describe a different number of groups
+/// (use [`try_emd`] to get an error instead): the metric is only
+/// meaningful when mass can be matched one-to-one.
+///
+/// ```
+/// use hcc_core::{emd, CountOfCounts};
+/// // Twenty size-1 groups, estimated as twenty size-2 groups: one
+/// // person must be added per group.
+/// let truth = CountOfCounts::from_counts(vec![0, 20]);
+/// let est = CountOfCounts::from_counts(vec![0, 0, 20]);
+/// assert_eq!(emd(&truth, &est), 20);
+/// ```
+pub fn emd(a: &CountOfCounts, b: &CountOfCounts) -> u64 {
+    try_emd(a, b).expect("EMD requires histograms with equal group counts")
+}
+
+/// Earth-mover's distance, returning an error when the group counts
+/// differ.
+pub fn try_emd(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
+    let (ga, gb) = (a.num_groups(), b.num_groups());
+    if ga != gb {
+        return Err(CoreError::GroupCountMismatch { left: ga, right: gb });
+    }
+    let la = a.as_slice();
+    let lb = b.as_slice();
+    let n = la.len().max(lb.len());
+    let mut total = 0u64;
+    let mut cum_a = 0u64;
+    let mut cum_b = 0u64;
+    for i in 0..n {
+        cum_a += la.get(i).copied().unwrap_or(0);
+        cum_b += lb.get(i).copied().unwrap_or(0);
+        total += cum_a.abs_diff(cum_b);
+    }
+    Ok(total)
+}
+
+/// Reference implementation via the dense `Hg` representation:
+/// `Σ_i |a.Hg[i] − b.Hg[i]|` (Lemma 1's second characterisation).
+/// Expands both histograms to length `G`, so only suitable for tests
+/// and small inputs.
+pub fn emd_reference(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
+    let (ga, gb) = (a.num_groups(), b.num_groups());
+    if ga != gb {
+        return Err(CoreError::GroupCountMismatch { left: ga, right: gb });
+    }
+    let da = a.to_unattributed().to_dense();
+    let db = b.to_unattributed().to_dense();
+    Ok(da
+        .iter()
+        .zip(db.iter())
+        .map(|(&x, &y)| x.abs_diff(y))
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        let h = CountOfCounts::from_group_sizes([1, 2, 3, 3]);
+        assert_eq!(emd(&h, &h), 0);
+    }
+
+    #[test]
+    fn paper_motivating_example() {
+        // H = all 100 groups of size 1; Ĥ1 = all size 2; Ĥ2 = all size
+        // 5. L1/L2 can't distinguish them but EMD can: Ĥ1 needs one
+        // person per group (100), Ĥ2 needs four (400).
+        let h = CountOfCounts::from_counts(vec![0, 100]);
+        let h1 = CountOfCounts::from_counts(vec![0, 0, 100]);
+        let h2 = CountOfCounts::from_counts(vec![0, 0, 0, 0, 0, 100]);
+        assert_eq!(emd(&h, &h1), 100);
+        assert_eq!(emd(&h, &h2), 400);
+    }
+
+    #[test]
+    fn moving_one_person_costs_one() {
+        let a = CountOfCounts::from_group_sizes([2, 2]);
+        let b = CountOfCounts::from_group_sizes([2, 3]);
+        assert_eq!(emd(&a, &b), 1);
+    }
+
+    #[test]
+    fn mismatch_is_an_error() {
+        let a = CountOfCounts::from_group_sizes([1]);
+        let b = CountOfCounts::from_group_sizes([1, 1]);
+        assert!(matches!(
+            try_emd(&a, &b),
+            Err(CoreError::GroupCountMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal group counts")]
+    fn emd_panics_on_mismatch() {
+        let a = CountOfCounts::from_group_sizes([1]);
+        let b = CountOfCounts::from_group_sizes([1, 1]);
+        let _ = emd(&a, &b);
+    }
+
+    #[test]
+    fn different_length_dense_vectors() {
+        let a = CountOfCounts::from_group_sizes([1, 10]);
+        let b = CountOfCounts::from_group_sizes([1, 2]);
+        // Move the size-10 group down to size 2: 8 people removed.
+        assert_eq!(emd(&a, &b), 8);
+    }
+
+    fn hist_strategy(max_groups: u64, max_size: u64) -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(0..=max_size, 0..=max_groups as usize)
+    }
+
+    proptest! {
+        /// Lemma 1: cumulative-L1 EMD equals dense-Hg L1 whenever the
+        /// group counts agree.
+        #[test]
+        fn cumulative_emd_matches_hg_reference(
+            sizes_a in hist_strategy(30, 40),
+            sizes_b_extra in hist_strategy(30, 40),
+        ) {
+            // Force equal group counts by trimming to the shorter.
+            let n = sizes_a.len().min(sizes_b_extra.len());
+            let a = CountOfCounts::from_group_sizes(sizes_a[..n].iter().copied());
+            let b = CountOfCounts::from_group_sizes(sizes_b_extra[..n].iter().copied());
+            prop_assert_eq!(try_emd(&a, &b).unwrap(), emd_reference(&a, &b).unwrap());
+        }
+
+        /// EMD is a metric: symmetry and triangle inequality.
+        #[test]
+        fn emd_is_a_metric(
+            all in hist_strategy(20, 30),
+        ) {
+            let n = all.len() / 3;
+            let a = CountOfCounts::from_group_sizes(all[..n].iter().copied());
+            let b = CountOfCounts::from_group_sizes(all[n..2 * n].iter().copied());
+            let c = CountOfCounts::from_group_sizes(all[2 * n..3 * n].iter().copied());
+            let ab = emd(&a, &b);
+            let ba = emd(&b, &a);
+            prop_assert_eq!(ab, ba);
+            prop_assert!(emd(&a, &c) <= ab + emd(&b, &c));
+            prop_assert_eq!(emd(&a, &a), 0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by the core representations.
+
+use std::fmt;
+
+/// Errors raised while constructing or converting histogram
+/// representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A run-length encoded unattributed histogram was not sorted by
+    /// strictly increasing group size.
+    UnsortedRuns {
+        /// Index of the offending run.
+        index: usize,
+    },
+    /// A run-length encoded unattributed histogram contained a run
+    /// with a zero count.
+    EmptyRun {
+        /// Index of the offending run.
+        index: usize,
+    },
+    /// A dense unattributed histogram was not non-decreasing.
+    NotNonDecreasing {
+        /// First index at which the sequence decreases.
+        index: usize,
+    },
+    /// A cumulative histogram was not non-decreasing.
+    NotCumulative {
+        /// First index at which the sequence decreases.
+        index: usize,
+    },
+    /// Two histograms that were expected to describe the same number
+    /// of groups did not.
+    GroupCountMismatch {
+        /// Group count of the left operand.
+        left: u64,
+        /// Group count of the right operand.
+        right: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsortedRuns { index } => {
+                write!(f, "runs are not sorted by strictly increasing size at index {index}")
+            }
+            CoreError::EmptyRun { index } => {
+                write!(f, "run at index {index} has zero count")
+            }
+            CoreError::NotNonDecreasing { index } => {
+                write!(f, "unattributed histogram decreases at index {index}")
+            }
+            CoreError::NotCumulative { index } => {
+                write!(f, "cumulative histogram decreases at index {index}")
+            }
+            CoreError::GroupCountMismatch { left, right } => {
+                write!(f, "group counts differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

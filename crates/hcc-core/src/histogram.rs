@@ -1,0 +1,262 @@
+//! The count-of-counts histogram `H`.
+
+use crate::cumulative::Cumulative;
+use crate::unattributed::Unattributed;
+
+/// A count-of-counts histogram: `counts[i]` is the number of groups of
+/// size `i`.
+///
+/// Groups of size zero are representable (`counts[0]`), which matters
+/// for datasets such as race-by-block counts where a block (group) can
+/// contain zero people of a given race.
+///
+/// The internal vector is kept *trimmed*: the last entry is non-zero
+/// unless the histogram is empty. Two histograms describing the same
+/// multiset of group sizes therefore compare equal with `==`.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Hash)]
+pub struct CountOfCounts {
+    counts: Vec<u64>,
+}
+
+impl CountOfCounts {
+    /// An empty histogram (zero groups).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from a dense vector where index = group size.
+    /// Trailing zeros are trimmed.
+    pub fn from_counts(mut counts: Vec<u64>) -> Self {
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        Self { counts }
+    }
+
+    /// Builds a histogram from an iterator of individual group sizes.
+    pub fn from_group_sizes<I: IntoIterator<Item = u64>>(sizes: I) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for s in sizes {
+            let s = usize::try_from(s).expect("group size exceeds addressable memory");
+            if s >= counts.len() {
+                counts.resize(s + 1, 0);
+            }
+            counts[s] += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Number of groups of size `size`.
+    pub fn count_of(&self, size: u64) -> u64 {
+        usize::try_from(size)
+            .ok()
+            .and_then(|s| self.counts.get(s).copied())
+            .unwrap_or(0)
+    }
+
+    /// The largest group size with a non-zero count, or `None` for an
+    /// empty histogram.
+    pub fn max_size(&self) -> Option<u64> {
+        if self.counts.is_empty() {
+            None
+        } else {
+            Some((self.counts.len() - 1) as u64)
+        }
+    }
+
+    /// Total number of groups `G = Σ_i H[i]`.
+    pub fn num_groups(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total number of entities (people) `Σ_i i · H[i]`.
+    pub fn num_entities(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64) * c)
+            .sum()
+    }
+
+    /// Number of distinct group sizes present (non-zero cells,
+    /// including size 0 if occupied).
+    pub fn distinct_sizes(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The dense counts, index = size. The last entry is non-zero
+    /// unless the histogram is empty.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Length of the dense representation (`max_size + 1`, or 0).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the histogram contains no groups at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Returns the dense counts padded with zeros to exactly `k + 1`
+    /// entries (sizes `0..=k`). Panics if the histogram contains a
+    /// group larger than `k`; use [`CountOfCounts::truncated`] first
+    /// when the data may exceed the public bound.
+    pub fn padded(&self, k: u64) -> Vec<u64> {
+        let len = usize::try_from(k).expect("bound too large") + 1;
+        assert!(
+            self.counts.len() <= len,
+            "histogram has groups larger than the requested bound {k}"
+        );
+        let mut v = self.counts.clone();
+        v.resize(len, 0);
+        v
+    }
+
+    /// The paper's Section 4.1 preprocessing: group sizes larger than
+    /// the public bound `K` are changed to `K`. The result has
+    /// `max_size() <= K` and the same number of groups.
+    pub fn truncated(&self, k: u64) -> Self {
+        let klen = usize::try_from(k).expect("bound too large");
+        if self.counts.len() <= klen + 1 {
+            return self.clone();
+        }
+        let mut v = self.counts[..=klen].to_vec();
+        let overflow: u64 = self.counts[klen + 1..].iter().sum();
+        v[klen] += overflow;
+        Self::from_counts(v)
+    }
+
+    /// Adds the counts of `other` into `self` (histogram of the union
+    /// of the two group collections).
+    pub fn add_assign(&mut self, other: &Self) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Sum of a collection of histograms.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Self>>(hists: I) -> Self {
+        let mut out = Self::new();
+        for h in hists {
+            out.add_assign(h);
+        }
+        out
+    }
+
+    /// Converts to the cumulative representation, padded to sizes
+    /// `0..=k`.
+    pub fn to_cumulative(&self, k: u64) -> Cumulative {
+        Cumulative::from_hist(self, k)
+    }
+
+    /// Converts to the run-length encoded unattributed representation.
+    pub fn to_unattributed(&self) -> Unattributed {
+        Unattributed::from_hist(self)
+    }
+}
+
+impl FromIterator<u64> for CountOfCounts {
+    /// Collects individual group sizes into a histogram.
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_group_sizes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = CountOfCounts::new();
+        assert_eq!(h.num_groups(), 0);
+        assert_eq!(h.num_entities(), 0);
+        assert_eq!(h.max_size(), None);
+        assert!(h.is_empty());
+        assert_eq!(h.distinct_sizes(), 0);
+    }
+
+    #[test]
+    fn from_counts_trims_trailing_zeros() {
+        let h = CountOfCounts::from_counts(vec![0, 2, 1, 2, 0, 0]);
+        assert_eq!(h.as_slice(), &[0, 2, 1, 2]);
+        assert_eq!(h.max_size(), Some(3));
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // τ.H = [0, 2, 1, 2] from Section 3: 2 groups of size 1, one of
+        // size 2, two of size 3.
+        let h = CountOfCounts::from_counts(vec![0, 2, 1, 2]);
+        assert_eq!(h.num_groups(), 5);
+        assert_eq!(h.num_entities(), 2 + 2 + 6);
+        assert_eq!(h.count_of(1), 2);
+        assert_eq!(h.count_of(3), 2);
+        assert_eq!(h.count_of(4), 0);
+        assert_eq!(h.count_of(1000), 0);
+        assert_eq!(h.distinct_sizes(), 3);
+    }
+
+    #[test]
+    fn from_group_sizes_matches_manual() {
+        let h = CountOfCounts::from_group_sizes([4, 2, 1, 1]);
+        assert_eq!(h.as_slice(), &[0, 2, 1, 0, 1]);
+        let collected: CountOfCounts = [4u64, 2, 1, 1].into_iter().collect();
+        assert_eq!(collected, h);
+    }
+
+    #[test]
+    fn size_zero_groups_are_counted() {
+        let h = CountOfCounts::from_group_sizes([0, 0, 3]);
+        assert_eq!(h.count_of(0), 2);
+        assert_eq!(h.num_groups(), 3);
+        assert_eq!(h.num_entities(), 3);
+    }
+
+    #[test]
+    fn truncation_moves_mass_to_bound() {
+        let h = CountOfCounts::from_group_sizes([1, 5, 9, 12]);
+        let t = h.truncated(6);
+        assert_eq!(t.num_groups(), 4);
+        assert_eq!(t.count_of(6), 2); // 9 and 12 clamp to 6
+        assert_eq!(t.count_of(5), 1);
+        assert_eq!(t.max_size(), Some(6));
+    }
+
+    #[test]
+    fn truncation_noop_when_under_bound() {
+        let h = CountOfCounts::from_group_sizes([1, 2, 3]);
+        assert_eq!(h.truncated(10), h);
+        assert_eq!(h.truncated(3), h);
+    }
+
+    #[test]
+    fn padded_extends_with_zeros() {
+        let h = CountOfCounts::from_counts(vec![0, 2]);
+        assert_eq!(h.padded(4), vec![0, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the requested bound")]
+    fn padded_panics_when_exceeding_bound() {
+        let h = CountOfCounts::from_group_sizes([10]);
+        let _ = h.padded(4);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let a = CountOfCounts::from_group_sizes([1, 1, 4]);
+        let b = CountOfCounts::from_group_sizes([2]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, CountOfCounts::from_group_sizes([1, 1, 2, 4]));
+        assert_eq!(CountOfCounts::sum([&a, &b]), c);
+        assert_eq!(CountOfCounts::sum(std::iter::empty()), CountOfCounts::new());
+    }
+}

@@ -1,0 +1,42 @@
+//! Core data structures for differentially private count-of-counts
+//! histograms.
+//!
+//! A *count-of-counts* histogram partitions the rows of a table into
+//! groups (e.g. people into households) and reports, for every integer
+//! `i`, the number of groups of size `i`. This crate provides the three
+//! interchangeable representations used throughout the paper
+//! "Differentially Private Hierarchical Count-of-Counts Histograms"
+//! (Kuo et al., VLDB 2018):
+//!
+//! * [`CountOfCounts`] — the histogram `H` itself, `H[i]` = number of
+//!   groups of size `i`;
+//! * [`Cumulative`] — the cumulative-sum histogram `Hc`,
+//!   `Hc[i] = Σ_{j≤i} H[j]`, which is non-decreasing and ends at the
+//!   total group count `G`;
+//! * [`Unattributed`] — the unattributed histogram `Hg`, where
+//!   `Hg[i]` is the size of the `i`-th smallest group. Because `Hg`
+//!   has length `G` (potentially hundreds of millions), it is stored
+//!   **run-length encoded** as `(size, count)` runs.
+//!
+//! The error metric of the paper — earth-mover's distance, equal to the
+//! L1 distance between cumulative histograms (Lemma 1) — lives in
+//! [`mod@emd`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cumulative;
+pub mod emd;
+pub mod error;
+pub mod histogram;
+pub mod stats;
+pub mod unattributed;
+pub mod validate;
+
+pub use cumulative::Cumulative;
+pub use emd::{emd, emd_reference, try_emd};
+pub use error::CoreError;
+pub use histogram::CountOfCounts;
+pub use stats::{kth_largest, quantile, size_stats, SizeStats};
+pub use unattributed::{Run, Unattributed};
+pub use validate::{check_desiderata, children_sum_to_parent, DesiderataViolation};

@@ -1,0 +1,184 @@
+//! Descriptive statistics of the group-size distribution.
+//!
+//! Count-of-counts histograms exist to study the *skewness* of a
+//! distribution (the paper's opening motivation): how many households
+//! are large, what the size quantiles are, how heavy the tail is.
+//! This module answers those questions directly from a
+//! [`CountOfCounts`] histogram — both for the sensitive input and for
+//! a released private estimate.
+
+use crate::histogram::CountOfCounts;
+use crate::unattributed::Unattributed;
+
+/// Summary statistics of a group-size distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeStats {
+    /// Number of groups.
+    pub groups: u64,
+    /// Number of entities (sum of sizes).
+    pub entities: u64,
+    /// Mean group size.
+    pub mean: f64,
+    /// Population variance of the group size.
+    pub variance: f64,
+    /// Fisher skewness (third standardised moment); 0 for symmetric
+    /// distributions, large and positive for census-style heavy tails.
+    pub skewness: f64,
+    /// Smallest group size.
+    pub min: u64,
+    /// Largest group size.
+    pub max: u64,
+    /// Median (lower) group size.
+    pub median: u64,
+}
+
+/// Computes [`SizeStats`]; returns `None` for an empty histogram.
+pub fn size_stats(h: &CountOfCounts) -> Option<SizeStats> {
+    let groups = h.num_groups();
+    if groups == 0 {
+        return None;
+    }
+    let entities = h.num_entities();
+    let n = groups as f64;
+    let mean = entities as f64 / n;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for (size, &count) in h.as_slice().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let size = size as u64;
+        min = min.min(size);
+        max = max.max(size);
+        let d = size as f64 - mean;
+        m2 += count as f64 * d * d;
+        m3 += count as f64 * d * d * d;
+    }
+    let variance = m2 / n;
+    let skewness = if variance > 0.0 {
+        (m3 / n) / variance.powf(1.5)
+    } else {
+        0.0
+    };
+    Some(SizeStats {
+        groups,
+        entities,
+        mean,
+        variance,
+        skewness,
+        min,
+        max,
+        median: quantile(h, 0.5).expect("non-empty"),
+    })
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) of the group-size distribution:
+/// the size of the `⌈q·G⌉`-th smallest group (lower quantile
+/// convention; `q = 0` is the minimum, `q = 1` the maximum). `None`
+/// for an empty histogram.
+pub fn quantile(h: &CountOfCounts, q: f64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let g = h.num_groups();
+    if g == 0 {
+        return None;
+    }
+    let rank = ((q * g as f64).ceil() as u64).clamp(1, g) - 1; // 0-based
+    Unattributed::from_hist(h).size_at(rank)
+}
+
+/// The size of the `k`-th **largest** group (1-based), the paper's
+/// canonical unattributed-histogram query ("what is the size of the
+/// kth largest group?"). `None` if fewer than `k` groups exist.
+pub fn kth_largest(h: &CountOfCounts, k: u64) -> Option<u64> {
+    let g = h.num_groups();
+    if k == 0 || k > g {
+        return None;
+    }
+    Unattributed::from_hist(h).size_at(g - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        assert_eq!(size_stats(&CountOfCounts::new()), None);
+        assert_eq!(quantile(&CountOfCounts::new(), 0.5), None);
+        assert_eq!(kth_largest(&CountOfCounts::new(), 1), None);
+    }
+
+    #[test]
+    fn uniform_groups() {
+        let h = CountOfCounts::from_group_sizes([3, 3, 3, 3]);
+        let s = size_stats(&h).unwrap();
+        assert_eq!(s.groups, 4);
+        assert_eq!(s.entities, 12);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.median, 3);
+    }
+
+    #[test]
+    fn heavy_tail_is_positively_skewed() {
+        // 99 singletons and one group of 1000.
+        let mut sizes = vec![1u64; 99];
+        sizes.push(1000);
+        let h = CountOfCounts::from_group_sizes(sizes);
+        let s = size_stats(&h).unwrap();
+        assert!(s.skewness > 5.0, "skewness {}", s.skewness);
+        assert_eq!(s.median, 1);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn quantiles_walk_the_sorted_sizes() {
+        let h = CountOfCounts::from_group_sizes([1, 2, 3, 4, 5]);
+        assert_eq!(quantile(&h, 0.0), Some(1));
+        assert_eq!(quantile(&h, 0.2), Some(1));
+        assert_eq!(quantile(&h, 0.21), Some(2));
+        assert_eq!(quantile(&h, 0.5), Some(3));
+        assert_eq!(quantile(&h, 1.0), Some(5));
+    }
+
+    #[test]
+    fn kth_largest_queries() {
+        let h = CountOfCounts::from_group_sizes([5, 1, 9, 9, 2]);
+        assert_eq!(kth_largest(&h, 1), Some(9));
+        assert_eq!(kth_largest(&h, 2), Some(9));
+        assert_eq!(kth_largest(&h, 3), Some(5));
+        assert_eq!(kth_largest(&h, 5), Some(1));
+        assert_eq!(kth_largest(&h, 6), None);
+        assert_eq!(kth_largest(&h, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_quantile_panics() {
+        let h = CountOfCounts::from_group_sizes([1]);
+        let _ = quantile(&h, 1.5);
+    }
+
+    #[test]
+    fn mean_variance_against_manual_computation() {
+        let h = CountOfCounts::from_group_sizes([2, 4, 4, 4, 5, 5, 7, 9]);
+        let s = size_stats(&h).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Σ(x−5)² = 9+1+1+1+0+0+4+16 = 32; /8 = 4.
+        assert!((s.variance - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_zero_groups_participate() {
+        let h = CountOfCounts::from_group_sizes([0, 0, 6]);
+        let s = size_stats(&h).unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.median, 0);
+        assert_eq!(s.mean, 2.0);
+    }
+}

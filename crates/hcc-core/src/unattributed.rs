@@ -1,0 +1,271 @@
+//! The unattributed histogram `Hg`, run-length encoded.
+
+use crate::error::CoreError;
+use crate::histogram::CountOfCounts;
+
+/// A maximal run of equal-sized groups inside an unattributed
+/// histogram: `count` groups all of size `size`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Run {
+    /// The common group size of this run.
+    pub size: u64,
+    /// How many groups have this size (always ≥ 1).
+    pub count: u64,
+}
+
+/// The unattributed histogram `Hg`: `Hg[i]` is the size of the `i`-th
+/// smallest group. Stored as runs of equal sizes sorted by strictly
+/// increasing size, so that algorithms cost `O(#distinct sizes)`
+/// instead of `O(G)` — essential when `G` is in the hundreds of
+/// millions as in the paper's Census workloads.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Unattributed {
+    runs: Vec<Run>,
+}
+
+impl Unattributed {
+    /// The empty histogram (zero groups).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a count-of-counts histogram. For the paper's
+    /// Section 3 example, `H = [0, 2, 1, 2]` yields
+    /// `Hg = [1, 1, 2, 3, 3]`, i.e. runs `(1,2), (2,1), (3,2)`.
+    pub fn from_hist(h: &CountOfCounts) -> Self {
+        let runs = h
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(size, &count)| Run {
+                size: size as u64,
+                count,
+            })
+            .collect();
+        Self { runs }
+    }
+
+    /// Validates and wraps raw runs: sizes must be strictly
+    /// increasing, counts non-zero.
+    pub fn from_runs(runs: Vec<Run>) -> Result<Self, CoreError> {
+        for (i, r) in runs.iter().enumerate() {
+            if r.count == 0 {
+                return Err(CoreError::EmptyRun { index: i });
+            }
+            if i > 0 && runs[i - 1].size >= r.size {
+                return Err(CoreError::UnsortedRuns { index: i });
+            }
+        }
+        Ok(Self { runs })
+    }
+
+    /// Builds from raw runs that may be unsorted or contain duplicate
+    /// sizes or zero counts; normalises by sorting and coalescing.
+    pub fn from_unnormalized_runs(mut runs: Vec<Run>) -> Self {
+        runs.retain(|r| r.count > 0);
+        runs.sort_unstable_by_key(|r| r.size);
+        let mut out: Vec<Run> = Vec::with_capacity(runs.len());
+        for r in runs {
+            match out.last_mut() {
+                Some(last) if last.size == r.size => last.count += r.count,
+                _ => out.push(r),
+            }
+        }
+        Self { runs: out }
+    }
+
+    /// Builds from a dense non-decreasing sequence of group sizes.
+    pub fn from_dense_sorted(sizes: &[u64]) -> Result<Self, CoreError> {
+        for (i, w) in sizes.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(CoreError::NotNonDecreasing { index: i + 1 });
+            }
+        }
+        let mut runs: Vec<Run> = Vec::new();
+        for &s in sizes {
+            match runs.last_mut() {
+                Some(last) if last.size == s => last.count += 1,
+                _ => runs.push(Run { size: s, count: 1 }),
+            }
+        }
+        Ok(Self { runs })
+    }
+
+    /// The runs, sorted by strictly increasing size.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Total number of groups `G`.
+    pub fn num_groups(&self) -> u64 {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+
+    /// Total number of entities `Σ size · count`.
+    pub fn num_entities(&self) -> u64 {
+        self.runs.iter().map(|r| r.size * r.count).sum()
+    }
+
+    /// Number of distinct group sizes.
+    pub fn distinct_sizes(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The size of the `i`-th smallest group (0-based), or `None` if
+    /// `i ≥ G`. Binary search over run boundaries, `O(log #runs)`.
+    pub fn size_at(&self, i: u64) -> Option<u64> {
+        let mut lo = 0usize;
+        let mut hi = self.runs.len();
+        // prefix[r] = number of groups in runs < r; find the run whose
+        // half-open interval contains i.
+        let mut acc_cache: Vec<u64> = Vec::new();
+        // For simplicity and because runs are few, a linear prefix scan
+        // is fine; keep binary search only when runs are large.
+        if self.runs.len() < 64 {
+            let mut acc = 0u64;
+            for r in &self.runs {
+                if i < acc + r.count {
+                    return Some(r.size);
+                }
+                acc += r.count;
+            }
+            return None;
+        }
+        acc_cache.reserve(self.runs.len() + 1);
+        acc_cache.push(0);
+        for r in &self.runs {
+            acc_cache.push(acc_cache.last().unwrap() + r.count);
+        }
+        if i >= *acc_cache.last().unwrap() {
+            return None;
+        }
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if acc_cache[mid] <= i {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(self.runs[lo].size)
+    }
+
+    /// Expands to the dense `Hg` vector of length `G`. Only for small
+    /// histograms (tests, reference implementations).
+    pub fn to_dense(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(usize::try_from(self.num_groups()).unwrap_or(0));
+        for r in &self.runs {
+            for _ in 0..r.count {
+                v.push(r.size);
+            }
+        }
+        v
+    }
+
+    /// Converts back to a count-of-counts histogram.
+    pub fn to_hist(&self) -> CountOfCounts {
+        let max = self.runs.last().map(|r| r.size).unwrap_or(0);
+        let mut counts = vec![0u64; usize::try_from(max).expect("size too large") + 1];
+        for r in &self.runs {
+            counts[usize::try_from(r.size).expect("size too large")] = r.count;
+        }
+        CountOfCounts::from_counts(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // τ.H = [0, 2, 1, 2] → τ.Hg = [1, 1, 2, 3, 3].
+        let h = CountOfCounts::from_counts(vec![0, 2, 1, 2]);
+        let g = Unattributed::from_hist(&h);
+        assert_eq!(g.to_dense(), vec![1, 1, 2, 3, 3]);
+        assert_eq!(g.num_groups(), 5);
+        assert_eq!(g.num_entities(), 10);
+        assert_eq!(g.distinct_sizes(), 3);
+    }
+
+    #[test]
+    fn round_trip_hist() {
+        let h = CountOfCounts::from_group_sizes([0, 0, 5, 5, 5, 9]);
+        assert_eq!(Unattributed::from_hist(&h).to_hist(), h);
+    }
+
+    #[test]
+    fn size_at_small() {
+        let g = Unattributed::from_runs(vec![
+            Run { size: 1, count: 2 },
+            Run { size: 2, count: 1 },
+            Run { size: 3, count: 2 },
+        ])
+        .unwrap();
+        assert_eq!(g.size_at(0), Some(1));
+        assert_eq!(g.size_at(1), Some(1));
+        assert_eq!(g.size_at(2), Some(2));
+        assert_eq!(g.size_at(4), Some(3));
+        assert_eq!(g.size_at(5), None);
+    }
+
+    #[test]
+    fn size_at_many_runs_uses_binary_search() {
+        // More than 64 runs to exercise the binary-search path.
+        let runs: Vec<Run> = (0..100)
+            .map(|i| Run {
+                size: 2 * i,
+                count: 3,
+            })
+            .collect();
+        let g = Unattributed::from_runs(runs).unwrap();
+        for i in 0..300u64 {
+            assert_eq!(g.size_at(i), Some(2 * (i / 3)));
+        }
+        assert_eq!(g.size_at(300), None);
+    }
+
+    #[test]
+    fn from_runs_validation() {
+        assert_eq!(
+            Unattributed::from_runs(vec![Run { size: 3, count: 1 }, Run { size: 3, count: 1 }]),
+            Err(CoreError::UnsortedRuns { index: 1 })
+        );
+        assert_eq!(
+            Unattributed::from_runs(vec![Run { size: 3, count: 0 }]),
+            Err(CoreError::EmptyRun { index: 0 })
+        );
+    }
+
+    #[test]
+    fn from_unnormalized_runs_coalesces() {
+        let g = Unattributed::from_unnormalized_runs(vec![
+            Run { size: 5, count: 1 },
+            Run { size: 1, count: 2 },
+            Run { size: 5, count: 3 },
+            Run { size: 2, count: 0 },
+        ]);
+        assert_eq!(
+            g.runs(),
+            &[Run { size: 1, count: 2 }, Run { size: 5, count: 4 }]
+        );
+    }
+
+    #[test]
+    fn from_dense_sorted_checks_order() {
+        assert!(Unattributed::from_dense_sorted(&[1, 1, 2]).is_ok());
+        assert_eq!(
+            Unattributed::from_dense_sorted(&[2, 1]),
+            Err(CoreError::NotNonDecreasing { index: 1 })
+        );
+    }
+
+    #[test]
+    fn empty() {
+        let g = Unattributed::new();
+        assert_eq!(g.num_groups(), 0);
+        assert_eq!(g.to_hist(), CountOfCounts::new());
+        assert_eq!(g.size_at(0), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Checks for the problem desiderata of Section 3.
+//!
+//! The released histograms must satisfy, at every node:
+//! * **Integrality** — guaranteed by construction (`u64` counts);
+//! * **Nonnegativity** — guaranteed by construction;
+//! * **Group size** — `Σ_i Ĥ[i] = τ.G` with `τ.G` public;
+//! * **Consistency** — a parent histogram equals the sum of its
+//!   children's histograms.
+//!
+//! The first two are type-level invariants of [`CountOfCounts`]; this
+//! module provides runtime checks for the remaining two, used by the
+//! integration tests and by debug assertions in the consistency
+//! pipeline.
+
+use crate::histogram::CountOfCounts;
+
+/// A violated desideratum, reported by [`check_desiderata`] or
+/// [`children_sum_to_parent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesiderataViolation {
+    /// The histogram's total group count differs from the public `G`.
+    GroupSize {
+        /// Expected (public) number of groups.
+        expected: u64,
+        /// Actual total of the histogram.
+        actual: u64,
+    },
+    /// The sum of the children differs from the parent at some size.
+    Consistency {
+        /// First group size at which parent and child-sum disagree.
+        size: u64,
+        /// Parent count at that size.
+        parent: u64,
+        /// Sum of children counts at that size.
+        children_sum: u64,
+    },
+}
+
+impl std::fmt::Display for DesiderataViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesiderataViolation::GroupSize { expected, actual } => {
+                write!(f, "group-size desideratum violated: expected {expected} groups, found {actual}")
+            }
+            DesiderataViolation::Consistency {
+                size,
+                parent,
+                children_sum,
+            } => write!(
+                f,
+                "consistency violated at size {size}: parent has {parent}, children sum to {children_sum}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesiderataViolation {}
+
+/// Verifies the node-local desiderata for a single released histogram
+/// against the public group count `g`.
+pub fn check_desiderata(h: &CountOfCounts, g: u64) -> Result<(), DesiderataViolation> {
+    let actual = h.num_groups();
+    if actual != g {
+        return Err(DesiderataViolation::GroupSize {
+            expected: g,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Verifies the hierarchical consistency desideratum: the parent's
+/// histogram must equal the cell-wise sum of its children.
+pub fn children_sum_to_parent<'a, I>(
+    parent: &CountOfCounts,
+    children: I,
+) -> Result<(), DesiderataViolation>
+where
+    I: IntoIterator<Item = &'a CountOfCounts>,
+{
+    let sum = CountOfCounts::sum(children);
+    if &sum == parent {
+        return Ok(());
+    }
+    let n = parent.len().max(sum.len());
+    for i in 0..n as u64 {
+        let p = parent.count_of(i);
+        let c = sum.count_of(i);
+        if p != c {
+            return Err(DesiderataViolation::Consistency {
+                size: i,
+                parent: p,
+                children_sum: c,
+            });
+        }
+    }
+    unreachable!("histograms differ but all cells equal");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_size_check() {
+        let h = CountOfCounts::from_group_sizes([1, 2, 3]);
+        assert!(check_desiderata(&h, 3).is_ok());
+        assert_eq!(
+            check_desiderata(&h, 4),
+            Err(DesiderataViolation::GroupSize {
+                expected: 4,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn consistency_check_passes_for_exact_sum() {
+        let a = CountOfCounts::from_group_sizes([1, 4]);
+        let b = CountOfCounts::from_group_sizes([1, 2]);
+        let parent = CountOfCounts::sum([&a, &b]);
+        assert!(children_sum_to_parent(&parent, [&a, &b]).is_ok());
+    }
+
+    #[test]
+    fn consistency_check_reports_first_divergent_size() {
+        let a = CountOfCounts::from_group_sizes([1, 4]);
+        let b = CountOfCounts::from_group_sizes([1, 2]);
+        let parent = CountOfCounts::from_group_sizes([1, 1, 2, 5]);
+        let err = children_sum_to_parent(&parent, [&a, &b]).unwrap_err();
+        assert_eq!(
+            err,
+            DesiderataViolation::Consistency {
+                size: 4,
+                parent: 0,
+                children_sum: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_children_match_empty_parent() {
+        let parent = CountOfCounts::new();
+        assert!(children_sum_to_parent(&parent, std::iter::empty()).is_ok());
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = DesiderataViolation::GroupSize {
+            expected: 2,
+            actual: 1,
+        };
+        assert!(v.to_string().contains("expected 2"));
+        let v = DesiderataViolation::Consistency {
+            size: 3,
+            parent: 1,
+            children_sum: 0,
+        };
+        assert!(v.to_string().contains("size 3"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The partially synthetic housing dataset (Section 6.1).
+//!
+//! The paper starts from the 2010 Decennial Census Summary File 1
+//! household-size tables (truncated at size 7), extends a heavy tail
+//! by sampling group counts for sizes ≥ 8 binomially so that the
+//! `H[7]/H[6]` ratio persists in expectation, and injects 50 outlier
+//! group-quarters facilities with sizes uniform in `[1, 10 000]`.
+//! The hierarchy is National / State (50 states + DC + Puerto Rico) /
+//! County, with groups assigned to counties proportionally to county
+//! size.
+//!
+//! This module reproduces that exact procedure on top of embedded
+//! approximate 2010 state population shares.
+
+use hcc_consistency::HierarchicalCounts;
+use hcc_core::CountOfCounts;
+use hcc_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::util::{binomial, multinomial};
+
+/// Approximate 2010 populations (millions) for the 50 states, DC and
+/// Puerto Rico — used as weights for household counts and county
+/// fan-out.
+pub const STATES: [(&str, f64); 52] = [
+    ("CA", 37.3),
+    ("TX", 25.1),
+    ("NY", 19.4),
+    ("FL", 18.8),
+    ("IL", 12.8),
+    ("PA", 12.7),
+    ("OH", 11.5),
+    ("MI", 9.9),
+    ("GA", 9.7),
+    ("NC", 9.5),
+    ("NJ", 8.8),
+    ("VA", 8.0),
+    ("WA", 6.7),
+    ("MA", 6.5),
+    ("IN", 6.5),
+    ("AZ", 6.4),
+    ("TN", 6.3),
+    ("MO", 6.0),
+    ("MD", 5.8),
+    ("WI", 5.7),
+    ("MN", 5.3),
+    ("CO", 5.0),
+    ("AL", 4.8),
+    ("SC", 4.6),
+    ("LA", 4.5),
+    ("KY", 4.3),
+    ("OR", 3.8),
+    ("OK", 3.8),
+    ("PR", 3.7),
+    ("CT", 3.6),
+    ("IA", 3.0),
+    ("MS", 3.0),
+    ("AR", 2.9),
+    ("KS", 2.9),
+    ("UT", 2.8),
+    ("NV", 2.7),
+    ("NM", 2.1),
+    ("WV", 1.9),
+    ("NE", 1.8),
+    ("ID", 1.6),
+    ("HI", 1.4),
+    ("ME", 1.3),
+    ("NH", 1.3),
+    ("RI", 1.1),
+    ("MT", 1.0),
+    ("DE", 0.9),
+    ("SD", 0.8),
+    ("AK", 0.7),
+    ("ND", 0.7),
+    ("VT", 0.6),
+    ("DC", 0.6),
+    ("WY", 0.6),
+];
+
+/// Share of households by size 1–7, roughly matching the 2010 SF1
+/// distribution the paper's procedure starts from.
+const SIZE_SHARES: [f64; 7] = [0.267, 0.336, 0.158, 0.132, 0.061, 0.024, 0.012];
+
+/// Average persons per household, used to convert population weight
+/// into household counts.
+const PERSONS_PER_HOUSEHOLD: f64 = 2.6;
+
+/// Configuration for the housing generator.
+#[derive(Clone, Debug)]
+pub struct HousingConfig {
+    /// Fraction of the paper's full size to generate
+    /// (`1.0` ≈ 240 M groups; the default `1e-3` ≈ 240 K).
+    pub scale: f64,
+    /// RNG seed; generation is deterministic given the seed.
+    pub seed: u64,
+    /// Number of outlier group-quarters facilities (paper: 50).
+    pub outliers: u64,
+    /// Maximum outlier size (paper: 10 000).
+    pub outlier_max: u64,
+    /// Number of hierarchy levels: 2 (National/State) or
+    /// 3 (National/State/County).
+    pub levels: usize,
+    /// Restrict to the west-coast states CA/OR/WA (the paper does
+    /// this for its 3-level census experiments "for computational
+    /// reasons").
+    pub west_coast_only: bool,
+}
+
+impl Default for HousingConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1e-3,
+            seed: 0xC0C0,
+            outliers: 50,
+            outlier_max: 10_000,
+            levels: 3,
+            west_coast_only: false,
+        }
+    }
+}
+
+/// Which states a config selects.
+fn selected_states(cfg: &HousingConfig) -> Vec<(&'static str, f64)> {
+    if cfg.west_coast_only {
+        STATES
+            .iter()
+            .copied()
+            .filter(|(n, _)| matches!(*n, "CA" | "OR" | "WA"))
+            .collect()
+    } else {
+        STATES.to_vec()
+    }
+}
+
+/// Counties allocated to a state: roughly one per million residents,
+/// at least one.
+fn county_count(pop_millions: f64) -> usize {
+    (pop_millions.round() as usize).max(1)
+}
+
+/// Generates one state's household histogram: SF1-style sizes 1–7,
+/// binomial tail for sizes ≥ 8.
+fn state_histogram(households: u64, rng: &mut StdRng) -> Vec<u64> {
+    // counts[s] = households of size s (index 0 unused for the base).
+    let mut counts: Vec<u64> = vec![0];
+    for share in SIZE_SHARES {
+        counts.push((households as f64 * share).round() as u64);
+    }
+    // Tail: ratio r = H[7]/H[6] maintained in expectation via
+    // Binomial(H[k−1], r) draws, exactly as the paper describes. At
+    // tiny scales integer rounding can push the empirical ratio to
+    // 1.0, which would never die out; cap it below the asymptotic
+    // share ratio (0.012/0.024 = 0.5) with head-room.
+    let r = if counts[6] > 0 {
+        (counts[7] as f64 / counts[6] as f64).min(0.75)
+    } else {
+        0.0
+    };
+    let mut prev = counts[7];
+    while prev > 0 && counts.len() < 4096 {
+        let next = binomial(prev, r.clamp(0.0, 1.0), rng);
+        counts.push(next);
+        prev = next;
+    }
+    counts
+}
+
+/// Builds the housing dataset.
+pub fn housing(cfg: &HousingConfig) -> Dataset {
+    assert!(
+        cfg.levels == 2 || cfg.levels == 3,
+        "housing supports 2 or 3 levels, got {}",
+        cfg.levels
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let states = selected_states(cfg);
+    let total_pop: f64 = states.iter().map(|(_, p)| p).sum();
+
+    // Build the hierarchy.
+    let root_name = if cfg.west_coast_only {
+        "west-coast"
+    } else {
+        "national"
+    };
+    let mut b = HierarchyBuilder::new(root_name);
+    let mut leaf_nodes: Vec<Vec<NodeId>> = Vec::new(); // per state: its leaves
+    for &(name, pop) in &states {
+        let s = b.add_child(Hierarchy::ROOT, name);
+        if cfg.levels == 3 {
+            let counties = (0..county_count(pop))
+                .map(|i| b.add_child(s, format!("{name}-county{i}")))
+                .collect();
+            leaf_nodes.push(counties);
+        } else {
+            leaf_nodes.push(vec![s]);
+        }
+    }
+    let hierarchy = b.build();
+
+    // Generate state histograms and split them over counties.
+    let mut leaves: Vec<(NodeId, CountOfCounts)> = Vec::new();
+    let mut state_hists: Vec<Vec<u64>> = Vec::new();
+    for &(_, pop) in &states {
+        let households =
+            (pop * 1e6 * cfg.scale / PERSONS_PER_HOUSEHOLD).round().max(1.0) as u64;
+        state_hists.push(state_histogram(households, &mut rng));
+    }
+
+    // Outliers: assigned to states proportionally to population, with
+    // sizes uniform in [1, outlier_max].
+    for _ in 0..cfg.outliers {
+        let mut pick: f64 = rng.gen::<f64>() * total_pop;
+        let mut idx = 0usize;
+        for (i, &(_, pop)) in states.iter().enumerate() {
+            if pick < pop {
+                idx = i;
+                break;
+            }
+            pick -= pop;
+        }
+        let size = rng.gen_range(1..=cfg.outlier_max) as usize;
+        let h = &mut state_hists[idx];
+        if h.len() <= size {
+            h.resize(size + 1, 0);
+        }
+        h[size] += 1;
+    }
+
+    for (si, hist) in state_hists.into_iter().enumerate() {
+        let counties = &leaf_nodes[si];
+        if counties.len() == 1 {
+            leaves.push((counties[0], CountOfCounts::from_counts(hist)));
+            continue;
+        }
+        // County weights: exponential draws give a plausible spread of
+        // county sizes; groups split multinomially per size cell.
+        let weights: Vec<f64> = counties
+            .iter()
+            .map(|_| -(1.0 - rng.gen::<f64>()).ln())
+            .collect();
+        let mut per_county: Vec<Vec<u64>> = vec![vec![0; hist.len()]; counties.len()];
+        for (size, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let parts = multinomial(count, &weights, &mut rng);
+            for (c, &part) in parts.iter().enumerate() {
+                per_county[c][size] = part;
+            }
+        }
+        for (c, dense) in per_county.into_iter().enumerate() {
+            leaves.push((counties[c], CountOfCounts::from_counts(dense)));
+        }
+    }
+
+    let data = HierarchicalCounts::from_leaves(&hierarchy, leaves)
+        .expect("generator produces a uniform-depth hierarchy");
+    Dataset {
+        name: if cfg.west_coast_only {
+            "housing-west".to_string()
+        } else {
+            "housing".to_string()
+        },
+        hierarchy,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_shape() {
+        let ds = housing(&HousingConfig::default());
+        let root = ds.data.node(Hierarchy::ROOT);
+        // ~240 K groups at scale 1e-3 (paper: 240 M at full scale).
+        let g = root.num_groups();
+        assert!((100_000..500_000).contains(&g), "groups {g}");
+        // Average household size between 2 and 7: the base
+        // distribution averages ≈ 2.5, and the 50 fixed-count outliers
+        // (avg size ≈ 5 000) add noticeably at reduced scale.
+        let avg = root.num_entities() as f64 / g as f64;
+        assert!((2.0..7.0).contains(&avg), "avg {avg}");
+        ds.data.assert_desiderata(&ds.hierarchy);
+    }
+
+    #[test]
+    fn hierarchy_has_52_states_and_counties() {
+        let ds = housing(&HousingConfig::default());
+        assert_eq!(ds.hierarchy.level(1).len(), 52);
+        assert!(ds.hierarchy.level(2).len() > 200);
+        assert!(ds.hierarchy.is_uniform_depth());
+    }
+
+    #[test]
+    fn two_level_variant() {
+        let cfg = HousingConfig {
+            levels: 2,
+            scale: 1e-4,
+            ..Default::default()
+        };
+        let ds = housing(&cfg);
+        assert_eq!(ds.hierarchy.num_levels(), 2);
+        assert_eq!(ds.hierarchy.leaves().count(), 52);
+    }
+
+    #[test]
+    fn west_coast_restriction() {
+        let cfg = HousingConfig {
+            west_coast_only: true,
+            scale: 1e-4,
+            ..Default::default()
+        };
+        let ds = housing(&cfg);
+        assert_eq!(ds.hierarchy.level(1).len(), 3);
+        assert_eq!(ds.name, "housing-west");
+    }
+
+    #[test]
+    fn outliers_create_heavy_tail() {
+        let cfg = HousingConfig {
+            scale: 1e-4,
+            ..Default::default()
+        };
+        let ds = housing(&cfg);
+        let max = ds.data.node(Hierarchy::ROOT).max_size().unwrap();
+        // At least one outlier should exceed the natural tail (~30).
+        assert!(max > 100, "max size {max}");
+        assert!(max <= 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = HousingConfig {
+            scale: 1e-4,
+            ..Default::default()
+        };
+        let a = housing(&cfg);
+        let b = housing(&cfg);
+        assert_eq!(
+            a.data.node(Hierarchy::ROOT),
+            b.data.node(Hierarchy::ROOT)
+        );
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = housing(&HousingConfig {
+            scale: 1e-5,
+            ..Default::default()
+        });
+        let large = housing(&HousingConfig {
+            scale: 1e-4,
+            ..Default::default()
+        });
+        let gs = small.data.node(Hierarchy::ROOT).num_groups();
+        let gl = large.data.node(Hierarchy::ROOT).num_groups();
+        assert!(gl > 5 * gs, "{gs} vs {gl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 or 3 levels")]
+    fn invalid_levels_rejected() {
+        let _ = housing(&HousingConfig {
+            levels: 4,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic dataset generators mirroring the paper's evaluation
+//! workloads (Section 6.1).
+//!
+//! The paper evaluates on four datasets; none of their raw inputs are
+//! redistributable (Census microdata, the 2013 NYC taxi dump), and the
+//! paper's own "partially synthetic housing" dataset is itself
+//! specified as a generative procedure. This crate implements
+//! parameterised generators that reproduce the *statistical shape* of
+//! each dataset — group-count magnitudes, occupancy distributions,
+//! dense-vs-sparse support, heavy tails — which is what drives the
+//! relative behaviour of the `Hc`/`Hg`/naive methods:
+//!
+//! * [`mod@housing`] — per-state household sizes 1–7 with the paper's
+//!   binomial tail extension and 50 large outlier group-quarters,
+//!   over a national/state/county hierarchy;
+//! * [`mod@race`] — census blocks as groups, with a *dense* occupancy
+//!   profile (White) and a *sparse* one (Hawaiian);
+//! * [`mod@taxi`] — taxi medallions as groups over the Manhattan /
+//!   upper–lower / 28-neighbourhood hierarchy, log-normal pickups.
+//!
+//! Every generator accepts a scale factor so experiments run at laptop
+//! scale by default while `scale = 1.0` approximates the paper's full
+//! sizes. Generation is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod housing;
+pub mod race;
+pub mod stats;
+pub mod taxi;
+pub mod util;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use housing::{housing, HousingConfig};
+pub use race::{race, RaceConfig, RaceProfile};
+pub use stats::DatasetStats;
+pub use taxi::{taxi, TaxiConfig};

@@ -1,0 +1,256 @@
+//! The race-distribution datasets (Section 6.1).
+//!
+//! Groups are census blocks; the size of a block-group is the number
+//! of people of a given race living in it. The paper evaluates on all
+//! six major race categories and reports two extremes:
+//!
+//! * **White** — dense: 226 M people over 11.2 M blocks (mean ≈ 20 per
+//!   block), with 1 916 distinct occupancy values — "many groups from
+//!   size 0 to size 3000". The `Hc` method dominates here.
+//! * **Hawaiian** — sparse: 540 K people over the same 11.2 M blocks
+//!   (mean ≈ 0.05), only 224 distinct values, almost all blocks empty.
+//!
+//! The generators draw block occupancies from mixtures calibrated to
+//! those marginal statistics, over the same National/State/County
+//! hierarchy as the housing data.
+
+use hcc_consistency::HierarchicalCounts;
+use hcc_core::CountOfCounts;
+use hcc_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::housing::STATES;
+use crate::util::lognormal_size;
+
+/// Which race profile to mirror.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceProfile {
+    /// Dense occupancy (mean ≈ 20/block, long support).
+    White,
+    /// Sparse occupancy (≈ 97 % empty blocks, short support).
+    Hawaiian,
+}
+
+impl RaceProfile {
+    /// Draws one block's occupancy.
+    fn sample_block<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            RaceProfile::White => {
+                // 8 % fully empty blocks; otherwise log-normal around
+                // a dozen people, tail reaching a few thousand.
+                if rng.gen::<f64>() < 0.08 {
+                    0
+                } else {
+                    lognormal_size(2.48, 1.2, 1, rng).min(5_000)
+                }
+            }
+            RaceProfile::Hawaiian => {
+                // ~97 % empty; occupied blocks hold a handful, with
+                // rare dense pockets (e.g. Hawaiian home lands).
+                let u: f64 = rng.gen();
+                if u < 0.97 {
+                    0
+                } else if u < 0.99985 {
+                    lognormal_size(0.3, 0.8, 1, rng).min(40)
+                } else {
+                    rng.gen_range(40..=1_000)
+                }
+            }
+        }
+    }
+
+    /// Dataset display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RaceProfile::White => "race-white",
+            RaceProfile::Hawaiian => "race-hawaiian",
+        }
+    }
+}
+
+/// Configuration for the race generator.
+#[derive(Clone, Debug)]
+pub struct RaceConfig {
+    /// Which race profile to mirror.
+    pub profile: RaceProfile,
+    /// Fraction of the paper's 11 155 486 blocks (default `0.01`).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// 2 (National/State) or 3 (National/State/County) levels.
+    pub levels: usize,
+    /// Restrict to CA/OR/WA as the paper does for 3-level runs.
+    pub west_coast_only: bool,
+}
+
+impl RaceConfig {
+    /// Default configuration for a profile.
+    pub fn new(profile: RaceProfile) -> Self {
+        Self {
+            profile,
+            scale: 0.01,
+            seed: 0xACE5,
+            levels: 3,
+            west_coast_only: false,
+        }
+    }
+}
+
+/// Total blocks in the full-scale dataset (2010 census).
+const FULL_SCALE_BLOCKS: f64 = 11_155_486.0;
+
+/// Builds a race-distribution dataset.
+pub fn race(cfg: &RaceConfig) -> Dataset {
+    assert!(
+        cfg.levels == 2 || cfg.levels == 3,
+        "race supports 2 or 3 levels, got {}",
+        cfg.levels
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let states: Vec<(&str, f64)> = if cfg.west_coast_only {
+        STATES
+            .iter()
+            .copied()
+            .filter(|(n, _)| matches!(*n, "CA" | "OR" | "WA"))
+            .collect()
+    } else {
+        STATES.to_vec()
+    };
+    let total_pop: f64 = states.iter().map(|(_, p)| p).sum();
+
+    let root = if cfg.west_coast_only {
+        "west-coast"
+    } else {
+        "national"
+    };
+    let mut b = HierarchyBuilder::new(root);
+    let mut leaf_sets: Vec<Vec<NodeId>> = Vec::new();
+    for &(name, pop) in &states {
+        let s = b.add_child(Hierarchy::ROOT, name);
+        if cfg.levels == 3 {
+            let n_counties = (pop.round() as usize).max(1);
+            leaf_sets.push(
+                (0..n_counties)
+                    .map(|i| b.add_child(s, format!("{name}-county{i}")))
+                    .collect(),
+            );
+        } else {
+            leaf_sets.push(vec![s]);
+        }
+    }
+    let hierarchy = b.build();
+
+    let mut leaves: Vec<(NodeId, CountOfCounts)> = Vec::new();
+    for (si, &(_, pop)) in states.iter().enumerate() {
+        let state_blocks =
+            (FULL_SCALE_BLOCKS * cfg.scale * pop / total_pop).round().max(1.0) as u64;
+        let county_nodes = &leaf_sets[si];
+        // Blocks per county: even split with the remainder on the
+        // first counties (county sizes already vary via occupancy).
+        let per = state_blocks / county_nodes.len() as u64;
+        let extra = (state_blocks % county_nodes.len() as u64) as usize;
+        for (ci, &county) in county_nodes.iter().enumerate() {
+            let n_blocks = per + u64::from(ci < extra);
+            let sizes = (0..n_blocks).map(|_| cfg.profile.sample_block(&mut rng));
+            leaves.push((county, CountOfCounts::from_group_sizes(sizes)));
+        }
+    }
+
+    let data = HierarchicalCounts::from_leaves(&hierarchy, leaves)
+        .expect("generator produces a uniform-depth hierarchy");
+    Dataset {
+        name: if cfg.west_coast_only {
+            format!("{}-west", cfg.profile.name())
+        } else {
+            cfg.profile.name().to_string()
+        },
+        hierarchy,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_is_dense() {
+        let ds = race(&RaceConfig {
+            scale: 0.005,
+            ..RaceConfig::new(RaceProfile::White)
+        });
+        let root = ds.data.node(Hierarchy::ROOT);
+        let g = root.num_groups();
+        let mean = root.num_entities() as f64 / g as f64;
+        assert!((10.0..40.0).contains(&mean), "mean occupancy {mean}");
+        // Dense support: hundreds of distinct sizes even at 0.5 % scale.
+        assert!(root.distinct_sizes() > 150, "{}", root.distinct_sizes());
+        ds.data.assert_desiderata(&ds.hierarchy);
+    }
+
+    #[test]
+    fn hawaiian_is_sparse() {
+        let ds = race(&RaceConfig {
+            scale: 0.005,
+            ..RaceConfig::new(RaceProfile::Hawaiian)
+        });
+        let root = ds.data.node(Hierarchy::ROOT);
+        let g = root.num_groups();
+        // Mean occupancy ≈ 0.05 like the paper (540 K / 11.2 M).
+        let mean = root.num_entities() as f64 / g as f64;
+        assert!(mean < 0.2, "mean {mean}");
+        // Overwhelmingly empty blocks.
+        let zero_frac = root.count_of(0) as f64 / g as f64;
+        assert!(zero_frac > 0.9, "zero fraction {zero_frac}");
+        // Far fewer distinct sizes than the white profile.
+        assert!(root.distinct_sizes() < 150, "{}", root.distinct_sizes());
+    }
+
+    #[test]
+    fn both_profiles_share_block_counts() {
+        let w = race(&RaceConfig {
+            scale: 0.002,
+            ..RaceConfig::new(RaceProfile::White)
+        });
+        let h = race(&RaceConfig {
+            scale: 0.002,
+            ..RaceConfig::new(RaceProfile::Hawaiian)
+        });
+        // Same number of blocks (groups) — only occupancy differs.
+        assert_eq!(
+            w.data.node(Hierarchy::ROOT).num_groups(),
+            h.data.node(Hierarchy::ROOT).num_groups()
+        );
+    }
+
+    #[test]
+    fn two_level_and_west_coast() {
+        let ds = race(&RaceConfig {
+            levels: 2,
+            scale: 0.001,
+            ..RaceConfig::new(RaceProfile::White)
+        });
+        assert_eq!(ds.hierarchy.num_levels(), 2);
+        let wc = race(&RaceConfig {
+            west_coast_only: true,
+            scale: 0.001,
+            ..RaceConfig::new(RaceProfile::Hawaiian)
+        });
+        assert_eq!(wc.hierarchy.level(1).len(), 3);
+        assert_eq!(wc.name, "race-hawaiian-west");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RaceConfig {
+            scale: 0.001,
+            ..RaceConfig::new(RaceProfile::White)
+        };
+        assert_eq!(
+            race(&cfg).data.node(Hierarchy::ROOT),
+            race(&cfg).data.node(Hierarchy::ROOT)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Dataset summary statistics (the §6.1 table).
+
+use std::fmt;
+
+/// One row of the paper's dataset-statistics table plus hierarchy
+/// shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Total number of groups (paper: "# groups").
+    pub groups: u64,
+    /// Total number of entities — people or trips (paper:
+    /// "# people/trip").
+    pub entities: u64,
+    /// Number of distinct group sizes at the root (paper:
+    /// "# unique size").
+    pub unique_sizes: usize,
+    /// Number of hierarchy levels (root inclusive).
+    pub levels: usize,
+    /// Total number of hierarchy nodes.
+    pub nodes: usize,
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} groups={:<12} entities={:<12} unique_sizes={:<6} levels={} nodes={}",
+            self.name, self.groups, self.entities, self.unique_sizes, self.levels, self.nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_fields() {
+        let s = DatasetStats {
+            name: "x".into(),
+            groups: 10,
+            entities: 20,
+            unique_sizes: 3,
+            levels: 2,
+            nodes: 5,
+        };
+        let out = s.to_string();
+        assert!(out.contains("groups=10"));
+        assert!(out.contains("unique_sizes=3"));
+    }
+}

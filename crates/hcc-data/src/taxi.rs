@@ -1,0 +1,166 @@
+//! The NYC taxi dataset (Section 6.1).
+//!
+//! From the 2013 trip records the paper forms groups as (medallion,
+//! region) pairs: a taxi's pickups inside one leaf region form one
+//! group, so the size of the group is that taxi's pickup count there.
+//! Full-scale statistics: 360 872 groups, 143.5 M Manhattan trips,
+//! 3 128 distinct group sizes — few groups but very large and very
+//! diverse sizes, the opposite regime from the census datasets.
+//!
+//! The hierarchy is Manhattan / {upper, lower} / 28 NTA
+//! neighbourhoods (14 per half).
+
+use hcc_consistency::HierarchicalCounts;
+use hcc_core::CountOfCounts;
+use hcc_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::util::lognormal_size;
+
+/// Configuration for the taxi generator.
+#[derive(Clone, Debug)]
+pub struct TaxiConfig {
+    /// Fraction of the paper's 360 872 groups (default `0.1`).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// 3 = Manhattan / upper–lower / 28 NTAs (the paper's geography);
+    /// 2 = Manhattan / 28 NTAs (for the 2-level experiments).
+    pub levels: usize,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.1,
+            seed: 0x7A21,
+            levels: 3,
+        }
+    }
+}
+
+/// Full-scale group count from the paper's statistics table.
+const FULL_SCALE_GROUPS: f64 = 360_872.0;
+
+/// Builds the taxi dataset.
+pub fn taxi(cfg: &TaxiConfig) -> Dataset {
+    assert!(
+        cfg.levels == 2 || cfg.levels == 3,
+        "taxi supports 2 or 3 levels, got {}",
+        cfg.levels
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = HierarchyBuilder::new("manhattan");
+    let mut ntas: Vec<NodeId> = Vec::with_capacity(28);
+    if cfg.levels == 3 {
+        let upper = b.add_child(Hierarchy::ROOT, "upper");
+        let lower = b.add_child(Hierarchy::ROOT, "lower");
+        for i in 0..14 {
+            ntas.push(b.add_child(upper, format!("nta-u{i}")));
+        }
+        for i in 0..14 {
+            ntas.push(b.add_child(lower, format!("nta-l{i}")));
+        }
+    } else {
+        for i in 0..28 {
+            ntas.push(b.add_child(Hierarchy::ROOT, format!("nta-{i}")));
+        }
+    }
+    let hierarchy = b.build();
+
+    let total_groups = (FULL_SCALE_GROUPS * cfg.scale).round().max(28.0) as u64;
+    // Neighbourhood popularity varies a lot (midtown vs inwood):
+    // weights from a squared-uniform draw.
+    let weights: Vec<f64> = (0..28)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() + 0.05;
+            u * u
+        })
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+
+    let mut leaves: Vec<(NodeId, CountOfCounts)> = Vec::new();
+    for (i, &node) in ntas.iter().enumerate() {
+        let n_groups = (total_groups as f64 * weights[i] / wsum).round().max(1.0) as u64;
+        // Pickups per (taxi, neighbourhood): log-normal centred near
+        // 150 with σ = 1.4 → mean ≈ 400, matching the paper's
+        // 143.5 M / 360 K ≈ 398 pickups per group, with a tail into
+        // the thousands that yields thousands of distinct sizes at
+        // full scale.
+        let sizes = (0..n_groups).map(|_| lognormal_size(5.0, 1.4, 1, &mut rng).min(60_000));
+        leaves.push((node, CountOfCounts::from_group_sizes(sizes)));
+    }
+
+    let data = HierarchicalCounts::from_leaves(&hierarchy, leaves)
+        .expect("taxi hierarchy is uniform depth");
+    Dataset {
+        name: "taxi".to_string(),
+        hierarchy,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_statistics() {
+        let ds = taxi(&TaxiConfig::default());
+        let root = ds.data.node(Hierarchy::ROOT);
+        let g = root.num_groups();
+        // 10 % scale of 360 872.
+        assert!((30_000..45_000).contains(&g), "groups {g}");
+        let mean = root.num_entities() as f64 / g as f64;
+        // Paper: ≈ 398 pickups per group.
+        assert!((200.0..800.0).contains(&mean), "mean {mean}");
+        // Large, diverse sizes.
+        assert!(root.distinct_sizes() > 500, "{}", root.distinct_sizes());
+        ds.data.assert_desiderata(&ds.hierarchy);
+    }
+
+    #[test]
+    fn hierarchy_structure() {
+        let ds = taxi(&TaxiConfig::default());
+        assert_eq!(ds.hierarchy.num_levels(), 3);
+        assert_eq!(ds.hierarchy.level(1).len(), 2);
+        assert_eq!(ds.hierarchy.level(2).len(), 28);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TaxiConfig {
+            scale: 0.01,
+            ..Default::default()
+        };
+        assert_eq!(
+            taxi(&cfg).data.node(Hierarchy::ROOT),
+            taxi(&cfg).data.node(Hierarchy::ROOT)
+        );
+    }
+
+    #[test]
+    fn two_level_variant() {
+        let ds = taxi(&TaxiConfig {
+            levels: 2,
+            scale: 0.01,
+            ..Default::default()
+        });
+        assert_eq!(ds.hierarchy.num_levels(), 2);
+        assert_eq!(ds.hierarchy.level(1).len(), 28);
+        ds.data.assert_desiderata(&ds.hierarchy);
+    }
+
+    #[test]
+    fn tiny_scale_still_covers_all_neighbourhoods() {
+        let ds = taxi(&TaxiConfig {
+            scale: 1e-4,
+            ..Default::default()
+        });
+        for leaf in ds.hierarchy.leaves() {
+            assert!(ds.data.groups(leaf) >= 1);
+        }
+    }
+}

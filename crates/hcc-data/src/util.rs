@@ -1,0 +1,180 @@
+//! Sampling utilities for the generators.
+//!
+//! Only the `rand` core crate is available, so the binomial and
+//! log-normal samplers the generators need are implemented here:
+//! exact Bernoulli summation for small `n`, a normal approximation
+//! (Box–Muller) for large `n` — entirely adequate for *generating*
+//! synthetic evaluation data (no privacy property depends on them).
+
+use rand::Rng;
+
+/// Draws a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `Binomial(n, p)`. Exact for small `n·p·(1−p)`, normal
+/// approximation (clamped to `[0, n]`) when the variance is large
+/// enough for the approximation to be excellent.
+pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    let variance = n as f64 * p * (1.0 - p);
+    if variance > 100.0 {
+        let mean = n as f64 * p;
+        let x = mean + variance.sqrt() * standard_normal(rng);
+        return x.round().clamp(0.0, n as f64) as u64;
+    }
+    if n > 10_000 {
+        // Small p with huge n: Poisson-like; sample via inversion on
+        // the geometric gaps between successes.
+        let mut count = 0u64;
+        let mut i = 0u64;
+        let log_q = (1.0 - p).ln();
+        loop {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            let gap = (u.ln() / log_q).floor() as u64;
+            i = i.saturating_add(gap).saturating_add(1);
+            if i > n {
+                return count;
+            }
+            count += 1;
+        }
+    }
+    (0..n).filter(|_| rng.gen::<f64>() < p).count() as u64
+}
+
+/// Draws a log-normal variate with the given log-scale parameters,
+/// rounded to an integer ≥ `min`.
+pub fn lognormal_size<R: Rng + ?Sized>(mu: f64, sigma: f64, min: u64, rng: &mut R) -> u64 {
+    let x = (mu + sigma * standard_normal(rng)).exp();
+    (x.round() as u64).max(min)
+}
+
+/// Splits `total` into `weights.len()` multinomial parts with
+/// probabilities proportional to `weights`, by iterated binomial
+/// conditioning (exact, `O(len)` binomial draws).
+pub fn multinomial<R: Rng + ?Sized>(total: u64, weights: &[f64], rng: &mut R) -> Vec<u64> {
+    assert!(!weights.is_empty(), "need at least one bucket");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be non-negative"
+    );
+    let mut remaining = total;
+    let mut wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights must not all be zero");
+    let mut out = Vec::with_capacity(weights.len());
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 || i + 1 == weights.len() {
+            out.push(remaining);
+            remaining = 0;
+            wsum -= w;
+            continue;
+        }
+        let p = (w / wsum).clamp(0.0, 1.0);
+        let take = binomial(remaining, p, rng);
+        out.push(take);
+        remaining -= take;
+        wsum -= w;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn binomial_moments_small_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20u64;
+        let p = 0.3;
+        let trials = 20_000;
+        let mean: f64 =
+            (0..trials).map(|_| binomial(n, p, &mut rng) as f64).sum::<f64>() / trials as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_moments_large_n() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 1_000_000u64;
+        let p = 0.4;
+        let x = binomial(n, p, &mut rng) as f64;
+        // Within 6σ of the mean (σ ≈ 490).
+        assert!((x - 400_000.0).abs() < 3_000.0, "x {x}");
+    }
+
+    #[test]
+    fn binomial_sparse_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000u64;
+        let p = 1e-4; // variance 10 → sparse geometric-gap path
+        let trials = 2000;
+        let mean: f64 =
+            (0..trials).map(|_| binomial(n, p, &mut rng) as f64).sum::<f64>() / trials as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn multinomial_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for total in [0u64, 1, 17, 100_000] {
+            let parts = multinomial(total, &[1.0, 2.0, 3.0, 0.0], &mut rng);
+            assert_eq!(parts.iter().sum::<u64>(), total);
+            assert_eq!(parts.len(), 4);
+        }
+    }
+
+    #[test]
+    fn multinomial_respects_zero_weight() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Last bucket takes the remainder by construction, so place
+        // the zero weight in the middle.
+        let parts = multinomial(50_000, &[1.0, 0.0, 1.0], &mut rng);
+        assert_eq!(parts[1], 0);
+        assert!((parts[0] as f64 - 25_000.0).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn lognormal_respects_min() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(lognormal_size(-5.0, 0.1, 1, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,168 @@
+//! The output of a single-node estimator: a histogram plus per-group
+//! variance estimates.
+
+use hcc_core::{CountOfCounts, Run, Unattributed};
+
+/// A run of consecutive groups (in the sorted-by-size order of the
+/// unattributed histogram `Ĥg`) sharing one size and one variance
+/// estimate.
+///
+/// Section 5.1 assigns every group `i` a variance `τ.Vg[i]` that
+/// depends only on the *run* of equal-sized groups containing `i` —
+/// `2/(|S_i| ε₁²)` for the `Hg` method, `4/(ε₁² · #groups of that
+/// size)` for the `Hc` method — so variances are stored run-length
+/// encoded in lockstep with [`Unattributed`] runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VarianceRun {
+    /// The common group size of the run.
+    pub size: u64,
+    /// Number of groups in the run.
+    pub count: u64,
+    /// Estimated variance of each group's size estimate.
+    pub variance: f64,
+}
+
+/// A differentially private estimate of one node's histogram together
+/// with the variance bookkeeping needed by hierarchical consistency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeEstimate {
+    hist: CountOfCounts,
+    variances: Vec<f64>,
+}
+
+impl NodeEstimate {
+    /// Pairs a histogram with per-run variances. `variances[k]` is the
+    /// variance of every group in the `k`-th run of
+    /// `hist.to_unattributed()`; the lengths must agree.
+    pub fn new(hist: CountOfCounts, variances: Vec<f64>) -> Self {
+        let runs = hist.to_unattributed().runs().len();
+        assert_eq!(
+            runs,
+            variances.len(),
+            "variance vector must align with the histogram's {runs} size runs"
+        );
+        assert!(
+            variances.iter().all(|v| v.is_finite() && *v > 0.0),
+            "variances must be positive and finite"
+        );
+        Self { hist, variances }
+    }
+
+    /// The estimated histogram.
+    pub fn hist(&self) -> &CountOfCounts {
+        &self.hist
+    }
+
+    /// Consumes the estimate, returning the histogram.
+    pub fn into_hist(self) -> CountOfCounts {
+        self.hist
+    }
+
+    /// The per-run variances, aligned with
+    /// `self.hist().to_unattributed().runs()`.
+    pub fn variances(&self) -> &[f64] {
+        &self.variances
+    }
+
+    /// The unattributed view zipped with variances: one
+    /// [`VarianceRun`] per distinct size.
+    pub fn variance_runs(&self) -> Vec<VarianceRun> {
+        let ua: Unattributed = self.hist.to_unattributed();
+        ua.runs()
+            .iter()
+            .zip(self.variances.iter())
+            .map(|(r, &variance)| VarianceRun {
+                size: r.size,
+                count: r.count,
+                variance,
+            })
+            .collect()
+    }
+
+    /// Builds an estimate from explicit variance runs (used by the
+    /// consistency layer when reconstructing merged estimates).
+    pub fn from_variance_runs(runs: Vec<VarianceRun>) -> Self {
+        let ua = Unattributed::from_unnormalized_runs(
+            runs.iter()
+                .map(|r| Run {
+                    size: r.size,
+                    count: r.count,
+                })
+                .collect(),
+        );
+        // Re-derive per-run variances after normalisation: if two
+        // input runs shared a size they merged, so pool their
+        // variances weighted by count.
+        let mut by_size: std::collections::BTreeMap<u64, (f64, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &runs {
+            if r.count == 0 {
+                continue;
+            }
+            let e = by_size.entry(r.size).or_insert((0.0, 0));
+            e.0 += r.variance * r.count as f64;
+            e.1 += r.count;
+        }
+        let variances: Vec<f64> = ua
+            .runs()
+            .iter()
+            .map(|r| {
+                let (wsum, c) = by_size[&r.size];
+                wsum / c as f64
+            })
+            .collect();
+        Self {
+            hist: ua.to_hist(),
+            variances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_enforced() {
+        let h = CountOfCounts::from_group_sizes([1, 1, 3]);
+        // Two runs (size 1 ×2, size 3 ×1) need two variances.
+        let est = NodeEstimate::new(h.clone(), vec![0.5, 2.0]);
+        let runs = est.variance_runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], VarianceRun { size: 1, count: 2, variance: 0.5 });
+        assert_eq!(runs[1], VarianceRun { size: 3, count: 1, variance: 2.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_variances_panic() {
+        let h = CountOfCounts::from_group_sizes([1, 1, 3]);
+        let _ = NodeEstimate::new(h, vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_variance_panics() {
+        let h = CountOfCounts::from_group_sizes([2]);
+        let _ = NodeEstimate::new(h, vec![0.0]);
+    }
+
+    #[test]
+    fn from_variance_runs_normalises_and_pools() {
+        let est = NodeEstimate::from_variance_runs(vec![
+            VarianceRun { size: 5, count: 1, variance: 2.0 },
+            VarianceRun { size: 2, count: 3, variance: 1.0 },
+            VarianceRun { size: 5, count: 3, variance: 6.0 },
+        ]);
+        assert_eq!(est.hist(), &CountOfCounts::from_group_sizes([2, 2, 2, 5, 5, 5, 5]));
+        // Size-5 variance pooled: (2·1 + 6·3)/4 = 5.
+        assert_eq!(est.variances(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn into_hist_returns_histogram() {
+        let h = CountOfCounts::from_group_sizes([7]);
+        let est = NodeEstimate::new(h.clone(), vec![1.0]);
+        assert_eq!(est.into_hist(), h);
+    }
+}

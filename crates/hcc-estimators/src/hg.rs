@@ -1,0 +1,155 @@
+//! The unattributed-histogram method (`Hg`, Section 4.2).
+
+use hcc_core::CountOfCounts;
+use hcc_isotonic::isotonic_l2;
+use hcc_noise::GeometricMechanism;
+use rand::Rng;
+
+use crate::estimate::VarianceRun;
+use crate::{Estimator, NodeEstimate};
+
+/// Privatizes via the unattributed representation: add
+/// double-geometric noise with scale `1/ε` to every entry of the
+/// length-`G` non-decreasing vector `Hg` (sensitivity 1, Hay et al.),
+/// restore monotonicity with L2 isotonic regression, round to the
+/// nearest integer, and convert back to a count-of-counts histogram.
+///
+/// The paper uses the L2 (PAV) variant because `Hg` "can have length
+/// in the hundreds of millions" where PAV's linear time matters; we
+/// follow that choice.
+///
+/// Per-group variances (Section 5.1.1): a group in an isotonic
+/// partition of size `|S|` gets variance `2 / (|S| ε²)` — the Laplace
+/// approximation of the noise variance divided by the number of noisy
+/// cells averaged by PAV.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnattributedEstimator;
+
+impl UnattributedEstimator {
+    /// Sensitivity of the unattributed histogram query.
+    pub const SENSITIVITY: f64 = 1.0;
+
+    /// Creates the estimator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Estimator for UnattributedEstimator {
+    fn name(&self) -> &'static str {
+        "Hg"
+    }
+
+    fn estimate<R: Rng + ?Sized>(
+        &self,
+        hist: &CountOfCounts,
+        g: u64,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> NodeEstimate {
+        debug_assert_eq!(hist.num_groups(), g, "public G must match the data");
+        if g == 0 {
+            return NodeEstimate::new(CountOfCounts::new(), Vec::new());
+        }
+        let mech = GeometricMechanism::new(epsilon, Self::SENSITIVITY);
+        // Expand to the dense Hg, privatize every coordinate.
+        let ua = hist.to_unattributed();
+        let mut noisy: Vec<f64> =
+            Vec::with_capacity(usize::try_from(g).expect("G exceeds memory"));
+        for run in ua.runs() {
+            for _ in 0..run.count {
+                noisy.push(mech.privatize(run.size, rng) as f64);
+            }
+        }
+        let fit = isotonic_l2(&noisy).clamped(0.0, f64::INFINITY);
+        // Round block-wise; pool variance where rounding merges
+        // adjacent blocks to the same size.
+        let per_cell_var = 2.0 / (epsilon * epsilon);
+        let runs: Vec<VarianceRun> = fit
+            .blocks()
+            .iter()
+            .map(|b| VarianceRun {
+                size: b.value.round().max(0.0) as u64,
+                count: b.len as u64,
+                variance: per_cell_var / b.len as f64,
+            })
+            .collect();
+        NodeEstimate::from_variance_runs(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_core::emd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_group_count() {
+        let h = CountOfCounts::from_group_sizes([1, 2, 2, 9, 100]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = UnattributedEstimator::new().estimate(&h, 5, 0.5, &mut rng);
+        assert_eq!(est.hist().num_groups(), 5);
+    }
+
+    #[test]
+    fn empty_node() {
+        let h = CountOfCounts::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = UnattributedEstimator::new().estimate(&h, 0, 1.0, &mut rng);
+        assert!(est.hist().is_empty());
+        assert!(est.variances().is_empty());
+    }
+
+    #[test]
+    fn high_epsilon_recovers_truth() {
+        let h = CountOfCounts::from_group_sizes([1, 1, 4, 4, 7]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = UnattributedEstimator::new().estimate(&h, 5, 500.0, &mut rng);
+        assert_eq!(est.hist(), &h);
+    }
+
+    #[test]
+    fn large_groups_estimated_accurately() {
+        // §4.2: "this method is very good at estimating large group
+        // sizes". One group of 10 000 at ε = 1 should land within a
+        // few noise standard deviations.
+        let h = CountOfCounts::from_group_sizes([10_000]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = UnattributedEstimator::new().estimate(&h, 1, 1.0, &mut rng);
+        let got = est.hist().to_unattributed().runs()[0].size;
+        assert!(got.abs_diff(10_000) < 50, "estimated {got}");
+    }
+
+    #[test]
+    fn variances_shrink_with_partition_size() {
+        // Many equal-sized groups pool into a large partition whose
+        // per-group variance is divided by the partition length.
+        let h = CountOfCounts::from_counts(vec![0, 1000]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = UnattributedEstimator::new().estimate(&h, 1000, 1.0, &mut rng);
+        let vr = est.variance_runs();
+        // Biggest run should carry a tiny variance (≤ 2/ε² / ~100).
+        let dominant = vr.iter().max_by_key(|r| r.count).unwrap();
+        assert!(dominant.count > 100);
+        assert!(dominant.variance < 2.0 / 100.0);
+    }
+
+    #[test]
+    fn emd_reasonable_at_moderate_epsilon() {
+        let sizes: Vec<u64> = (0..500).map(|i| 1 + (i % 5)).collect();
+        let h = CountOfCounts::from_group_sizes(sizes);
+        let mut rng = StdRng::seed_from_u64(10);
+        let est = UnattributedEstimator::new().estimate(&h, 500, 1.0, &mut rng);
+        let e = emd(est.hist(), &h);
+        // 500 groups with sizes 1..5; the Hg method's error should be
+        // far below total mass (~1500).
+        assert!(e < 500, "emd {e} too large");
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(UnattributedEstimator::new().name(), "Hg");
+    }
+}

@@ -1,0 +1,68 @@
+//! Private estimation of the public size bound `K` (footnote 6).
+//!
+//! When no prior knowledge of the maximum group size is available,
+//! the paper spends a sliver of budget (e.g. `ε = 10⁻⁴`) on a noisy
+//! maximum: `K = X + Laplace(1/ε) + 5·√2/ε`, where `X` is the true
+//! maximum group size. The five-standard-deviation cushion makes
+//! `P(K ≥ X) > 0.9995`, and the `Hc` method is insensitive to an
+//! overestimated `K`.
+
+use hcc_core::CountOfCounts;
+use hcc_noise::LaplaceMechanism;
+use rand::Rng;
+
+/// Estimates a public upper bound on group size from the sensitive
+/// histogram, spending `epsilon` of budget.
+///
+/// The max-group-size query has sensitivity 1 (adding or removing one
+/// person changes the maximum by at most 1).
+pub fn estimate_size_bound<R: Rng + ?Sized>(
+    hist: &CountOfCounts,
+    epsilon: f64,
+    rng: &mut R,
+) -> u64 {
+    let mech = LaplaceMechanism::new(epsilon, 1.0);
+    let x = hist.max_size().unwrap_or(0);
+    let cushion = 5.0 * std::f64::consts::SQRT_2 / epsilon;
+    let noisy = x as f64 + mech.sample(rng) + cushion;
+    // A bound below 1 is useless downstream; clamp.
+    noisy.max(1.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bound_exceeds_true_max_with_high_probability() {
+        let h = CountOfCounts::from_group_sizes([3, 17, 120]);
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut above = 0;
+        let trials = 1000;
+        for _ in 0..trials {
+            if estimate_size_bound(&h, 0.01, &mut rng) >= 120 {
+                above += 1;
+            }
+        }
+        // Theoretical guarantee is 0.9995; allow slack for sampling.
+        assert!(above > 990, "bound covered the max only {above}/{trials} times");
+    }
+
+    #[test]
+    fn tiny_epsilon_gives_generous_bound() {
+        let h = CountOfCounts::from_group_sizes([10]);
+        let mut rng = StdRng::seed_from_u64(21);
+        let k = estimate_size_bound(&h, 1e-4, &mut rng);
+        // Cushion alone is 5√2·10⁴ ≈ 70 711.
+        assert!(k > 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_still_returns_positive_bound() {
+        let h = CountOfCounts::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        assert!(estimate_size_bound(&h, 1.0, &mut rng) >= 1);
+    }
+}

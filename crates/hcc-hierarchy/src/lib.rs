@@ -1,0 +1,296 @@
+//! The region hierarchy `Γ` of the paper (Section 3).
+//!
+//! Regions are organised into a rooted tree: level 0 is the root
+//! (e.g. the nation), level 1 subdivides it (states), level 2
+//! subdivides further (counties), and so on. Every group (household,
+//! taxi, census block, …) lives entirely inside one *leaf* region —
+//! the paper's restriction that a group cannot span multiple leaves.
+//!
+//! [`Hierarchy`] is an immutable arena-indexed tree built through
+//! [`HierarchyBuilder`]; [`NodeId`]s are small copyable handles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parse;
+
+pub use parse::{hierarchy_from_csv, hierarchy_to_csv, ParseError};
+
+use std::fmt;
+
+/// Handle to a node of a [`Hierarchy`]. Internally an index into the
+/// hierarchy's arenas; only valid for the hierarchy that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index, usable for dense side tables keyed by node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Incrementally constructs a [`Hierarchy`]. The root exists from the
+/// start as [`Hierarchy::ROOT`]; children may be attached to any node
+/// already added.
+#[derive(Debug, Clone)]
+pub struct HierarchyBuilder {
+    names: Vec<String>,
+    parent: Vec<Option<NodeId>>,
+    level: Vec<u32>,
+}
+
+impl HierarchyBuilder {
+    /// Starts a hierarchy whose root region is called `root_name`.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        Self {
+            names: vec![root_name.into()],
+            parent: vec![None],
+            level: vec![0],
+        }
+    }
+
+    /// Adds a region under `parent` and returns its id.
+    ///
+    /// Panics if `parent` does not belong to this builder.
+    pub fn add_child(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        assert!(
+            parent.index() < self.names.len(),
+            "parent {parent} does not exist"
+        );
+        let id = NodeId(u32::try_from(self.names.len()).expect("too many regions"));
+        self.names.push(name.into());
+        self.parent.push(Some(parent));
+        self.level.push(self.level[parent.index()] + 1);
+        id
+    }
+
+    /// Finalises the tree.
+    pub fn build(self) -> Hierarchy {
+        let n = self.names.len();
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(NodeId(i as u32));
+            }
+        }
+        let max_level = self.level.iter().copied().max().unwrap_or(0);
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_level as usize + 1];
+        for (i, &l) in self.level.iter().enumerate() {
+            levels[l as usize].push(NodeId(i as u32));
+        }
+        Hierarchy {
+            names: self.names,
+            parent: self.parent,
+            children,
+            level: self.level,
+            levels,
+        }
+    }
+}
+
+/// An immutable region hierarchy.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    names: Vec<String>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    level: Vec<u32>,
+    levels: Vec<Vec<NodeId>>,
+}
+
+impl Hierarchy {
+    /// The root node (level 0). Every hierarchy has one.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Total number of regions in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of levels `L + 1` (root inclusive). A single-node
+    /// hierarchy has one level.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The depth `L` of the deepest level (0 for a root-only tree).
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The display name of a region.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// The parent region, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// The child regions, in insertion order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Whether the region has no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children[node.index()].is_empty()
+    }
+
+    /// The level of a region (root = 0).
+    pub fn level_of(&self, node: NodeId) -> usize {
+        self.level[node.index()] as usize
+    }
+
+    /// All regions at the given level, or an empty slice past the
+    /// deepest level.
+    pub fn level(&self, l: usize) -> &[NodeId] {
+        self.levels.get(l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All leaf regions, in id order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|&n| self.is_leaf(n))
+    }
+
+    /// Iterates over all node ids, root first, in creation order
+    /// (which is also non-decreasing in level).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// The paper's `Level_j(ℓ)`: the ancestor of `node` living at
+    /// level `j`. Returns `None` if `node` is above level `j`.
+    pub fn ancestor_at_level(&self, node: NodeId, j: usize) -> Option<NodeId> {
+        let mut cur = node;
+        loop {
+            let l = self.level_of(cur);
+            if l == j {
+                return Some(cur);
+            }
+            if l < j {
+                return None;
+            }
+            cur = self.parent(cur)?;
+        }
+    }
+
+    /// Whether every leaf sits at the deepest level — required by the
+    /// top-down consistency algorithm, which processes complete
+    /// levels.
+    pub fn is_uniform_depth(&self) -> bool {
+        let d = self.depth();
+        self.leaves().all(|n| self.level_of(n) == d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// nation → {VA → {fairfax, arlington}, MD → {montgomery}}.
+    fn sample() -> (Hierarchy, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = HierarchyBuilder::new("nation");
+        let va = b.add_child(Hierarchy::ROOT, "VA");
+        let md = b.add_child(Hierarchy::ROOT, "MD");
+        let fx = b.add_child(va, "fairfax");
+        let ar = b.add_child(va, "arlington");
+        let mo = b.add_child(md, "montgomery");
+        (b.build(), va, md, fx, ar, mo)
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (h, va, md, fx, ar, mo) = sample();
+        assert_eq!(h.num_nodes(), 6);
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.name(Hierarchy::ROOT), "nation");
+        assert_eq!(h.name(fx), "fairfax");
+        assert_eq!(h.parent(va), Some(Hierarchy::ROOT));
+        assert_eq!(h.parent(Hierarchy::ROOT), None);
+        assert_eq!(h.children(va), &[fx, ar]);
+        assert_eq!(h.children(md), &[mo]);
+        assert!(h.is_leaf(fx));
+        assert!(!h.is_leaf(va));
+        assert_eq!(h.level_of(Hierarchy::ROOT), 0);
+        assert_eq!(h.level_of(md), 1);
+        assert_eq!(h.level_of(mo), 2);
+    }
+
+    #[test]
+    fn levels_partition_the_nodes() {
+        let (h, va, md, fx, ar, mo) = sample();
+        assert_eq!(h.level(0), &[Hierarchy::ROOT]);
+        assert_eq!(h.level(1), &[va, md]);
+        assert_eq!(h.level(2), &[fx, ar, mo]);
+        assert!(h.level(3).is_empty());
+        let total: usize = (0..h.num_levels()).map(|l| h.level(l).len()).sum();
+        assert_eq!(total, h.num_nodes());
+    }
+
+    #[test]
+    fn leaves_and_uniform_depth() {
+        let (h, _, _, fx, ar, mo) = sample();
+        let leaves: Vec<_> = h.leaves().collect();
+        assert_eq!(leaves, vec![fx, ar, mo]);
+        assert!(h.is_uniform_depth());
+
+        // Attach a leaf at level 1 → no longer uniform.
+        let mut b = HierarchyBuilder::new("r");
+        let a = b.add_child(Hierarchy::ROOT, "a");
+        let _deep = b.add_child(a, "deep");
+        let _shallow = b.add_child(Hierarchy::ROOT, "shallow");
+        let h2 = b.build();
+        assert!(!h2.is_uniform_depth());
+    }
+
+    #[test]
+    fn ancestor_at_level_walks_up() {
+        let (h, va, _, fx, _, mo) = sample();
+        assert_eq!(h.ancestor_at_level(fx, 1), Some(va));
+        assert_eq!(h.ancestor_at_level(fx, 0), Some(Hierarchy::ROOT));
+        assert_eq!(h.ancestor_at_level(fx, 2), Some(fx));
+        assert_eq!(h.ancestor_at_level(va, 2), None);
+        assert_eq!(h.ancestor_at_level(mo, 1), h.parent(mo));
+    }
+
+    #[test]
+    fn root_only_hierarchy() {
+        let h = HierarchyBuilder::new("solo").build();
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.num_levels(), 1);
+        assert_eq!(h.depth(), 0);
+        assert!(h.is_leaf(Hierarchy::ROOT));
+        assert!(h.is_uniform_depth());
+        assert_eq!(h.leaves().collect::<Vec<_>>(), vec![Hierarchy::ROOT]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn invalid_parent_panics() {
+        let mut b = HierarchyBuilder::new("r");
+        // Forge an id from a different (larger) builder.
+        let bogus = {
+            let mut other = HierarchyBuilder::new("x");
+            let a = other.add_child(Hierarchy::ROOT, "a");
+            other.add_child(a, "b")
+        };
+        b.add_child(bogus, "child");
+    }
+
+    #[test]
+    fn display_and_index() {
+        let (_, va, ..) = sample();
+        assert_eq!(va.to_string(), "n1");
+        assert_eq!(va.index(), 1);
+    }
+}

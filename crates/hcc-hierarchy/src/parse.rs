@@ -1,0 +1,200 @@
+//! Parsing hierarchies from flat `region,parent` CSV.
+//!
+//! The paper's `Hierarchy(region_id, level0, …, levelL)` table is
+//! public; agencies ship it as a flat file. The format accepted here
+//! is one row per region, `region_name,parent_name`, with exactly one
+//! root row whose parent field is empty. Rows may appear in any order;
+//! a header line `region,parent` and `#` comments are skipped.
+
+use std::collections::HashMap;
+
+use crate::{Hierarchy, HierarchyBuilder, NodeId};
+
+/// Errors raised while parsing a hierarchy CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A row did not contain a comma.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Two root rows (empty parent) were found.
+    MultipleRoots {
+        /// Name of the second root encountered.
+        name: String,
+    },
+    /// No root row was found.
+    NoRoot,
+    /// The same region name was declared twice.
+    DuplicateRegion {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A region's parent never appears as a region itself, or the
+    /// parent links form a cycle disconnected from the root.
+    Unreachable {
+        /// Names of the regions that could not be attached.
+        names: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadRow { line } => write!(f, "line {line}: expected region,parent"),
+            ParseError::MultipleRoots { name } => {
+                write!(f, "second root row found: {name:?} (parent field empty)")
+            }
+            ParseError::NoRoot => write!(f, "no root row (empty parent field) found"),
+            ParseError::DuplicateRegion { name } => {
+                write!(f, "region {name:?} declared twice")
+            }
+            ParseError::Unreachable { names } => {
+                write!(f, "regions not reachable from the root: {names:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a `region,parent` CSV into a [`Hierarchy`] plus a map from
+/// region name to node id.
+pub fn hierarchy_from_csv(text: &str) -> Result<(Hierarchy, HashMap<String, NodeId>), ParseError> {
+    // First pass: collect (name, parent) pairs.
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut root: Option<String> = None;
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let row = raw.trim();
+        if row.is_empty()
+            || row.starts_with('#')
+            || (i == 0 && row.eq_ignore_ascii_case("region,parent"))
+        {
+            continue;
+        }
+        let (name, parent) = row.split_once(',').ok_or(ParseError::BadRow { line })?;
+        let (name, parent) = (name.trim().to_string(), parent.trim().to_string());
+        if seen.insert(name.clone(), ()).is_some() {
+            return Err(ParseError::DuplicateRegion { name });
+        }
+        if parent.is_empty() {
+            if let Some(_existing) = &root {
+                return Err(ParseError::MultipleRoots { name });
+            }
+            root = Some(name);
+        } else {
+            rows.push((name, parent));
+        }
+    }
+    let root = root.ok_or(ParseError::NoRoot)?;
+
+    // Attach children breadth-first so parents always exist.
+    let mut builder = HierarchyBuilder::new(root.clone());
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    ids.insert(root, Hierarchy::ROOT);
+    let mut pending = rows;
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|(name, parent)| {
+            if let Some(&pid) = ids.get(parent) {
+                let id = builder.add_child(pid, name.clone());
+                ids.insert(name.clone(), id);
+                false
+            } else {
+                true
+            }
+        });
+        if pending.len() == before {
+            return Err(ParseError::Unreachable {
+                names: pending.into_iter().map(|(n, _)| n).collect(),
+            });
+        }
+    }
+    Ok((builder.build(), ids))
+}
+
+/// Serialises a hierarchy back to the `region,parent` CSV format
+/// accepted by [`hierarchy_from_csv`].
+pub fn hierarchy_to_csv(h: &Hierarchy) -> String {
+    let mut out = String::from("region,parent\n");
+    for node in h.iter() {
+        let parent = h.parent(node).map(|p| h.name(p)).unwrap_or("");
+        out.push_str(&format!("{},{}\n", h.name(node), parent));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+region,parent
+# a comment
+national,
+virginia,national
+maryland,national
+fairfax,virginia
+arlington,virginia";
+
+    #[test]
+    fn parses_out_of_order_rows() {
+        // Children before parents must still attach.
+        let text = "fairfax,virginia\nnational,\nvirginia,national";
+        let (h, ids) = hierarchy_from_csv(text).unwrap();
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.level_of(ids["fairfax"]), 2);
+    }
+
+    #[test]
+    fn sample_round_trip() {
+        let (h, ids) = hierarchy_from_csv(SAMPLE).unwrap();
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.parent(ids["fairfax"]), Some(ids["virginia"]));
+        assert_eq!(h.name(Hierarchy::ROOT), "national");
+
+        let csv = hierarchy_to_csv(&h);
+        let (h2, ids2) = hierarchy_from_csv(&csv).unwrap();
+        assert_eq!(h2.num_nodes(), 5);
+        assert_eq!(h2.level_of(ids2["arlington"]), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            hierarchy_from_csv("justafield").unwrap_err(),
+            ParseError::BadRow { line: 1 }
+        );
+        assert_eq!(hierarchy_from_csv("a,b").unwrap_err(), ParseError::NoRoot);
+        assert_eq!(
+            hierarchy_from_csv("a,\nb,").unwrap_err(),
+            ParseError::MultipleRoots { name: "b".into() }
+        );
+        assert_eq!(
+            hierarchy_from_csv("a,\nc,a\nc,a").unwrap_err(),
+            ParseError::DuplicateRegion { name: "c".into() }
+        );
+        assert_eq!(
+            hierarchy_from_csv("a,\nb,ghost").unwrap_err(),
+            ParseError::Unreachable {
+                names: vec!["b".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            ParseError::BadRow { line: 1 },
+            ParseError::MultipleRoots { name: "x".into() },
+            ParseError::NoRoot,
+            ParseError::DuplicateRegion { name: "x".into() },
+            ParseError::Unreachable { names: vec!["x".into()] },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Weighted L1 isotonic regression.
+//!
+//! Generalises [`crate::isotonic_l1`] to per-element positive integer
+//! weights: `min Σ w_i |x_i − y_i| s.t. x non-decreasing`. Weighted
+//! inputs arise naturally for run-length encoded histograms, where a
+//! run of `w` equal noisy values can be fitted as a single weighted
+//! element instead of `w` copies.
+//!
+//! Block minimisers are **weighted lower medians** (the smallest data
+//! value whose cumulative weight reaches half the block's total), so
+//! integer inputs stay integral, consistent with the unweighted
+//! solver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fit::{Block, IsotonicFit};
+
+/// A weighted multiset of integers with O(log n) insertion and O(1)
+/// weighted-lower-median queries.
+#[derive(Debug, Default)]
+struct WeightedMedianHeap {
+    /// Max-heap of the lower portion (contains the median).
+    lo: BinaryHeap<(i64, u64)>,
+    /// Min-heap of the upper portion.
+    hi: BinaryHeap<Reverse<(i64, u64)>>,
+    /// Total weight in `lo`.
+    w_lo: u64,
+    /// Total weight overall.
+    w_total: u64,
+}
+
+impl WeightedMedianHeap {
+    fn weight(&self) -> u64 {
+        self.w_total
+    }
+
+    fn push(&mut self, value: i64, weight: u64) {
+        debug_assert!(weight > 0);
+        self.w_total += weight;
+        match self.lo.peek() {
+            Some(&(m, _)) if value > m => self.hi.push(Reverse((value, weight))),
+            _ => {
+                self.lo.push((value, weight));
+                self.w_lo += weight;
+            }
+        }
+        self.rebalance();
+    }
+
+    fn rebalance(&mut self) {
+        // Invariants: 2·w_lo ≥ w_total (lo covers at least half) and
+        // 2·(w_lo − weight(lo.max)) < w_total (lo.max is needed), so
+        // lo's max is the weighted lower median.
+        loop {
+            if let Some(&(v, w)) = self.lo.peek() {
+                if 2 * (self.w_lo - w) >= self.w_total {
+                    self.lo.pop();
+                    self.w_lo -= w;
+                    self.hi.push(Reverse((v, w)));
+                    continue;
+                }
+            }
+            if 2 * self.w_lo < self.w_total {
+                let Reverse((v, w)) = self.hi.pop().expect("hi non-empty when lo underweight");
+                self.lo.push((v, w));
+                self.w_lo += w;
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// The weighted lower median. Panics on an empty heap.
+    fn median(&self) -> i64 {
+        self.lo.peek().expect("median of empty block").0
+    }
+
+    /// Merges `other` into `self`, draining the lighter side.
+    fn absorb(&mut self, mut other: WeightedMedianHeap) {
+        if other.weight() > self.weight() {
+            std::mem::swap(self, &mut other);
+        }
+        for (v, w) in other.lo {
+            self.push(v, w);
+        }
+        for Reverse((v, w)) in other.hi {
+            self.push(v, w);
+        }
+    }
+}
+
+/// Solves `min Σ w_i |x_i − y_i| s.t. x non-decreasing` for positive
+/// integer weights, returning integer block values (weighted lower
+/// medians). Panics on zero weights or mismatched lengths.
+pub fn isotonic_l1_weighted(y: &[i64], w: &[u64]) -> IsotonicFit {
+    assert_eq!(y.len(), w.len(), "weights must match values in length");
+    assert!(w.iter().all(|&wi| wi > 0), "weights must be positive");
+    struct Pool {
+        start: usize,
+        len: usize,
+        heap: WeightedMedianHeap,
+    }
+    let mut stack: Vec<Pool> = Vec::new();
+    for (i, (&yi, &wi)) in y.iter().zip(w.iter()).enumerate() {
+        let mut heap = WeightedMedianHeap::default();
+        heap.push(yi, wi);
+        stack.push(Pool {
+            start: i,
+            len: 1,
+            heap,
+        });
+        while stack.len() >= 2 {
+            let last = stack[stack.len() - 1].heap.median();
+            let prev = stack[stack.len() - 2].heap.median();
+            if prev > last {
+                let top = stack.pop().expect("len >= 2");
+                let prev = stack.last_mut().expect("len >= 1");
+                prev.len += top.len;
+                prev.heap.absorb(top.heap);
+            } else {
+                break;
+            }
+        }
+    }
+    IsotonicFit::from_blocks(
+        stack
+            .into_iter()
+            .map(|p| Block {
+                start: p.start,
+                len: p.len,
+                value: p.heap.median() as f64,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pav_l1::isotonic_l1;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_weights_match_unweighted_solver_cost() {
+        let y = [9, -3, 4, 4, 0, 7, 7, 2];
+        let w = vec![1u64; y.len()];
+        let a = isotonic_l1_weighted(&y, &w).values();
+        let b = isotonic_l1(&y).values();
+        let cost = |x: &[f64]| -> f64 {
+            x.iter().zip(y.iter()).map(|(v, &t)| (v - t as f64).abs()).sum()
+        };
+        assert_eq!(cost(&a), cost(&b));
+    }
+
+    #[test]
+    fn heavy_weight_dominates_block() {
+        // Pool {(10, w=1), (2, w=9)}: weighted median is 2.
+        let fit = isotonic_l1_weighted(&[10, 2], &[1, 9]);
+        assert_eq!(fit.values(), vec![2.0, 2.0]);
+        // Flipped weights: median 10.
+        let fit = isotonic_l1_weighted(&[10, 2], &[9, 1]);
+        assert_eq!(fit.values(), vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn sorted_input_is_identity() {
+        let fit = isotonic_l1_weighted(&[1, 5, 5, 9], &[3, 1, 7, 2]);
+        assert_eq!(fit.values(), vec![1.0, 5.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(isotonic_l1_weighted(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = isotonic_l1_weighted(&[1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match values in length")]
+    fn length_mismatch_rejected() {
+        let _ = isotonic_l1_weighted(&[1, 2], &[1]);
+    }
+
+    /// Exact weighted L1 isotonic cost by dynamic programming over
+    /// candidate values.
+    fn brute_force_cost(y: &[i64], w: &[u64]) -> i64 {
+        let mut cands: Vec<i64> = y.to_vec();
+        cands.sort_unstable();
+        cands.dedup();
+        let m = cands.len();
+        let mut dp = vec![0i64; m];
+        for (&yi, &wi) in y.iter().zip(w.iter()) {
+            let mut best = i64::MAX;
+            for j in 0..m {
+                best = best.min(dp[j]);
+                dp[j] = best + wi as i64 * (cands[j] - yi).abs();
+            }
+        }
+        dp.into_iter().min().unwrap_or(0)
+    }
+
+    proptest! {
+        #[test]
+        fn weighted_pav_is_optimal(
+            pairs in prop::collection::vec((-15i64..15, 1u64..6), 1..12),
+        ) {
+            let y: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+            let w: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let fit = isotonic_l1_weighted(&y, &w);
+            let x = fit.values();
+            for win in x.windows(2) {
+                prop_assert!(win[0] <= win[1]);
+            }
+            let cost: f64 = x.iter().zip(y.iter().zip(w.iter()))
+                .map(|(v, (&t, &wi))| wi as f64 * (v - t as f64).abs())
+                .sum();
+            let opt = brute_force_cost(&y, &w) as f64;
+            prop_assert!((cost - opt).abs() < 1e-9, "PAV {} vs optimum {}", cost, opt);
+        }
+
+        /// The weighted median heap agrees with a direct scan.
+        #[test]
+        fn weighted_median_matches_scan(
+            pairs in prop::collection::vec((-30i64..30, 1u64..8), 1..40),
+        ) {
+            let mut h = WeightedMedianHeap::default();
+            for &(v, w) in &pairs {
+                h.push(v, w);
+            }
+            let mut sorted = pairs.clone();
+            sorted.sort_unstable();
+            let total: u64 = sorted.iter().map(|p| p.1).sum();
+            let mut acc = 0u64;
+            let mut expected = sorted[0].0;
+            for &(v, w) in &sorted {
+                acc += w;
+                if 2 * acc >= total {
+                    expected = v;
+                    break;
+                }
+            }
+            prop_assert_eq!(h.median(), expected);
+        }
+    }
+}

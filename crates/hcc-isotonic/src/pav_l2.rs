@@ -1,0 +1,167 @@
+//! Pool-adjacent-violators for least-squares isotonic regression.
+
+use crate::fit::{Block, IsotonicFit};
+
+/// Solves `min Σ (x_i − y_i)² s.t. x_0 ≤ x_1 ≤ … ≤ x_{n−1}` in `O(n)`
+/// with the classic stack-based PAV algorithm. Each output block's
+/// value is the mean of its pooled inputs.
+pub fn isotonic_l2(y: &[f64]) -> IsotonicFit {
+    let w = vec![1.0; y.len()];
+    isotonic_l2_weighted(y, &w)
+}
+
+/// Weighted L2 isotonic regression:
+/// `min Σ w_i (x_i − y_i)² s.t. x non-decreasing`.
+///
+/// Weights must be strictly positive. Used directly for the paper's
+/// estimators (unit weights) and by tests that cross-check the
+/// anchored variant via a large anchor weight.
+pub fn isotonic_l2_weighted(y: &[f64], w: &[f64]) -> IsotonicFit {
+    assert_eq!(y.len(), w.len(), "weights must match values in length");
+    assert!(
+        w.iter().all(|&wi| wi > 0.0 && wi.is_finite()),
+        "weights must be positive and finite"
+    );
+    // Stack of pooled blocks: (start index, weight sum, weighted value
+    // sum). A block's fitted value is wsum_y / wsum.
+    struct Pool {
+        start: usize,
+        len: usize,
+        wsum: f64,
+        wysum: f64,
+    }
+    impl Pool {
+        fn value(&self) -> f64 {
+            self.wysum / self.wsum
+        }
+    }
+    let mut stack: Vec<Pool> = Vec::with_capacity(y.len().min(1024));
+    for (i, (&yi, &wi)) in y.iter().zip(w.iter()).enumerate() {
+        stack.push(Pool {
+            start: i,
+            len: 1,
+            wsum: wi,
+            wysum: wi * yi,
+        });
+        while stack.len() >= 2 {
+            let last = &stack[stack.len() - 1];
+            let prev = &stack[stack.len() - 2];
+            if prev.value() > last.value() {
+                let last = stack.pop().expect("len >= 2");
+                let prev = stack.last_mut().expect("len >= 1");
+                prev.len += last.len;
+                prev.wsum += last.wsum;
+                prev.wysum += last.wysum;
+            } else {
+                break;
+            }
+        }
+    }
+    IsotonicFit::from_blocks(
+        stack
+            .into_iter()
+            .map(|p| Block {
+                start: p.start,
+                len: p.len,
+                value: p.value(),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn already_sorted_is_identity() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(isotonic_l2(&y).values(), y.to_vec());
+    }
+
+    #[test]
+    fn single_violation_pools_to_mean() {
+        let y = [3.0, 1.0];
+        assert_eq!(isotonic_l2(&y).values(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // Figure 2: noisy [0, 4, 2, 4, 5, 3] → [0, 3, 3, 4, 4, 4].
+        let y = [0.0, 4.0, 2.0, 4.0, 5.0, 3.0];
+        assert_eq!(
+            isotonic_l2(&y).values(),
+            vec![0.0, 3.0, 3.0, 4.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_decreasing_pools_to_global_mean() {
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let f = isotonic_l2(&y);
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.values(), vec![3.0; 5]);
+    }
+
+    #[test]
+    fn weighted_pull() {
+        // A heavy second element dominates the pooled mean.
+        let f = isotonic_l2_weighted(&[4.0, 0.0], &[1.0, 3.0]);
+        assert_eq!(f.values(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(isotonic_l2(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_zero_weight() {
+        let _ = isotonic_l2_weighted(&[1.0], &[0.0]);
+    }
+
+    /// Exhaustive optimality check on small inputs: the PAV solution
+    /// must beat every monotone vector drawn from a lattice of
+    /// candidate values.
+    fn l2_cost(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    proptest! {
+        #[test]
+        fn pav_is_feasible_and_not_beaten_by_random_feasible_points(
+            y in prop::collection::vec(-10.0f64..10.0, 1..12),
+            perturb in prop::collection::vec(-5.0f64..5.0, 12),
+        ) {
+            let fit = isotonic_l2(&y);
+            let x = fit.values();
+            // Feasibility.
+            for w in x.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            }
+            let cost = l2_cost(&x, &y);
+            // Construct a random feasible competitor by sorting a
+            // perturbation of the fit.
+            let mut comp: Vec<f64> = x
+                .iter()
+                .zip(perturb.iter())
+                .map(|(a, p)| a + p)
+                .collect();
+            comp.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(cost <= l2_cost(&comp, &y) + 1e-9);
+        }
+
+        /// PAV preserves the weighted mean (projection property).
+        #[test]
+        fn pav_preserves_total_mass(
+            y in prop::collection::vec(-100.0f64..100.0, 1..50),
+        ) {
+            let x = isotonic_l2(&y).values();
+            let sy: f64 = y.iter().sum();
+            let sx: f64 = x.iter().sum();
+            prop_assert!((sx - sy).abs() < 1e-6 * (1.0 + sy.abs()));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Sum-preserving integer rounding.
+//!
+//! Two places in the paper need fractional vectors turned into
+//! integers without disturbing a known total:
+//!
+//! * Section 4.1 — after the naive method's simplex projection:
+//!   "set `r = G − Σ ⌊Ĥ[i]⌋`, round the cells with the `r` largest
+//!   fractional parts up, and round the rest down";
+//! * footnote 10 — apportioning `r` parent groups across children in
+//!   proportion to their unmatched counts, "rounding up the `r_i` with
+//!   the `k` largest fractional parts".
+//!
+//! Both are the largest-remainder method, implemented here once.
+
+/// Rounds a non-negative fractional vector to integers summing to
+/// exactly `target`, by the largest-remainder rule. Negative inputs
+/// are clamped to zero before rounding.
+///
+/// If even rounding everything up cannot reach `target` (or rounding
+/// everything down still overshoots), the residual is added to (or
+/// removed from) the largest cells; this keeps the function total for
+/// noisy inputs whose sum drifted from `target`.
+pub fn round_preserving_sum(x: &[f64], target: u64) -> Vec<u64> {
+    assert!(
+        x.iter().all(|v| v.is_finite()),
+        "cannot round non-finite values"
+    );
+    let mut out: Vec<u64> = Vec::with_capacity(x.len());
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(x.len());
+    let mut floor_sum: u64 = 0;
+    for (i, &v) in x.iter().enumerate() {
+        let v = v.max(0.0);
+        let f = v.floor();
+        floor_sum += f as u64;
+        out.push(f as u64);
+        fracs.push((v - f, i));
+    }
+    if floor_sum <= target {
+        let mut r = target - floor_sum;
+        // Round up the r largest fractional parts first; if r exceeds
+        // the cell count, loop (adds ⌈r/n⌉-ish to the front cells).
+        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        while r > 0 {
+            for &(_, i) in &fracs {
+                if r == 0 {
+                    break;
+                }
+                out[i] += 1;
+                r -= 1;
+            }
+            if fracs.is_empty() {
+                break;
+            }
+        }
+    } else {
+        let mut r = floor_sum - target;
+        // Overshoot: decrement cells, preferring the smallest
+        // fractional parts (they were "least entitled" to their floor)
+        // among strictly positive cells.
+        fracs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        while r > 0 {
+            let mut progressed = false;
+            for &(_, i) in &fracs {
+                if r == 0 {
+                    break;
+                }
+                if out[i] > 0 {
+                    out[i] -= 1;
+                    r -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Largest-remainder apportionment: splits `total` into integer parts
+/// proportional to `weights` (footnote 10 of the paper). The result
+/// sums to exactly `total`; zero-weight entries receive zero unless
+/// every weight is zero, in which case the split is as even as
+/// possible.
+pub fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
+    if weights.is_empty() {
+        assert_eq!(total, 0, "cannot apportion a positive total to nobody");
+        return Vec::new();
+    }
+    let wsum: u64 = weights.iter().sum();
+    if wsum == 0 {
+        // Degenerate: spread evenly.
+        let n = weights.len() as u64;
+        let base = total / n;
+        let extra = (total % n) as usize;
+        return (0..weights.len())
+            .map(|i| base + u64::from(i < extra))
+            .collect();
+    }
+    let mut out: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        // Integer arithmetic for the quotient to stay exact at scale.
+        let q = (total as u128 * w as u128) / wsum as u128;
+        let rem = (total as u128 * w as u128) % wsum as u128;
+        out.push(q as u64);
+        assigned += q as u64;
+        fracs.push((rem as f64 / wsum as f64, i));
+    }
+    let mut r = total - assigned;
+    fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    for &(_, i) in &fracs {
+        if r == 0 {
+            break;
+        }
+        // Only entries with a positive weight carry a remainder > 0,
+        // but guard anyway so zero-weight cells never receive mass.
+        if weights[i] > 0 {
+            out[i] += 1;
+            r -= 1;
+        }
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        assert_eq!(round_preserving_sum(&[1.0, 2.0, 3.0], 6), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_fractions_round_up() {
+        // Fractions 0.9 and 0.6 are the two largest; target needs 2 ups.
+        let x = [0.9, 1.6, 2.1];
+        assert_eq!(round_preserving_sum(&x, 5), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        assert_eq!(round_preserving_sum(&[-3.0, 2.0], 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn overshoot_is_trimmed() {
+        // Floors sum to 7 but target is 5.
+        let x = [3.0, 4.0];
+        let out = round_preserving_sum(&x, 5);
+        assert_eq!(out.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn undershoot_is_topped_up_beyond_fractions() {
+        // Floors sum to 0, no fractions, but target is 3.
+        let out = round_preserving_sum(&[0.0, 0.0], 3);
+        assert_eq!(out.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn all_zero_cells_cannot_absorb_overshoot() {
+        let out = round_preserving_sum(&[0.0, 0.0], 0);
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn apportion_proportional_split() {
+        // Paper's example: 300 parent groups over children with 200,
+        // 100, 100 — wait, the paper splits |Gt|=300 when children
+        // have 400 total; here 200:100:100 gets 50%:25%:25%.
+        assert_eq!(apportion(300, &[200, 100, 100]), vec![150, 75, 75]);
+    }
+
+    #[test]
+    fn apportion_rounds_by_largest_remainder() {
+        // 10 split 1:1:1 → 4,3,3 (first gets the remainder).
+        let out = apportion(10, &[1, 1, 1]);
+        assert_eq!(out.iter().sum::<u64>(), 10);
+        assert!(out.iter().all(|&v| v == 3 || v == 4));
+    }
+
+    #[test]
+    fn apportion_zero_weights_even_split() {
+        assert_eq!(apportion(5, &[0, 0]), vec![3, 2]);
+    }
+
+    #[test]
+    fn apportion_zero_weight_entry_gets_nothing() {
+        let out = apportion(7, &[0, 7]);
+        assert_eq!(out, vec![0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "to nobody")]
+    fn apportion_empty_with_total_panics() {
+        let _ = apportion(1, &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn round_preserving_sum_hits_target(
+            x in prop::collection::vec(-5.0f64..50.0, 1..30),
+            target in 0u64..500,
+        ) {
+            let out = round_preserving_sum(&x, target);
+            prop_assert_eq!(out.iter().sum::<u64>(), target);
+            prop_assert_eq!(out.len(), x.len());
+        }
+
+        #[test]
+        fn rounding_moves_each_cell_less_than_one_when_sum_matches(
+            fracs in prop::collection::vec(0.0f64..1.0, 1..20),
+        ) {
+            // Build x whose sum is an integer, then check |out - x| < 1
+            // cell-wise (the defining property of largest-remainder).
+            let s: f64 = fracs.iter().sum();
+            let target = s.round() as u64;
+            let adjust = (target as f64 - s) / fracs.len() as f64;
+            let x: Vec<f64> = fracs.iter().map(|f| (f + adjust).max(0.0)).collect();
+            let xs: f64 = x.iter().sum();
+            prop_assume!((xs - target as f64).abs() < 1e-9);
+            let out = round_preserving_sum(&x, target);
+            for (o, v) in out.iter().zip(x.iter()) {
+                prop_assert!((*o as f64 - v).abs() < 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn apportion_sums_and_bounds(
+            weights in prop::collection::vec(0u64..1000, 1..20),
+            total in 0u64..10_000,
+        ) {
+            let out = apportion(total, &weights);
+            prop_assert_eq!(out.iter().sum::<u64>(), total);
+            let wsum: u64 = weights.iter().sum();
+            if wsum > 0 {
+                for (o, &w) in out.iter().zip(weights.iter()) {
+                    let exact = total as f64 * w as f64 / wsum as f64;
+                    prop_assert!((*o as f64 - exact).abs() < 1.0 + 1e-9,
+                        "cell got {} but exact share is {}", o, exact);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Euclidean projection onto the scaled probability simplex.
+//!
+//! The naive method (Section 4.1) post-processes the noisy histogram
+//! with the quadratic program `min ‖Ĥ − H̃‖₂² s.t. Ĥ ≥ 0, Σ Ĥ = G`.
+//! Its exact solution is the projection of `H̃` onto the simplex
+//! scaled to total mass `G`: `Ĥ_i = max(H̃_i − θ, 0)` for the unique
+//! threshold `θ` making the sum come out right. The classic
+//! sort-and-threshold algorithm finds `θ` in `O(n log n)`.
+
+/// Projects `y` onto `{x ∈ ℝⁿ : x ≥ 0, Σx = mass}`.
+///
+/// Panics if `y` is empty while `mass > 0` (the constraint set is then
+/// empty).
+pub fn project_simplex(y: &[f64], mass: f64) -> Vec<f64> {
+    assert!(mass >= 0.0 && mass.is_finite(), "mass must be non-negative");
+    if y.is_empty() {
+        assert!(mass == 0.0, "cannot place positive mass on zero cells");
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = y.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("values must not be NaN"));
+    // Find ρ = max { j : sorted[j] − (Σ_{k≤j} sorted[k] − mass)/(j+1) > 0 }.
+    let mut cumsum = 0.0;
+    let mut theta = 0.0;
+    let mut found = false;
+    for (j, &v) in sorted.iter().enumerate() {
+        cumsum += v;
+        let t = (cumsum - mass) / (j as f64 + 1.0);
+        if v - t > 0.0 {
+            theta = t;
+            found = true;
+        } else {
+            break;
+        }
+    }
+    if !found {
+        // All mass collapses onto the largest coordinate's threshold;
+        // happens only for mass = 0 with all-negative input.
+        theta = sorted[0];
+    }
+    y.iter().map(|&v| (v - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_feasible(x: &[f64], mass: f64) {
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let s: f64 = x.iter().sum();
+        assert!(
+            (s - mass).abs() < 1e-6 * (1.0 + mass),
+            "sum {s} != mass {mass}"
+        );
+    }
+
+    #[test]
+    fn feasible_point_is_unchanged() {
+        let y = [1.0, 2.0, 3.0];
+        let x = project_simplex(&y, 6.0);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_are_zeroed() {
+        let y = [-5.0, 10.0];
+        let x = project_simplex(&y, 10.0);
+        assert_eq!(x, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    fn uniform_excess_is_shared() {
+        // Project [2,2,2] to mass 3: subtract 1 from each.
+        let x = project_simplex(&[2.0, 2.0, 2.0], 3.0);
+        assert_eq!(x, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_mass() {
+        let x = project_simplex(&[3.0, -1.0], 0.0);
+        assert_feasible(&x, 0.0);
+    }
+
+    #[test]
+    fn all_negative_input_gets_full_mass_on_max() {
+        let x = project_simplex(&[-10.0, -2.0, -7.0], 5.0);
+        assert_feasible(&x, 5.0);
+        assert_eq!(x[0], 0.0);
+        assert!(x[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass on zero cells")]
+    fn empty_with_mass_panics() {
+        let _ = project_simplex(&[], 1.0);
+    }
+
+    proptest! {
+        /// The projection is feasible and no random feasible point is
+        /// closer to the input.
+        #[test]
+        fn projection_is_optimal(
+            y in prop::collection::vec(-50.0f64..50.0, 1..12),
+            mass in 0.0f64..100.0,
+            dir in prop::collection::vec(0.0f64..1.0, 12),
+        ) {
+            let x = project_simplex(&y, mass);
+            prop_assert!(x.iter().all(|&v| v >= -1e-12));
+            let s: f64 = x.iter().sum();
+            prop_assert!((s - mass).abs() < 1e-6 * (1.0 + mass));
+            // Random feasible competitor: normalise `dir` to mass.
+            let dsum: f64 = dir[..y.len()].iter().sum();
+            prop_assume!(dsum > 1e-9);
+            let comp: Vec<f64> = dir[..y.len()].iter().map(|d| d * mass / dsum).collect();
+            let dist = |a: &[f64]| -> f64 {
+                a.iter().zip(y.iter()).map(|(p, q)| (p - q) * (p - q)).sum()
+            };
+            prop_assert!(dist(&x) <= dist(&comp) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Privacy-budget accounting.
+//!
+//! Algorithm 1 splits the total budget ε evenly across the `L + 1`
+//! levels of the hierarchy (sequential composition across levels;
+//! parallel composition *within* a level because sibling regions are
+//! disjoint). [`PrivacyBudget`] makes that arithmetic explicit and
+//! fail-fast: overspending is a programming error surfaced as
+//! [`BudgetError::Exhausted`], not a silent privacy violation.
+
+use std::fmt;
+
+/// Errors from budget accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetError {
+    /// An attempt was made to spend more budget than remains.
+    Exhausted {
+        /// Budget requested by the caller.
+        requested: f64,
+        /// Budget still available.
+        remaining: f64,
+    },
+    /// A split or spend of a non-positive amount was requested.
+    NonPositive {
+        /// The offending amount.
+        amount: f64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            BudgetError::NonPositive { amount } => {
+                write!(f, "privacy budget amounts must be positive, got {amount}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Tracks a total ε-DP budget and how much of it has been consumed by
+/// sequential composition.
+///
+/// A tiny tolerance (1e-9, relative to the total) absorbs the
+/// floating-point rounding of repeated `ε/(L+1)` splits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// A fresh budget of `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "total privacy budget must be positive and finite, got {epsilon}"
+        );
+        Self {
+            total: epsilon,
+            spent: 0.0,
+        }
+    }
+
+    /// The configured total ε.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// The per-level allocation `ε / parts` used by Algorithm 1
+    /// (`parts = L + 1` levels).
+    pub fn per_level(&self, parts: usize) -> f64 {
+        assert!(parts > 0, "cannot split a budget into zero parts");
+        self.total / parts as f64
+    }
+
+    /// Records consumption of `amount` under sequential composition.
+    pub fn spend(&mut self, amount: f64) -> Result<(), BudgetError> {
+        if !(amount.is_finite() && amount > 0.0) {
+            return Err(BudgetError::NonPositive { amount });
+        }
+        let tol = self.total * 1e-9;
+        if self.spent + amount > self.total + tol {
+            return Err(BudgetError::Exhausted {
+                requested: amount,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_level_split() {
+        let b = PrivacyBudget::new(1.0);
+        // 3-level hierarchy (root + 2): ε/3 each.
+        assert!((b.per_level(3) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spend_tracks_and_exhausts() {
+        let mut b = PrivacyBudget::new(1.0);
+        let lvl = b.per_level(3);
+        b.spend(lvl).unwrap();
+        b.spend(lvl).unwrap();
+        b.spend(lvl).unwrap();
+        assert!(b.remaining() < 1e-9);
+        let err = b.spend(lvl).unwrap_err();
+        assert!(matches!(err, BudgetError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn float_rounding_of_even_splits_is_tolerated() {
+        // ε/7 seven times does not sum to exactly ε in f64.
+        let mut b = PrivacyBudget::new(0.1);
+        let lvl = b.per_level(7);
+        for _ in 0..7 {
+            b.spend(lvl).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_spend() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert!(matches!(
+            b.spend(0.0),
+            Err(BudgetError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            b.spend(-0.5),
+            Err(BudgetError::NonPositive { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_total() {
+        let _ = PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BudgetError::Exhausted {
+            requested: 0.5,
+            remaining: 0.1,
+        };
+        assert!(e.to_string().contains("exhausted"));
+        let e = BudgetError::NonPositive { amount: -1.0 };
+        assert!(e.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The Laplace mechanism.
+//!
+//! Used in this workspace only where the paper itself uses it: the
+//! omniscient yardstick baseline (Section 6.2's "interpreting error")
+//! and the footnote-6 procedure for estimating the public size bound
+//! `K`. Released count-of-counts histograms always use the
+//! [geometric mechanism](crate::GeometricMechanism).
+
+use rand::Rng;
+
+/// Laplace mechanism with scale `b = Δ/ε`.
+#[derive(Clone, Copy, Debug)]
+pub struct LaplaceMechanism {
+    scale: f64,
+}
+
+impl LaplaceMechanism {
+    /// Mechanism for a query with L1 sensitivity `sensitivity` under
+    /// budget `epsilon`.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        assert!(
+            sensitivity.is_finite() && sensitivity > 0.0,
+            "sensitivity must be positive and finite, got {sensitivity}"
+        );
+        Self {
+            scale: sensitivity / epsilon,
+        }
+    }
+
+    /// The noise scale `b = Δ/ε`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Noise variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one Laplace(0, b) noise value by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ (-0.5, 0.5]; inverse CDF of the Laplace distribution.
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Adds noise to one true count.
+    pub fn privatize<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> f64 {
+        value as f64 + self.sample(rng)
+    }
+
+    /// Adds i.i.d. noise to a counts vector.
+    pub fn privatize_vec<R: Rng + ?Sized>(&self, values: &[u64], rng: &mut R) -> Vec<f64> {
+        values.iter().map(|&v| self.privatize(v, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_and_variance() {
+        let m = LaplaceMechanism::new(0.5, 1.0);
+        assert_eq!(m.scale(), 2.0);
+        assert_eq!(m.variance(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_nonpositive_epsilon() {
+        let _ = LaplaceMechanism::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let m = LaplaceMechanism::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let mut sum = 0f64;
+        let mut sumsq = 0f64;
+        for _ in 0..n {
+            let x = m.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.1, "var {var}, expected 2");
+    }
+
+    #[test]
+    fn privatize_centers_on_value() {
+        let m = LaplaceMechanism::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.privatize(100, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,27 @@
+//! Differential-privacy primitives (Section 3.2 of the paper).
+//!
+//! * [`GeometricMechanism`] — the geometric mechanism of Ghosh,
+//!   Roughgarden & Sundararajan: adds integer *double-geometric*
+//!   noise with scale `Δ(q)/ε`. Preferred by the paper because the
+//!   output is integral, the variance is lower than Laplace, and it is
+//!   immune to the floating-point side channel of naive Laplace
+//!   implementations (Mironov 2012).
+//! * [`LaplaceMechanism`] — continuous Laplace noise; used only by the
+//!   omniscient yardstick baseline and the public-`K` estimation
+//!   helper, never for released values.
+//! * [`PrivacyBudget`] — explicit bookkeeping of sequential /
+//!   per-level budget splits so that Algorithm 1's
+//!   `ε_ℓ = ε / (L + 1)` allocation is auditable in one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod gaussian;
+pub mod geometric;
+pub mod laplace;
+
+pub use budget::{BudgetError, PrivacyBudget};
+pub use gaussian::{DiscreteGaussian, GaussianMechanism, ZCdpBudget};
+pub use geometric::{DoubleGeometric, GeometricMechanism};
+pub use laplace::LaplaceMechanism;

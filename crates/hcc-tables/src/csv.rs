@@ -1,0 +1,271 @@
+//! CSV ingest for the relational substrate.
+//!
+//! Statistical agencies exchange microdata as flat files; this module
+//! loads the paper's two row tables from CSV text:
+//!
+//! * **groups** — `group_id,region_name` (header optional): declares
+//!   each group and the leaf region it lives in;
+//! * **entities** — `entity_id,group_id` (header optional): one row
+//!   per person/trip, referencing a declared group.
+//!
+//! Group and entity identifiers are free-form strings (the paper
+//! treats them as meaningless random numbers); regions are referenced
+//! by their hierarchy *name*, which must be unique among leaves.
+
+use std::collections::HashMap;
+
+use hcc_hierarchy::{Hierarchy, NodeId};
+
+use crate::{Database, GroupId};
+
+/// Errors raised while loading CSV rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A row did not have exactly two comma-separated fields.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending row text.
+        row: String,
+    },
+    /// A groups row referenced a region name that is not a leaf of
+    /// the hierarchy.
+    UnknownRegion {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved region name.
+        region: String,
+    },
+    /// The same group id was declared twice.
+    DuplicateGroup {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated group id.
+        group: String,
+    },
+    /// An entities row referenced an undeclared group id.
+    UnknownGroup {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved group id.
+        group: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadRow { line, row } => {
+                write!(f, "line {line}: expected two comma-separated fields, got {row:?}")
+            }
+            CsvError::UnknownRegion { line, region } => {
+                write!(f, "line {line}: {region:?} is not a leaf region of the hierarchy")
+            }
+            CsvError::DuplicateGroup { line, group } => {
+                write!(f, "line {line}: group {group:?} declared twice")
+            }
+            CsvError::UnknownGroup { line, group } => {
+                write!(f, "line {line}: entity references undeclared group {group:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Incremental CSV loader binding string identifiers to a
+/// [`Database`].
+#[derive(Debug)]
+pub struct CsvLoader<'h> {
+    hierarchy: &'h Hierarchy,
+    leaf_by_name: HashMap<String, NodeId>,
+    group_by_name: HashMap<String, GroupId>,
+    db: Database,
+}
+
+impl<'h> CsvLoader<'h> {
+    /// Creates a loader for the given hierarchy. Leaf names must be
+    /// unique (duplicate leaf names panic, as the mapping would be
+    /// ambiguous).
+    pub fn new(hierarchy: &'h Hierarchy) -> Self {
+        let mut leaf_by_name = HashMap::new();
+        for leaf in hierarchy.leaves() {
+            let prev = leaf_by_name.insert(hierarchy.name(leaf).to_string(), leaf);
+            assert!(
+                prev.is_none(),
+                "duplicate leaf region name {:?}",
+                hierarchy.name(leaf)
+            );
+        }
+        Self {
+            hierarchy,
+            leaf_by_name,
+            group_by_name: HashMap::new(),
+            db: Database::new(),
+        }
+    }
+
+    /// Parses one CSV body (no quoting — identifiers are plain
+    /// tokens). Lines that are empty or start with `#` are skipped; a
+    /// first line equal to the expected header is skipped too.
+    fn rows<'a>(
+        text: &'a str,
+        header: &'a str,
+    ) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+        text.lines().enumerate().filter_map(move |(i, l)| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') || (i == 0 && l.eq_ignore_ascii_case(header)) {
+                None
+            } else {
+                Some((i + 1, l))
+            }
+        })
+    }
+
+    /// Loads the groups table (`group_id,region_name`).
+    pub fn load_groups(&mut self, text: &str) -> Result<usize, CsvError> {
+        let mut loaded = 0;
+        for (line, row) in Self::rows(text, "group_id,region_name") {
+            let (gid, region) = row.split_once(',').ok_or_else(|| CsvError::BadRow {
+                line,
+                row: row.to_string(),
+            })?;
+            let (gid, region) = (gid.trim(), region.trim());
+            let &node = self
+                .leaf_by_name
+                .get(region)
+                .ok_or_else(|| CsvError::UnknownRegion {
+                    line,
+                    region: region.to_string(),
+                })?;
+            if self.group_by_name.contains_key(gid) {
+                return Err(CsvError::DuplicateGroup {
+                    line,
+                    group: gid.to_string(),
+                });
+            }
+            let handle = self.db.add_group(self.hierarchy, node);
+            self.group_by_name.insert(gid.to_string(), handle);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Loads the entities table (`entity_id,group_id`). Groups must
+    /// have been loaded first.
+    pub fn load_entities(&mut self, text: &str) -> Result<usize, CsvError> {
+        let mut loaded = 0;
+        for (line, row) in Self::rows(text, "entity_id,group_id") {
+            let (_eid, gid) = row.split_once(',').ok_or_else(|| CsvError::BadRow {
+                line,
+                row: row.to_string(),
+            })?;
+            let gid = gid.trim();
+            let &group = self
+                .group_by_name
+                .get(gid)
+                .ok_or_else(|| CsvError::UnknownGroup {
+                    line,
+                    group: gid.to_string(),
+                })?;
+            self.db.add_entity(group);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Finishes loading, returning the populated database.
+    pub fn finish(self) -> Database {
+        self.db
+    }
+
+    /// The database built so far (for inspection mid-load).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_hierarchy::HierarchyBuilder;
+
+    fn hierarchy() -> Hierarchy {
+        let mut b = HierarchyBuilder::new("top");
+        let s = b.add_child(Hierarchy::ROOT, "state");
+        b.add_child(s, "alpha");
+        b.add_child(s, "beta");
+        b.build()
+    }
+
+    #[test]
+    fn loads_well_formed_tables() {
+        let h = hierarchy();
+        let mut loader = CsvLoader::new(&h);
+        let n = loader
+            .load_groups(
+                "group_id,region_name\n# comment\ng1,alpha\ng2,alpha\ng3,beta\n\n",
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        let n = loader
+            .load_entities("entity_id,group_id\ne1,g1\ne2,g1\ne3,g3\n")
+            .unwrap();
+        assert_eq!(n, 3);
+        let db = loader.finish();
+        assert_eq!(db.num_groups(), 3);
+        assert_eq!(db.num_entities(), 3);
+        assert_eq!(db.group_sizes(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let h = hierarchy();
+        let mut loader = CsvLoader::new(&h);
+        assert_eq!(loader.load_groups("g1,alpha").unwrap(), 1);
+    }
+
+    #[test]
+    fn rejects_internal_region_reference() {
+        let h = hierarchy();
+        let mut loader = CsvLoader::new(&h);
+        let err = loader.load_groups("g1,state").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::UnknownRegion {
+                line: 1,
+                region: "state".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_group_and_unknown_group() {
+        let h = hierarchy();
+        let mut loader = CsvLoader::new(&h);
+        loader.load_groups("g1,alpha").unwrap();
+        let err = loader.load_groups("g1,beta").unwrap_err();
+        assert!(matches!(err, CsvError::DuplicateGroup { .. }));
+        let err = loader.load_entities("e1,nope").unwrap_err();
+        assert!(matches!(err, CsvError::UnknownGroup { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let h = hierarchy();
+        let mut loader = CsvLoader::new(&h);
+        let err = loader.load_groups("justonefield").unwrap_err();
+        assert!(matches!(err, CsvError::BadRow { line: 1, .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate leaf region name")]
+    fn duplicate_leaf_names_panic() {
+        let mut b = HierarchyBuilder::new("top");
+        b.add_child(Hierarchy::ROOT, "same");
+        b.add_child(Hierarchy::ROOT, "same");
+        let h = b.build();
+        let _ = CsvLoader::new(&h);
+    }
+}

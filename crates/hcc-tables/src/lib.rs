@@ -1,0 +1,336 @@
+//! In-memory relational substrate for the paper's problem setup.
+//!
+//! Section 3 defines the database `D` as three tables:
+//!
+//! * `Entities(entity_id, group_id)` — **private** (who is in which
+//!   group);
+//! * `Groups(group_id, region_id)` — public (how many groups per
+//!   region);
+//! * `Hierarchy(region_id, level0, …, levelL)` — public (region
+//!   boundaries), modelled by [`hcc_hierarchy::Hierarchy`].
+//!
+//! [`Database`] stores the two row tables columnar-style and provides
+//! the aggregation pipeline that derives the sensitive per-node
+//! count-of-counts histograms:
+//!
+//! ```sql
+//! A := SELECT group_id, COUNT(*) AS size FROM Entities GROUP BY group_id
+//! H := SELECT size, COUNT(*) FROM A GROUP BY size       -- per region
+//! ```
+//!
+//! Groups with zero entities contribute to `H[0]`, matching the race
+//! datasets where a census block can contain zero members of a race.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+
+pub use csv::{CsvError, CsvLoader};
+
+use hcc_core::CountOfCounts;
+use hcc_hierarchy::{Hierarchy, NodeId};
+
+/// Row handle into [`Database`]'s Groups table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u64);
+
+impl GroupId {
+    /// Raw index of the group row.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Row handle into [`Database`]'s Entities table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EntityId(u64);
+
+impl EntityId {
+    /// Raw index of the entity row.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The Entities + Groups tables, bound to a region [`Hierarchy`].
+///
+/// Invariant enforced at insertion: every group's region is a *leaf*
+/// of the hierarchy (the paper's restriction that groups do not span
+/// leaf boundaries).
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// Groups table: group row → leaf region.
+    group_region: Vec<NodeId>,
+    /// Entities table: entity row → group.
+    entity_group: Vec<GroupId>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self {
+            group_region: Vec::new(),
+            entity_group: Vec::new(),
+        }
+    }
+
+    /// Inserts a group located in leaf region `region`.
+    ///
+    /// Panics if `region` is not a leaf of `hierarchy`.
+    pub fn add_group(&mut self, hierarchy: &Hierarchy, region: NodeId) -> GroupId {
+        assert!(
+            hierarchy.is_leaf(region),
+            "groups must live in leaf regions, but {} is internal",
+            hierarchy.name(region)
+        );
+        let id = GroupId(self.group_region.len() as u64);
+        self.group_region.push(region);
+        id
+    }
+
+    /// Inserts a group along with `size` member entities in one call.
+    pub fn add_group_with_size(
+        &mut self,
+        hierarchy: &Hierarchy,
+        region: NodeId,
+        size: u64,
+    ) -> GroupId {
+        let g = self.add_group(hierarchy, region);
+        for _ in 0..size {
+            self.add_entity(g);
+        }
+        g
+    }
+
+    /// Inserts one entity belonging to `group`.
+    ///
+    /// Panics if `group` does not exist.
+    pub fn add_entity(&mut self, group: GroupId) -> EntityId {
+        assert!(
+            group.index() < self.group_region.len(),
+            "group {group:?} does not exist"
+        );
+        let id = EntityId(self.entity_group.len() as u64);
+        self.entity_group.push(group);
+        id
+    }
+
+    /// Number of group rows (public knowledge).
+    pub fn num_groups(&self) -> u64 {
+        self.group_region.len() as u64
+    }
+
+    /// Number of entity rows (sensitive).
+    pub fn num_entities(&self) -> u64 {
+        self.entity_group.len() as u64
+    }
+
+    /// The leaf region of a group (public knowledge).
+    pub fn region_of(&self, group: GroupId) -> NodeId {
+        self.group_region[group.index()]
+    }
+
+    /// First aggregation: `SELECT group_id, COUNT(*) FROM Entities
+    /// GROUP BY group_id`, materialised as a dense size-per-group
+    /// vector (index = group row). Zero-sized groups appear with 0.
+    pub fn group_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.group_region.len()];
+        for g in &self.entity_group {
+            sizes[g.index()] += 1;
+        }
+        sizes
+    }
+
+    /// The public `τ.G` for every node: number of groups in the
+    /// subtree of each region, as a dense per-node vector.
+    pub fn groups_per_node(&self, hierarchy: &Hierarchy) -> Vec<u64> {
+        let mut counts = vec![0u64; hierarchy.num_nodes()];
+        for &leaf in &self.group_region {
+            let mut cur = Some(leaf);
+            while let Some(n) = cur {
+                counts[n.index()] += 1;
+                cur = hierarchy.parent(n);
+            }
+        }
+        counts
+    }
+
+    /// Second aggregation: the sensitive count-of-counts histogram of
+    /// every node, as a dense per-node vector. Computed at the leaves
+    /// by a single pass over the group-size vector, then summed up the
+    /// tree (the histogram is additive over disjoint regions).
+    pub fn node_histograms(&self, hierarchy: &Hierarchy) -> Vec<CountOfCounts> {
+        let sizes = self.group_sizes();
+        // Bucket group sizes per leaf.
+        let mut per_leaf: Vec<Vec<u64>> = vec![Vec::new(); hierarchy.num_nodes()];
+        for (g, &size) in sizes.iter().enumerate() {
+            per_leaf[self.group_region[g].index()].push(size);
+        }
+        let mut hists: Vec<CountOfCounts> = per_leaf
+            .into_iter()
+            .map(CountOfCounts::from_group_sizes)
+            .collect();
+        // Aggregate bottom-up: iterate levels deepest-first.
+        for l in (0..hierarchy.num_levels() - 1).rev() {
+            for &node in hierarchy.level(l) {
+                let mut acc = std::mem::take(&mut hists[node.index()]);
+                for &c in hierarchy.children(node) {
+                    let child = hists[c.index()].clone();
+                    acc.add_assign(&child);
+                }
+                hists[node.index()] = acc;
+            }
+        }
+        hists
+    }
+
+    /// The count-of-counts histogram of a single node.
+    pub fn node_histogram(&self, hierarchy: &Hierarchy, node: NodeId) -> CountOfCounts {
+        let sizes = self.group_sizes();
+        let mut selected: Vec<u64> = Vec::new();
+        for (g, &size) in sizes.iter().enumerate() {
+            let leaf = self.group_region[g];
+            if hierarchy
+                .ancestor_at_level(leaf, hierarchy.level_of(node))
+                .is_some_and(|a| a == node)
+            {
+                selected.push(size);
+            }
+        }
+        CountOfCounts::from_group_sizes(selected)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_hierarchy::HierarchyBuilder;
+
+    /// The Section 1 example: groups 1..4 with sizes 4, 2, 1, 1 in
+    /// leaves a (groups 1, 3) and b (groups 2, 4).
+    fn paper_example() -> (Hierarchy, Database, NodeId, NodeId) {
+        let mut b = HierarchyBuilder::new("top");
+        let a = b.add_child(Hierarchy::ROOT, "a");
+        let bb = b.add_child(Hierarchy::ROOT, "b");
+        let h = b.build();
+        let mut db = Database::new();
+        db.add_group_with_size(&h, a, 4);
+        db.add_group_with_size(&h, bb, 2);
+        db.add_group_with_size(&h, a, 1);
+        db.add_group_with_size(&h, bb, 1);
+        (h, db, a, bb)
+    }
+
+    #[test]
+    fn paper_example_histograms() {
+        let (h, db, a, bb) = paper_example();
+        let hists = db.node_histograms(&h);
+        // Htop = [2, 1, 0, 1] over sizes 1..4 → dense [0, 2, 1, 0, 1].
+        assert_eq!(
+            hists[Hierarchy::ROOT.index()].as_slice(),
+            &[0, 2, 1, 0, 1]
+        );
+        // Ha = groups of sizes {4, 1}.
+        assert_eq!(hists[a.index()], CountOfCounts::from_group_sizes([4, 1]));
+        // Hb = groups of sizes {2, 1}.
+        assert_eq!(hists[bb.index()], CountOfCounts::from_group_sizes([2, 1]));
+    }
+
+    #[test]
+    fn node_histogram_matches_bulk() {
+        let (h, db, a, _) = paper_example();
+        let hists = db.node_histograms(&h);
+        assert_eq!(db.node_histogram(&h, a), hists[a.index()]);
+        assert_eq!(
+            db.node_histogram(&h, Hierarchy::ROOT),
+            hists[Hierarchy::ROOT.index()]
+        );
+    }
+
+    #[test]
+    fn groups_per_node_counts_subtrees() {
+        let (h, db, a, bb) = paper_example();
+        let g = db.groups_per_node(&h);
+        assert_eq!(g[Hierarchy::ROOT.index()], 4);
+        assert_eq!(g[a.index()], 2);
+        assert_eq!(g[bb.index()], 2);
+    }
+
+    #[test]
+    fn zero_sized_groups_show_in_h0() {
+        let mut b = HierarchyBuilder::new("top");
+        let leaf = b.add_child(Hierarchy::ROOT, "leaf");
+        let h = b.build();
+        let mut db = Database::new();
+        db.add_group(&h, leaf); // empty group
+        db.add_group_with_size(&h, leaf, 2);
+        let hist = db.node_histogram(&h, leaf);
+        assert_eq!(hist.count_of(0), 1);
+        assert_eq!(hist.count_of(2), 1);
+        assert_eq!(db.num_entities(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf regions")]
+    fn internal_region_rejected() {
+        let mut b = HierarchyBuilder::new("top");
+        let mid = b.add_child(Hierarchy::ROOT, "mid");
+        let _leaf = b.add_child(mid, "leaf");
+        let h = b.build();
+        let mut db = Database::new();
+        db.add_group(&h, mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn entity_needs_existing_group() {
+        let mut db = Database::new();
+        db.add_entity(GroupId(0));
+    }
+
+    #[test]
+    fn group_sizes_aggregation() {
+        let (_, db, _, _) = paper_example();
+        assert_eq!(db.group_sizes(), vec![4, 2, 1, 1]);
+        assert_eq!(db.num_groups(), 4);
+        assert_eq!(db.num_entities(), 8);
+    }
+
+    #[test]
+    fn three_level_aggregation_is_consistent() {
+        let mut b = HierarchyBuilder::new("nation");
+        let s1 = b.add_child(Hierarchy::ROOT, "s1");
+        let s2 = b.add_child(Hierarchy::ROOT, "s2");
+        let c1 = b.add_child(s1, "c1");
+        let c2 = b.add_child(s1, "c2");
+        let c3 = b.add_child(s2, "c3");
+        let h = b.build();
+        let mut db = Database::new();
+        for (leaf, sizes) in [(c1, vec![1, 2]), (c2, vec![2, 2, 5]), (c3, vec![3])] {
+            for s in sizes {
+                db.add_group_with_size(&h, leaf, s);
+            }
+        }
+        let hists = db.node_histograms(&h);
+        // Parent = sum of children at every internal node.
+        for node in h.iter() {
+            if !h.is_leaf(node) {
+                let children: Vec<&CountOfCounts> =
+                    h.children(node).iter().map(|c| &hists[c.index()]).collect();
+                assert_eq!(
+                    hists[node.index()],
+                    CountOfCounts::sum(children.into_iter())
+                );
+            }
+        }
+        assert_eq!(hists[Hierarchy::ROOT.index()].num_groups(), 6);
+        assert_eq!(hists[Hierarchy::ROOT.index()].num_entities(), 15);
+    }
+}

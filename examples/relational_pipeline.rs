@@ -1,0 +1,81 @@
+//! End-to-end pipeline from *relational tables* to a private release:
+//! builds the paper's Entities/Groups/Hierarchy schema row by row,
+//! derives the sensitive per-node count-of-counts histograms with the
+//! group-by aggregation, then releases them under ε-DP.
+//!
+//! This mirrors how a statistical agency would wire the library to an
+//! actual microdata table.
+//!
+//! Run with: `cargo run --release --example relational_pipeline`
+
+use hccount::consistency::{top_down_release, HierarchicalCounts, LevelMethod, TopDownConfig};
+use hccount::core::emd;
+use hccount::hierarchy::{Hierarchy, HierarchyBuilder};
+use hccount::tables::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Public Hierarchy table: one country, two states, five counties.
+    let mut b = HierarchyBuilder::new("country");
+    let east = b.add_child(Hierarchy::ROOT, "east");
+    let west = b.add_child(Hierarchy::ROOT, "west");
+    let counties = [
+        b.add_child(east, "e-county-0"),
+        b.add_child(east, "e-county-1"),
+        b.add_child(east, "e-county-2"),
+        b.add_child(west, "w-county-0"),
+        b.add_child(west, "w-county-1"),
+    ];
+    let hierarchy = b.build();
+
+    // Private Entities table + public Groups table, inserted row by
+    // row as a microdata ingest would.
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for (i, &county) in counties.iter().enumerate() {
+        let households = 200 + 80 * i as u64;
+        for _ in 0..households {
+            let group = db.add_group(&hierarchy, county);
+            // Household sizes 1..=8, geometric-ish.
+            let mut size = 1 + rng.gen_range(0..3);
+            while size < 8 && rng.gen::<f64>() < 0.35 {
+                size += 1;
+            }
+            for _ in 0..size {
+                db.add_entity(group);
+            }
+        }
+    }
+    println!(
+        "ingested {} groups, {} entities",
+        db.num_groups(),
+        db.num_entities()
+    );
+
+    // SQL-equivalent aggregation:
+    //   A := SELECT group_id, COUNT(*) FROM Entities GROUP BY group_id
+    //   H := SELECT size, COUNT(*) FROM A GROUP BY size   -- per region
+    let hists = db.node_histograms(&hierarchy);
+    let data = HierarchicalCounts::from_node_histograms(&hierarchy, hists)
+        .expect("aggregation is consistent by construction");
+
+    // Release under ε = 2 with the default Hc method.
+    let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Cumulative { bound: 64 });
+    let released =
+        top_down_release(&hierarchy, &data, &cfg, &mut rng).expect("uniform depth");
+    released.assert_desiderata(&hierarchy);
+
+    println!("\n{:<12} {:>8} {:>8} {:>6}", "region", "groups", "people", "EMD");
+    for node in hierarchy.iter() {
+        println!(
+            "{:<12} {:>8} {:>8} {:>6}",
+            hierarchy.name(node),
+            released.groups(node),
+            released.node(node).num_entities(),
+            emd(released.node(node), data.node(node))
+        );
+    }
+    println!("\nthe public Groups table (groups per region) is preserved exactly;");
+    println!("the sensitive Entities table is protected by 2.0-differential privacy.");
+}

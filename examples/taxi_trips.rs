@@ -1,0 +1,67 @@
+//! Mobility workload: taxis as groups, pickups as entities, over the
+//! Manhattan geography — demonstrating per-level method selection
+//! (`Hg` at the sparse top, `Hc` below) and the effect of the privacy
+//! budget on utility.
+//!
+//! Run with: `cargo run --release --example taxi_trips`
+
+use hccount::consistency::{top_down_release, LevelMethod, TopDownConfig};
+use hccount::core::emd;
+use hccount::data::{taxi, TaxiConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = taxi(&TaxiConfig {
+        scale: 0.05,
+        seed: 13,
+        ..Default::default()
+    });
+    println!("dataset: {}", ds.stats());
+
+    let hc = LevelMethod::Cumulative { bound: 100_000 };
+    let hg = LevelMethod::Unattributed;
+
+    println!(
+        "\n{:>8} {:>10} {:>16} {:>16}",
+        "eps", "", "Hc×Hc×Hc", "Hg×Hc×Hc"
+    );
+    for eps_per_level in [0.1, 0.5, 1.0] {
+        let total = eps_per_level * ds.hierarchy.num_levels() as f64;
+        let mut rng = StdRng::seed_from_u64(7 + (eps_per_level * 100.0) as u64);
+
+        let uniform = TopDownConfig::new(total).with_method(hc);
+        let rel_hc =
+            top_down_release(&ds.hierarchy, &ds.data, &uniform, &mut rng).expect("uniform depth");
+        rel_hc.assert_desiderata(&ds.hierarchy);
+
+        let mixed = TopDownConfig::new(total).with_level_methods(vec![hg, hc, hc]);
+        let rel_mixed =
+            top_down_release(&ds.hierarchy, &ds.data, &mixed, &mut rng).expect("uniform depth");
+
+        for level in 0..ds.hierarchy.num_levels() {
+            let nodes = ds.hierarchy.level(level);
+            let avg = |rel: &hccount::consistency::HierarchicalCounts| -> f64 {
+                nodes
+                    .iter()
+                    .map(|&n| emd(rel.node(n), ds.data.node(n)) as f64)
+                    .sum::<f64>()
+                    / nodes.len() as f64
+            };
+            println!(
+                "{:>8} {:>10} {:>16.1} {:>16.1}",
+                if level == 0 {
+                    format!("{eps_per_level}")
+                } else {
+                    String::new()
+                },
+                format!("level {level}"),
+                avg(&rel_hc),
+                avg(&rel_mixed),
+            );
+        }
+    }
+
+    println!("\nhigher ε ⇒ lower earth-mover's error at every level;");
+    println!("the released histograms stay consistent across the hierarchy throughout.");
+}

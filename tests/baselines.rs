@@ -1,0 +1,90 @@
+//! Cross-crate checks of the paper's baseline arguments: why
+//! mean-consistency is unsuitable and how the omniscient yardstick
+//! behaves.
+
+use hccount::consistency::{
+    mean_consistency_release, omniscient_expected_error, omniscient_release, top_down_release,
+    LevelMethod, TopDownConfig,
+};
+use hccount::core::CountOfCounts;
+use hccount::hierarchy::{Hierarchy, HierarchyBuilder};
+use hccount::prelude::HierarchicalCounts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_data() -> (Hierarchy, HierarchicalCounts) {
+    let mut b = HierarchyBuilder::new("root");
+    let leaves: Vec<_> = (0..8)
+        .map(|i| b.add_child(Hierarchy::ROOT, format!("leaf{i}")))
+        .collect();
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    l,
+                    CountOfCounts::from_group_sizes((0..20u64).map(|k| 1 + (k + i as u64) % 5)),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (h, data)
+}
+
+#[test]
+fn mean_consistency_violates_desiderata_where_algorithm1_does_not() {
+    let (h, data) = sample_data();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // The Hay et al. baseline: additively consistent but negative and
+    // fractional (footnote 7 of the paper).
+    let mut negative = 0;
+    let mut fractional = 0;
+    for _ in 0..3 {
+        let report = mean_consistency_release(&h, &data, 32, 0.5, &mut rng);
+        assert!(report.max_consistency_gap(&h) < 1e-6);
+        negative += report.negative_cells;
+        fractional += report.fractional_cells;
+    }
+    assert!(negative > 0, "subtraction step should go negative");
+    assert!(fractional > 0, "averaging should produce fractions");
+
+    // Algorithm 1 on the same data never violates anything.
+    let cfg = TopDownConfig::new(0.5).with_method(LevelMethod::Cumulative { bound: 32 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&h);
+    for node in h.iter() {
+        assert_eq!(rel.groups(node), data.groups(node));
+    }
+}
+
+#[test]
+fn omniscient_simulation_respects_support_and_totals() {
+    let (h, data) = sample_data();
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = omniscient_release(&h, &data, 1.0, &mut rng);
+    for node in h.iter() {
+        assert_eq!(out[node.index()].num_groups(), data.groups(node));
+        for (i, &c) in out[node.index()].as_slice().iter().enumerate() {
+            if c > 0 {
+                assert!(data.node(node).count_of(i as u64) > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn omniscient_formula_scales_inversely_with_epsilon() {
+    let e1 = omniscient_expected_error(100, 0.1);
+    let e2 = omniscient_expected_error(100, 1.0);
+    assert!((e1 / e2 - 10.0).abs() < 1e-9);
+    // And linearly with support size.
+    assert_eq!(
+        omniscient_expected_error(200, 1.0),
+        2.0 * omniscient_expected_error(100, 1.0)
+    );
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `hcc` command-line tool, driving the real
+//! binary through generate → release → stats → evaluate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcc"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hcc_cli_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_generate_release_stats_evaluate() {
+    let dir = tmp_dir("pipeline");
+    let out = hcc()
+        .args(["generate", "--kind", "taxi", "--scale", "0.002", "--seed", "3"])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["hierarchy.csv", "groups.csv", "entities.csv"] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+
+    let release = dir.join("release.csv");
+    let out = hcc()
+        .args(["release"])
+        .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+        .args(["--groups", dir.join("groups.csv").to_str().unwrap()])
+        .args(["--entities", dir.join("entities.csv").to_str().unwrap()])
+        .args(["--epsilon", "2.0", "--method", "hc", "--bound", "50000"])
+        .args(["--out", release.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&release).unwrap();
+    assert!(content.starts_with("region,level,size,count"));
+
+    let out = hcc()
+        .args(["stats"])
+        .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+        .args(["--release", release.to_str().unwrap()])
+        .args(["--region", "manhattan"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("manhattan"), "stats output: {text}");
+
+    // Self-evaluation: EMD of a release against itself is zero.
+    let out = hcc()
+        .args(["evaluate"])
+        .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+        .args(["--release", release.to_str().unwrap()])
+        .args(["--truth", release.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines().skip(1) {
+        let avg: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert_eq!(avg, 0.0, "self-EMD must be zero: {line}");
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let dir = tmp_dir("determinism");
+    for name in ["a.csv", "b.csv"] {
+        let out = hcc()
+            .args(["generate", "--kind", "housing", "--scale", "0.001", "--seed", "9"])
+            .args(["--out-dir", dir.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let out = hcc()
+            .args(["release"])
+            .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+            .args(["--groups", dir.join("groups.csv").to_str().unwrap()])
+            .args(["--entities", dir.join("entities.csv").to_str().unwrap()])
+            .args(["--epsilon", "1.0", "--seed", "77"])
+            .args(["--out", dir.join(name).to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let a = std::fs::read_to_string(dir.join("a.csv")).unwrap();
+    let b = std::fs::read_to_string(dir.join("b.csv")).unwrap();
+    assert_eq!(a, b, "same seed must give identical releases");
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown subcommand.
+    let out = hcc().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    // Missing required option.
+    let out = hcc().args(["release", "--epsilon", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--hierarchy"));
+
+    // Unknown dataset kind.
+    let out = hcc()
+        .args(["generate", "--kind", "nope", "--out-dir", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset kind"));
+
+    // Help exits zero.
+    let out = hcc().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

@@ -1,0 +1,123 @@
+//! Property tests: for *arbitrary* random hierarchies and leaf data,
+//! the top-down release satisfies every desideratum of Section 3.
+
+use hccount::consistency::{
+    bottom_up_release, top_down_release, LevelMethod, MergeStrategy, TopDownConfig,
+};
+use hccount::core::CountOfCounts;
+use hccount::hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+use hccount::prelude::HierarchicalCounts;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random uniform-depth hierarchy with the given per-level
+/// fan-outs and random group-size multisets at the leaves.
+fn build_case(
+    fanouts: &[usize],
+    leaf_sizes: &[Vec<u64>],
+) -> (Hierarchy, HierarchicalCounts) {
+    let mut b = HierarchyBuilder::new("root");
+    let mut frontier = vec![Hierarchy::ROOT];
+    for &f in fanouts {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for i in 0..f {
+                next.push(b.add_child(node, format!("{node}-{i}")));
+            }
+        }
+        frontier = next;
+    }
+    let h = b.build();
+    let leaves: Vec<(NodeId, CountOfCounts)> = frontier
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let sizes = leaf_sizes
+                .get(i % leaf_sizes.len().max(1))
+                .cloned()
+                .unwrap_or_default();
+            (n, CountOfCounts::from_group_sizes(sizes))
+        })
+        .collect();
+    let data = HierarchicalCounts::from_leaves(&h, leaves).expect("uniform by construction");
+    (h, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topdown_release_satisfies_desiderata(
+        fanouts in prop::collection::vec(1usize..4, 1..3),
+        leaf_sizes in prop::collection::vec(
+            prop::collection::vec(0u64..40, 0..12), 1..6),
+        seed in any::<u64>(),
+        eps in 0.05f64..5.0,
+        use_hg in any::<bool>(),
+        weighted in any::<bool>(),
+    ) {
+        let (h, data) = build_case(&fanouts, &leaf_sizes);
+        let method = if use_hg {
+            LevelMethod::Unattributed
+        } else {
+            LevelMethod::Cumulative { bound: 64 }
+        };
+        let merge = if weighted {
+            MergeStrategy::WeightedAverage
+        } else {
+            MergeStrategy::PlainAverage
+        };
+        let cfg = TopDownConfig::new(eps).with_method(method).with_merge(merge);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rel = top_down_release(&h, &data, &cfg, &mut rng).expect("uniform depth");
+
+        // Consistency.
+        prop_assert!(rel.validate(&h).is_ok());
+        // Group-size desideratum at every node (integrality and
+        // nonnegativity are type invariants of CountOfCounts).
+        for node in h.iter() {
+            prop_assert_eq!(rel.groups(node), data.groups(node));
+        }
+    }
+
+    #[test]
+    fn bottom_up_release_satisfies_desiderata(
+        fanouts in prop::collection::vec(1usize..4, 1..3),
+        leaf_sizes in prop::collection::vec(
+            prop::collection::vec(0u64..30, 0..10), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let (h, data) = build_case(&fanouts, &leaf_sizes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rel = bottom_up_release(
+            &h, &data, LevelMethod::Cumulative { bound: 64 }, 1.0, &mut rng,
+        ).expect("uniform depth");
+        prop_assert!(rel.validate(&h).is_ok());
+        for node in h.iter() {
+            prop_assert_eq!(rel.groups(node), data.groups(node));
+        }
+    }
+
+    /// The released total entity count at the root is within plausible
+    /// noise bounds at high ε — a smoke check that merging never
+    /// teleports mass.
+    #[test]
+    fn high_budget_release_close_to_truth(
+        leaf_sizes in prop::collection::vec(
+            prop::collection::vec(0u64..20, 1..10), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let (h, data) = build_case(&[leaf_sizes.len()], &leaf_sizes);
+        let cfg = TopDownConfig::new(2000.0)
+            .with_method(LevelMethod::Cumulative { bound: 32 });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rel = top_down_release(&h, &data, &cfg, &mut rng).expect("uniform depth");
+        for node in h.iter() {
+            prop_assert_eq!(
+                hccount::core::emd(rel.node(node), data.node(node)), 0,
+                "node {} diverged at enormous budget", node
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: generators → Algorithm 1 → desiderata,
+//! across every dataset kind and method.
+
+use hccount::consistency::{top_down_release, LevelMethod, MergeStrategy, TopDownConfig};
+use hccount::core::emd;
+use hccount::data::{Dataset, DatasetKind};
+use hccount::hierarchy::Hierarchy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCALE: f64 = 0.01;
+
+#[test]
+fn all_datasets_all_methods_satisfy_desiderata() {
+    let mut rng = StdRng::seed_from_u64(2018);
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, SCALE, 11);
+        for method in [
+            LevelMethod::Cumulative { bound: 10_000 },
+            LevelMethod::Unattributed,
+        ] {
+            let cfg = TopDownConfig::new(1.0).with_method(method);
+            let rel = top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng)
+                .expect("generated hierarchies are uniform depth");
+            // Consistency (children sum to parents) at every node.
+            rel.assert_desiderata(&ds.hierarchy);
+            // Public group counts preserved everywhere.
+            for node in ds.hierarchy.iter() {
+                assert_eq!(
+                    rel.groups(node),
+                    ds.data.groups(node),
+                    "{kind:?}/{} changed G at {node}",
+                    method.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn error_decreases_with_budget() {
+    // More budget → (on average) less error; check with a 10× gap so
+    // noise cannot plausibly invert the ordering.
+    let ds = Dataset::generate(DatasetKind::RaceWhite, SCALE, 5);
+    let root = Hierarchy::ROOT;
+    let mut rng = StdRng::seed_from_u64(17);
+    let avg_err = |eps: f64, rng: &mut StdRng| -> f64 {
+        let cfg = TopDownConfig::new(eps).with_method(LevelMethod::Cumulative { bound: 10_000 });
+        (0..3)
+            .map(|_| {
+                let rel = top_down_release(&ds.hierarchy, &ds.data, &cfg, rng).unwrap();
+                emd(rel.node(root), ds.data.node(root)) as f64
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let low = avg_err(0.1, &mut rng);
+    let high = avg_err(10.0, &mut rng);
+    assert!(
+        high < low,
+        "ε=10 error ({high}) should beat ε=0.1 error ({low})"
+    );
+}
+
+#[test]
+fn weighted_merge_beats_plain_at_root_on_average() {
+    // Figure 4's headline claim, as a statistical regression test.
+    let ds = Dataset::generate(DatasetKind::RaceHawaiian, SCALE, 23);
+    let mut rng = StdRng::seed_from_u64(29);
+    let avg = |strategy: MergeStrategy, rng: &mut StdRng| -> f64 {
+        let cfg = TopDownConfig::new(0.5)
+            .with_method(LevelMethod::Cumulative { bound: 10_000 })
+            .with_merge(strategy);
+        (0..6)
+            .map(|_| {
+                let rel = top_down_release(&ds.hierarchy, &ds.data, &cfg, rng).unwrap();
+                emd(rel.node(Hierarchy::ROOT), ds.data.node(Hierarchy::ROOT)) as f64
+            })
+            .sum::<f64>()
+            / 6.0
+    };
+    let weighted = avg(MergeStrategy::WeightedAverage, &mut rng);
+    let plain = avg(MergeStrategy::PlainAverage, &mut rng);
+    assert!(
+        weighted < plain,
+        "weighted ({weighted}) should beat plain ({plain}) at the root"
+    );
+}
+
+#[test]
+fn released_output_is_deterministic_given_seed() {
+    let ds = Dataset::generate(DatasetKind::Taxi, SCALE, 3);
+    let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 10_000 });
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(555);
+        top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).unwrap()
+    };
+    let a = run();
+    let b = run();
+    for node in ds.hierarchy.iter() {
+        assert_eq!(a.node(node), b.node(node));
+    }
+}
+
+#[test]
+fn mixed_methods_per_level_work_on_generated_data() {
+    let ds = Dataset::generate(DatasetKind::Housing, SCALE, 31);
+    let mut rng = StdRng::seed_from_u64(37);
+    let cfg = TopDownConfig::new(1.5).with_level_methods(vec![
+        LevelMethod::Unattributed,
+        LevelMethod::Cumulative { bound: 10_000 },
+        LevelMethod::CumulativeL2 { bound: 10_000 },
+    ]);
+    let rel = top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&ds.hierarchy);
+}

@@ -1,0 +1,95 @@
+//! Cross-crate statistical properties of the noise machinery that the
+//! privacy guarantees lean on.
+
+use hccount::noise::{
+    DiscreteGaussian, DoubleGeometric, GaussianMechanism, GeometricMechanism, LaplaceMechanism,
+    ZCdpBudget,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The DP-defining property of the double-geometric, checked across
+/// several adjacent output pairs: `P(X = k)/P(X = k+1) = e^(ε/Δ)` for
+/// `k ≥ 0`, so no output shift is more informative than ε allows.
+#[test]
+fn geometric_likelihood_ratios_bounded_by_epsilon() {
+    let eps = 0.8;
+    let d = DoubleGeometric::new(eps, 1.0);
+    let mut rng = StdRng::seed_from_u64(301);
+    let n = 600_000;
+    let mut freq = std::collections::HashMap::new();
+    for _ in 0..n {
+        *freq.entry(d.sample(&mut rng)).or_insert(0u64) += 1;
+    }
+    let bound = eps.exp();
+    for k in 0..4i64 {
+        let a = freq.get(&k).copied().unwrap_or(0) as f64;
+        let b = freq.get(&(k + 1)).copied().unwrap_or(0) as f64;
+        if b < 1000.0 {
+            continue; // not enough mass for a stable ratio
+        }
+        let ratio = a / b;
+        assert!(
+            (ratio - bound).abs() < 0.25 * bound,
+            "P({k})/P({}) = {ratio}, expected ≈ {bound}",
+            k + 1
+        );
+    }
+}
+
+/// Geometric noise variance beats the Laplace mechanism it replaces —
+/// one of the paper's two reasons for choosing it.
+#[test]
+fn geometric_variance_below_laplace() {
+    for &eps in &[0.1, 0.5, 1.0, 2.0] {
+        let g = GeometricMechanism::new(eps, 1.0);
+        let l = LaplaceMechanism::new(eps, 1.0);
+        assert!(
+            g.variance() < l.variance(),
+            "ε = {eps}: geometric {} ≥ laplace {}",
+            g.variance(),
+            l.variance()
+        );
+    }
+}
+
+/// The discrete Gaussian's tails are sub-Gaussian: essentially no mass
+/// beyond 6σ in a large sample (a Laplace of equal variance would put
+/// noticeable mass there).
+#[test]
+fn discrete_gaussian_tails() {
+    let sigma = 3.0;
+    let d = DiscreteGaussian::new(sigma);
+    let mut rng = StdRng::seed_from_u64(302);
+    let n = 300_000;
+    let beyond = (0..n)
+        .filter(|_| (d.sample(&mut rng) as f64).abs() > 6.0 * sigma)
+        .count();
+    assert!(beyond <= 2, "{beyond} of {n} samples beyond 6σ");
+}
+
+/// zCDP composition: two mechanisms of ρ/2 each equal one of ρ, and
+/// the (ε, δ) conversion is monotone in ρ.
+#[test]
+fn zcdp_composition_and_conversion() {
+    let m_half = GaussianMechanism::with_rho(0.05, 1.0);
+    assert!((2.0 * m_half.rho() - 0.1).abs() < 1e-12);
+    let small = ZCdpBudget::new(0.05).epsilon(1e-9);
+    let large = ZCdpBudget::new(0.1).epsilon(1e-9);
+    assert!(small < large);
+}
+
+/// Mechanism noise is integer-valued end to end — the integrality
+/// desideratum starts at the noise layer.
+#[test]
+fn outputs_are_integers_by_construction() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let g = GeometricMechanism::new(0.5, 2.0);
+    let gauss = GaussianMechanism::with_rho(0.1, 1.0);
+    for v in [0u64, 1, 1_000_000] {
+        // i64 return types make this a compile-time fact; spot-check
+        // values round-trip.
+        let _a: i64 = g.privatize(v, &mut rng);
+        let _b: i64 = gauss.privatize(v, &mut rng);
+    }
+}

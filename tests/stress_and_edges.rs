@@ -1,0 +1,194 @@
+//! Stress and edge-case integration tests: degenerate hierarchies,
+//! pathological histograms, deep trees, and large-value safety.
+
+use hccount::consistency::{top_down_release, LevelMethod, TopDownConfig};
+use hccount::core::{emd, try_emd, CountOfCounts, CoreError};
+use hccount::hierarchy::{Hierarchy, HierarchyBuilder};
+use hccount::prelude::HierarchicalCounts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn deep_chain_hierarchy() {
+    // A pathological 6-level chain: every level has exactly one node.
+    let mut b = HierarchyBuilder::new("l0");
+    let mut cur = Hierarchy::ROOT;
+    for i in 1..6 {
+        cur = b.add_child(cur, format!("l{i}"));
+    }
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![(cur, CountOfCounts::from_group_sizes([1, 2, 3, 4, 5]))],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(61);
+    let cfg = TopDownConfig::new(3.0).with_method(LevelMethod::Cumulative { bound: 16 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&h);
+    // Every level holds the same 5 groups.
+    for node in h.iter() {
+        assert_eq!(rel.groups(node), 5);
+    }
+}
+
+#[test]
+fn wide_flat_hierarchy() {
+    // 200 leaves directly under the root.
+    let mut b = HierarchyBuilder::new("root");
+    let leaves: Vec<_> = (0..200)
+        .map(|i| b.add_child(Hierarchy::ROOT, format!("leaf{i}")))
+        .collect();
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        leaves
+            .iter()
+            .map(|&l| (l, CountOfCounts::from_group_sizes([1, 3])))
+            .collect(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(62);
+    let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Unattributed);
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&h);
+    assert_eq!(rel.groups(Hierarchy::ROOT), 400);
+}
+
+#[test]
+fn all_groups_identical_size() {
+    // Zero-variance data: 10 000 groups, every one of size 4.
+    let mut b = HierarchyBuilder::new("root");
+    let a = b.add_child(Hierarchy::ROOT, "a");
+    let c = b.add_child(Hierarchy::ROOT, "b");
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![
+            (a, CountOfCounts::from_counts(vec![0, 0, 0, 0, 6000])),
+            (c, CountOfCounts::from_counts(vec![0, 0, 0, 0, 4000])),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(63);
+    for method in [
+        LevelMethod::Cumulative { bound: 64 },
+        LevelMethod::Unattributed,
+    ] {
+        let cfg = TopDownConfig::new(2.0).with_method(method);
+        let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+        rel.assert_desiderata(&h);
+        // Massive equal-size runs pool into huge isotonic partitions,
+        // so error should be small relative to 40 000 people.
+        let e = emd(rel.node(Hierarchy::ROOT), data.node(Hierarchy::ROOT));
+        assert!(e < 4000, "{}: emd {e}", method.name());
+    }
+}
+
+#[test]
+fn single_enormous_group() {
+    let mut b = HierarchyBuilder::new("root");
+    let a = b.add_child(Hierarchy::ROOT, "a");
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![(a, CountOfCounts::from_group_sizes([1_000_000]))],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(64);
+    // Hg handles unbounded sizes natively.
+    let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Unattributed);
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    let est = rel.node(a).to_unattributed().runs()[0].size;
+    assert!(est.abs_diff(1_000_000) < 100, "estimated {est}");
+
+    // Hc truncates at the public bound — the released group size is
+    // clamped to K, as the paper's preprocessing specifies.
+    let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Cumulative { bound: 1000 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    assert!(rel.node(a).max_size().unwrap_or(0) <= 1000);
+    assert_eq!(rel.groups(a), 1);
+}
+
+#[test]
+fn zero_entity_region_all_empty_groups() {
+    // 50 groups, all of size 0 (e.g. Hawaiian-count blocks).
+    let mut b = HierarchyBuilder::new("root");
+    let a = b.add_child(Hierarchy::ROOT, "a");
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![(a, CountOfCounts::from_counts(vec![50]))],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(65);
+    let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 8 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    assert_eq!(rel.groups(a), 50);
+    // Zero total entities with high probability of small error.
+    assert!(rel.node(a).num_entities() < 200);
+}
+
+#[test]
+fn emd_handles_large_counts_without_overflow() {
+    // ~4e9 groups a few sizes apart exercises u64 accumulation.
+    let a = CountOfCounts::from_counts(vec![0, 4_000_000_000]);
+    let b = CountOfCounts::from_counts(vec![0, 0, 0, 4_000_000_000]);
+    assert_eq!(emd(&a, &b), 8_000_000_000);
+}
+
+#[test]
+fn try_emd_reports_exact_mismatch() {
+    let a = CountOfCounts::from_group_sizes([1, 2]);
+    let b = CountOfCounts::from_group_sizes([1]);
+    assert_eq!(
+        try_emd(&a, &b),
+        Err(CoreError::GroupCountMismatch { left: 2, right: 1 })
+    );
+}
+
+#[test]
+fn naive_method_in_hierarchy_still_consistent() {
+    // Even the strawman satisfies the structural desiderata when run
+    // through Algorithm 1 (its failure is purely error magnitude).
+    let mut b = HierarchyBuilder::new("root");
+    let a = b.add_child(Hierarchy::ROOT, "a");
+    let c = b.add_child(Hierarchy::ROOT, "b");
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![
+            (a, CountOfCounts::from_group_sizes([1, 2, 3])),
+            (c, CountOfCounts::from_group_sizes([2, 2])),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(66);
+    let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Naive { bound: 32 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&h);
+    assert_eq!(rel.groups(Hierarchy::ROOT), 5);
+}
+
+#[test]
+fn adaptive_method_in_hierarchy() {
+    let mut b = HierarchyBuilder::new("root");
+    let a = b.add_child(Hierarchy::ROOT, "a");
+    let c = b.add_child(Hierarchy::ROOT, "b");
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        vec![
+            (a, CountOfCounts::from_group_sizes((1..=60).collect::<Vec<u64>>())),
+            (c, CountOfCounts::from_group_sizes([1, 1, 1, 9_000])),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(67);
+    let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Adaptive { bound: 20_000 });
+    let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
+    rel.assert_desiderata(&h);
+    for node in h.iter() {
+        assert_eq!(rel.groups(node), data.groups(node));
+    }
+}
