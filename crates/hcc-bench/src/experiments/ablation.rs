@@ -49,7 +49,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             }
         }
     }
-    cfg.write_csv("ablation_l1_vs_l2.csv", "dataset,eps,hc_l1_emd,hc_l2_emd", &rows);
+    cfg.write_csv(
+        "ablation_l1_vs_l2.csv",
+        "dataset,eps,hc_l1_emd,hc_l2_emd",
+        &rows,
+    );
     report.push_str("(paper: the L1 variant performs better — expect L2/L1 ≥ 1)\n");
     report
 }

@@ -39,8 +39,9 @@ pub fn run(cfg: &ExpConfig) -> String {
                     let tdc = TopDownConfig::new(total).with_method(m);
                     let rel = top_down_release(&ds.hierarchy, &ds.data, &tdc, &mut rng)
                         .expect("uniform depth");
-                    for (l, e) in
-                        per_level_emd(&ds.hierarchy, &ds.data, &rel).into_iter().enumerate()
+                    for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel)
+                        .into_iter()
+                        .enumerate()
                     {
                         acc[mi][l].push(e);
                     }
@@ -51,7 +52,10 @@ pub fn run(cfg: &ExpConfig) -> String {
                 let hc = mean_std(&acc[0][l]).0;
                 let hg = mean_std(&acc[1][l]).0;
                 let ad = mean_std(&acc[2][l]).0;
-                rows.push(format!("{},{},{},{:.2},{:.2},{:.2}", ds.name, eps, l, hc, hg, ad));
+                rows.push(format!(
+                    "{},{},{},{:.2},{:.2},{:.2}",
+                    ds.name, eps, l, hc, hg, ad
+                ));
                 if ((eps - 0.1).abs() < 1e-12 || (eps - 1.0).abs() < 1e-12) && l == 0 {
                     report.push_str(&format!(
                         "{:<16} {:>6} {:>5} {:>12.1} {:>12.1} {:>12.1}\n",

@@ -72,13 +72,19 @@ pub fn run(cfg: &ExpConfig) -> String {
         for _ in 0..cfg.runs {
             let bu = bottom_up_release(&ds.hierarchy, &ds.data, method, eps_total, &mut rng)
                 .expect("uniform-depth hierarchy");
-            for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &bu).into_iter().enumerate() {
+            for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &bu)
+                .into_iter()
+                .enumerate()
+            {
                 bu_acc[l].push(e);
             }
             let tdc = TopDownConfig::new(eps_total).with_method(method);
             let td = top_down_release(&ds.hierarchy, &ds.data, &tdc, &mut rng)
                 .expect("uniform-depth hierarchy");
-            for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &td).into_iter().enumerate() {
+            for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &td)
+                .into_iter()
+                .enumerate()
+            {
                 td_acc[l].push(e);
             }
         }

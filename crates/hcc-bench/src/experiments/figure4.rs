@@ -77,8 +77,9 @@ pub fn run(cfg: &ExpConfig) -> String {
                             .with_merge(strategy);
                         let rel = top_down_release(&ds.hierarchy, &ds.data, &tdc, &mut rng)
                             .expect("uniform depth");
-                        for (l, e) in
-                            per_level_emd(&ds.hierarchy, &ds.data, &rel).into_iter().enumerate()
+                        for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel)
+                            .into_iter()
+                            .enumerate()
                         {
                             acc[si][l].push(e);
                         }

@@ -53,13 +53,19 @@ pub fn run_with_levels(cfg: &ExpConfig, datasets: Vec<Dataset>, csv: &str) -> St
                     .with_method(LevelMethod::Cumulative { bound: cfg.bound });
                 let rel = top_down_release(&ds.hierarchy, &ds.data, &hc_cfg, &mut rng)
                     .expect("uniform depth");
-                for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel).into_iter().enumerate() {
+                for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel)
+                    .into_iter()
+                    .enumerate()
+                {
                     hc_acc[l].push(e);
                 }
                 let hg_cfg = TopDownConfig::new(total_eps).with_method(LevelMethod::Unattributed);
                 let rel = top_down_release(&ds.hierarchy, &ds.data, &hg_cfg, &mut rng)
                     .expect("uniform depth");
-                for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel).into_iter().enumerate() {
+                for (l, e) in per_level_emd(&ds.hierarchy, &ds.data, &rel)
+                    .into_iter()
+                    .enumerate()
+                {
                     hg_acc[l].push(e);
                 }
             }
@@ -73,9 +79,7 @@ pub fn run_with_levels(cfg: &ExpConfig, datasets: Vec<Dataset>, csv: &str) -> St
                 let nodes = ds.hierarchy.level(l);
                 let om = nodes
                     .iter()
-                    .map(|&n| {
-                        omniscient_expected_error(ds.data.node(n).distinct_sizes(), eps)
-                    })
+                    .map(|&n| omniscient_expected_error(ds.data.node(n).distinct_sizes(), eps))
                     .sum::<f64>()
                     / nodes.len() as f64;
                 rows.push(format!(

@@ -15,7 +15,10 @@ pub mod stats_table;
 pub fn run_all(cfg: &crate::ExpConfig) -> String {
     let mut out = String::new();
     for (name, f) in [
-        ("§6.1 dataset statistics", stats_table::run as fn(&crate::ExpConfig) -> String),
+        (
+            "§6.1 dataset statistics",
+            stats_table::run as fn(&crate::ExpConfig) -> String,
+        ),
         ("Figure 1 error visualisation", figure1::run),
         ("§6.2.1 naive method", naive_table::run),
         ("§6.2.2 bottom-up vs Hc", bottomup_table::run),

@@ -50,7 +50,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             "{:<16} {:>16.0} {:>12.0} {:>12.0}\n",
             ds.name, e_naive, e_hc, e_hg
         ));
-        rows.push(format!("{},{:.1},{:.1},{:.1}", ds.name, e_naive, e_hc, e_hg));
+        rows.push(format!(
+            "{},{:.1},{:.1},{:.1}",
+            ds.name, e_naive, e_hc, e_hg
+        ));
     }
     cfg.write_csv("naive_table.csv", "dataset,naive_emd,hc_emd,hg_emd", &rows);
     report.push_str(

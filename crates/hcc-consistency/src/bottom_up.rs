@@ -38,8 +38,8 @@ pub fn bottom_up_release<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcc_core::CountOfCounts;
     use hcc_core::emd;
+    use hcc_core::CountOfCounts;
     use hcc_hierarchy::HierarchyBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -41,7 +41,10 @@ impl std::fmt::Display for ConsistencyError {
                 write!(f, "children do not sum to parent at node {node}")
             }
             ConsistencyError::WrongNodeCount { got, expected } => {
-                write!(f, "got {got} histograms for a hierarchy of {expected} nodes")
+                write!(
+                    f,
+                    "got {got} histograms for a hierarchy of {expected} nodes"
+                )
             }
         }
     }
@@ -191,11 +194,9 @@ mod tests {
     #[test]
     fn missing_leaves_are_empty() {
         let (h, a, _) = two_level();
-        let data = HierarchicalCounts::from_leaves(
-            &h,
-            vec![(a, CountOfCounts::from_group_sizes([3]))],
-        )
-        .unwrap();
+        let data =
+            HierarchicalCounts::from_leaves(&h, vec![(a, CountOfCounts::from_group_sizes([3]))])
+                .unwrap();
         assert_eq!(data.groups(Hierarchy::ROOT), 1);
         data.assert_desiderata(&h);
     }
@@ -203,11 +204,9 @@ mod tests {
     #[test]
     fn rejects_internal_node_as_leaf() {
         let (h, _, _) = two_level();
-        let err = HierarchicalCounts::from_leaves(
-            &h,
-            vec![(Hierarchy::ROOT, CountOfCounts::new())],
-        )
-        .unwrap_err();
+        let err =
+            HierarchicalCounts::from_leaves(&h, vec![(Hierarchy::ROOT, CountOfCounts::new())])
+                .unwrap_err();
         assert_eq!(err, ConsistencyError::NotALeaf(Hierarchy::ROOT));
     }
 
@@ -252,11 +251,22 @@ mod tests {
             CountOfCounts::from_group_sizes([2]),
         ];
         let err = HierarchicalCounts::from_node_histograms(&h, bad).unwrap_err();
-        assert_eq!(err, ConsistencyError::Inconsistent { node: Hierarchy::ROOT });
+        assert_eq!(
+            err,
+            ConsistencyError::Inconsistent {
+                node: Hierarchy::ROOT
+            }
+        );
 
         let err =
             HierarchicalCounts::from_node_histograms(&h, vec![CountOfCounts::new()]).unwrap_err();
-        assert!(matches!(err, ConsistencyError::WrongNodeCount { got: 1, expected: 3 }));
+        assert!(matches!(
+            err,
+            ConsistencyError::WrongNodeCount {
+                got: 1,
+                expected: 3
+            }
+        ));
     }
 
     #[test]
@@ -265,8 +275,13 @@ mod tests {
             ConsistencyError::NotUniformDepth,
             ConsistencyError::NotALeaf(Hierarchy::ROOT),
             ConsistencyError::DuplicateLeaf(Hierarchy::ROOT),
-            ConsistencyError::Inconsistent { node: Hierarchy::ROOT },
-            ConsistencyError::WrongNodeCount { got: 1, expected: 2 },
+            ConsistencyError::Inconsistent {
+                node: Hierarchy::ROOT,
+            },
+            ConsistencyError::WrongNodeCount {
+                got: 1,
+                expected: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

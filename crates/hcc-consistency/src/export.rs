@@ -95,10 +95,12 @@ pub fn from_csv(hierarchy: &Hierarchy, text: &str) -> Result<HierarchicalCounts,
         if fields.next().is_some() {
             return Err(ExportError::BadRow { line });
         }
-        let &node = by_name.get(region).ok_or_else(|| ExportError::UnknownRegion {
-            line,
-            region: region.to_string(),
-        })?;
+        let &node = by_name
+            .get(region)
+            .ok_or_else(|| ExportError::UnknownRegion {
+                line,
+                region: region.to_string(),
+            })?;
         let v = &mut dense[node.index()];
         if v.len() <= size {
             v.resize(size + 1, 0);
@@ -151,7 +153,9 @@ mod tests {
         assert!(csv.contains("a,1,4,1"));
         assert!(csv.contains("b,1,2,2"));
         // No zero-count rows.
-        assert!(!csv.lines().any(|l| l.ends_with(",0") && !l.starts_with("region")));
+        assert!(!csv
+            .lines()
+            .any(|l| l.ends_with(",0") && !l.starts_with("region")));
     }
 
     #[test]

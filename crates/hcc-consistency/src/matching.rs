@@ -64,10 +64,7 @@ impl MatchSegment {
 ///
 /// Panics if the total group counts disagree — callers guarantee
 /// `τ.G = Σ_c c.G` from the public Groups table.
-pub fn match_groups(
-    parent: &[VarianceRun],
-    children: &[Vec<VarianceRun>],
-) -> Vec<MatchSegment> {
+pub fn match_groups(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> Vec<MatchSegment> {
     let parent_total: u64 = parent.iter().map(|r| r.count).sum();
     let child_total: u64 = children
         .iter()
@@ -292,8 +289,16 @@ mod tests {
 
     #[test]
     fn variances_are_carried_through() {
-        let parent = vec![VarianceRun { size: 3, count: 1, variance: 0.25 }];
-        let child = vec![VarianceRun { size: 4, count: 1, variance: 4.0 }];
+        let parent = vec![VarianceRun {
+            size: 3,
+            count: 1,
+            variance: 0.25,
+        }];
+        let child = vec![VarianceRun {
+            size: 4,
+            count: 1,
+            variance: 4.0,
+        }];
         let segs = match_groups(&parent, &[child]);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].parent_variance, 0.25);

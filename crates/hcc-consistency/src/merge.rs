@@ -41,7 +41,10 @@ impl MergeStrategy {
             MergeStrategy::WeightedAverage => {
                 let wp = 1.0 / parent_variance;
                 let wc = 1.0 / child_variance;
-                ((parent_size * wp + child_size * wc) / (wp + wc), 1.0 / (wp + wc))
+                (
+                    (parent_size * wp + child_size * wc) / (wp + wc),
+                    1.0 / (wp + wc),
+                )
             }
             MergeStrategy::PlainAverage => (
                 (parent_size + child_size) / 2.0,

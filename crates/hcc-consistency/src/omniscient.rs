@@ -89,7 +89,10 @@ mod tests {
             &h,
             vec![
                 (a, CountOfCounts::from_group_sizes(vec![1; 50])),
-                (c, CountOfCounts::from_group_sizes((1..=50).collect::<Vec<u64>>())),
+                (
+                    c,
+                    CountOfCounts::from_group_sizes((1..=50).collect::<Vec<u64>>()),
+                ),
             ],
         )
         .unwrap();
@@ -154,11 +157,9 @@ mod tests {
         let a = b.add_child(Hierarchy::ROOT, "a");
         let _empty = b.add_child(Hierarchy::ROOT, "empty");
         let h = b.build();
-        let data = HierarchicalCounts::from_leaves(
-            &h,
-            vec![(a, CountOfCounts::from_group_sizes([1, 2]))],
-        )
-        .unwrap();
+        let data =
+            HierarchicalCounts::from_leaves(&h, vec![(a, CountOfCounts::from_group_sizes([1, 2]))])
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(23);
         let out = omniscient_release(&h, &data, 1.0, &mut rng);
         assert!(out[1].num_groups() == 2 || !out[1].is_empty());

@@ -15,8 +15,8 @@
 //! rounded with the largest-remainder rule.
 
 use hcc_hierarchy::Hierarchy;
-use hcc_noise::GeometricMechanism;
 use hcc_isotonic::{project_simplex, round_preserving_sum};
+use hcc_noise::GeometricMechanism;
 use rand::Rng;
 
 /// Differentially private, hierarchy-consistent group counts.
@@ -60,8 +60,7 @@ pub fn private_group_counts<R: Rng + ?Sized>(
                 continue;
             }
             let target = out[node.index()];
-            let child_noisy: Vec<f64> =
-                children.iter().map(|c| noisy[c.index()] as f64).collect();
+            let child_noisy: Vec<f64> = children.iter().map(|c| noisy[c.index()] as f64).collect();
             let projected = project_simplex(&child_noisy, target as f64);
             let rounded = round_preserving_sum(&projected, target);
             for (c, &v) in children.iter().zip(rounded.iter()) {

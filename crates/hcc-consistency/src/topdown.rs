@@ -454,11 +454,9 @@ mod tests {
         let a = b.add_child(Hierarchy::ROOT, "a");
         let _empty = b.add_child(Hierarchy::ROOT, "empty");
         let h = b.build();
-        let data = HierarchicalCounts::from_leaves(
-            &h,
-            vec![(a, CountOfCounts::from_group_sizes([2, 2]))],
-        )
-        .unwrap();
+        let data =
+            HierarchicalCounts::from_leaves(&h, vec![(a, CountOfCounts::from_group_sizes([2, 2]))])
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 16 });
         let released = top_down_release(&h, &data, &cfg, &mut rng).unwrap();

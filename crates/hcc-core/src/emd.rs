@@ -35,7 +35,10 @@ pub fn emd(a: &CountOfCounts, b: &CountOfCounts) -> u64 {
 pub fn try_emd(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
     let (ga, gb) = (a.num_groups(), b.num_groups());
     if ga != gb {
-        return Err(CoreError::GroupCountMismatch { left: ga, right: gb });
+        return Err(CoreError::GroupCountMismatch {
+            left: ga,
+            right: gb,
+        });
     }
     let la = a.as_slice();
     let lb = b.as_slice();
@@ -58,15 +61,14 @@ pub fn try_emd(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
 pub fn emd_reference(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
     let (ga, gb) = (a.num_groups(), b.num_groups());
     if ga != gb {
-        return Err(CoreError::GroupCountMismatch { left: ga, right: gb });
+        return Err(CoreError::GroupCountMismatch {
+            left: ga,
+            right: gb,
+        });
     }
     let da = a.to_unattributed().to_dense();
     let db = b.to_unattributed().to_dense();
-    Ok(da
-        .iter()
-        .zip(db.iter())
-        .map(|(&x, &y)| x.abs_diff(y))
-        .sum())
+    Ok(da.iter().zip(db.iter()).map(|(&x, &y)| x.abs_diff(y)).sum())
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnsortedRuns { index } => {
-                write!(f, "runs are not sorted by strictly increasing size at index {index}")
+                write!(
+                    f,
+                    "runs are not sorted by strictly increasing size at index {index}"
+                )
             }
             CoreError::EmptyRun { index } => {
                 write!(f, "run at index {index} has zero count")

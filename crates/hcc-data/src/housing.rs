@@ -203,8 +203,9 @@ pub fn housing(cfg: &HousingConfig) -> Dataset {
     let mut leaves: Vec<(NodeId, CountOfCounts)> = Vec::new();
     let mut state_hists: Vec<Vec<u64>> = Vec::new();
     for &(_, pop) in &states {
-        let households =
-            (pop * 1e6 * cfg.scale / PERSONS_PER_HOUSEHOLD).round().max(1.0) as u64;
+        let households = (pop * 1e6 * cfg.scale / PERSONS_PER_HOUSEHOLD)
+            .round()
+            .max(1.0) as u64;
         state_hists.push(state_histogram(households, &mut rng));
     }
 
@@ -340,10 +341,7 @@ mod tests {
         };
         let a = housing(&cfg);
         let b = housing(&cfg);
-        assert_eq!(
-            a.data.node(Hierarchy::ROOT),
-            b.data.node(Hierarchy::ROOT)
-        );
+        assert_eq!(a.data.node(Hierarchy::ROOT), b.data.node(Hierarchy::ROOT));
     }
 
     #[test]

@@ -144,8 +144,9 @@ pub fn race(cfg: &RaceConfig) -> Dataset {
 
     let mut leaves: Vec<(NodeId, CountOfCounts)> = Vec::new();
     for (si, &(_, pop)) in states.iter().enumerate() {
-        let state_blocks =
-            (FULL_SCALE_BLOCKS * cfg.scale * pop / total_pop).round().max(1.0) as u64;
+        let state_blocks = (FULL_SCALE_BLOCKS * cfg.scale * pop / total_pop)
+            .round()
+            .max(1.0) as u64;
         let county_nodes = &leaf_sets[si];
         // Blocks per county: even split with the remainder on the
         // first counties (county sizes already vary via occupancy).

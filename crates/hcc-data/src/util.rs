@@ -107,8 +107,10 @@ mod tests {
         let n = 20u64;
         let p = 0.3;
         let trials = 20_000;
-        let mean: f64 =
-            (0..trials).map(|_| binomial(n, p, &mut rng) as f64).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| binomial(n, p, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
     }
 
@@ -128,8 +130,10 @@ mod tests {
         let n = 100_000u64;
         let p = 1e-4; // variance 10 → sparse geometric-gap path
         let trials = 2000;
-        let mean: f64 =
-            (0..trials).map(|_| binomial(n, p, &mut rng) as f64).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| binomial(n, p, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
     }
 

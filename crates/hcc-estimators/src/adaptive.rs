@@ -56,7 +56,10 @@ impl AdaptiveEstimator {
 
     /// Overrides the probe budget fraction.
     pub fn with_selector_fraction(mut self, f: f64) -> Self {
-        assert!((0.0..1.0).contains(&f) && f > 0.0, "fraction must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&f) && f > 0.0,
+            "fraction must be in (0, 1)"
+        );
         self.selector_fraction = f;
         self
     }
@@ -146,7 +149,10 @@ mod tests {
             }
         }
         assert!(dense_hg <= 2, "dense data picked Hg {dense_hg}/20 times");
-        assert!(gappy_hg >= 18, "gappy data picked Hg only {gappy_hg}/20 times");
+        assert!(
+            gappy_hg >= 18,
+            "gappy data picked Hg only {gappy_hg}/20 times"
+        );
     }
 
     #[test]

@@ -129,8 +129,22 @@ mod tests {
         let est = NodeEstimate::new(h.clone(), vec![0.5, 2.0]);
         let runs = est.variance_runs();
         assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0], VarianceRun { size: 1, count: 2, variance: 0.5 });
-        assert_eq!(runs[1], VarianceRun { size: 3, count: 1, variance: 2.0 });
+        assert_eq!(
+            runs[0],
+            VarianceRun {
+                size: 1,
+                count: 2,
+                variance: 0.5
+            }
+        );
+        assert_eq!(
+            runs[1],
+            VarianceRun {
+                size: 3,
+                count: 1,
+                variance: 2.0
+            }
+        );
     }
 
     #[test]
@@ -150,11 +164,26 @@ mod tests {
     #[test]
     fn from_variance_runs_normalises_and_pools() {
         let est = NodeEstimate::from_variance_runs(vec![
-            VarianceRun { size: 5, count: 1, variance: 2.0 },
-            VarianceRun { size: 2, count: 3, variance: 1.0 },
-            VarianceRun { size: 5, count: 3, variance: 6.0 },
+            VarianceRun {
+                size: 5,
+                count: 1,
+                variance: 2.0,
+            },
+            VarianceRun {
+                size: 2,
+                count: 3,
+                variance: 1.0,
+            },
+            VarianceRun {
+                size: 5,
+                count: 3,
+                variance: 6.0,
+            },
         ]);
-        assert_eq!(est.hist(), &CountOfCounts::from_group_sizes([2, 2, 2, 5, 5, 5, 5]));
+        assert_eq!(
+            est.hist(),
+            &CountOfCounts::from_group_sizes([2, 2, 2, 5, 5, 5, 5])
+        );
         // Size-5 variance pooled: (2·1 + 6·3)/4 = 5.
         assert_eq!(est.variances(), &[1.0, 5.0]);
     }

@@ -104,8 +104,7 @@ mod tests {
         let h = CountOfCounts::from_group_sizes([1, 1, 4, 4, 7]);
         let mut rng = StdRng::seed_from_u64(12);
         for loss in [CumulativeLoss::L1, CumulativeLoss::L2] {
-            let est =
-                CumulativeEstimator::with_loss(16, loss).estimate(&h, 5, 500.0, &mut rng);
+            let est = CumulativeEstimator::with_loss(16, loss).estimate(&h, 5, 500.0, &mut rng);
             assert_eq!(est.hist(), &h, "loss {loss:?}");
         }
     }

@@ -54,8 +54,7 @@ impl Estimator for UnattributedEstimator {
         let mech = GeometricMechanism::new(epsilon, Self::SENSITIVITY);
         // Expand to the dense Hg, privatize every coordinate.
         let ua = hist.to_unattributed();
-        let mut noisy: Vec<f64> =
-            Vec::with_capacity(usize::try_from(g).expect("G exceeds memory"));
+        let mut noisy: Vec<f64> = Vec::with_capacity(usize::try_from(g).expect("G exceeds memory"));
         for run in ua.runs() {
             for _ in 0..run.count {
                 noisy.push(mech.privatize(run.size, rng) as f64);

@@ -47,7 +47,10 @@ mod tests {
             }
         }
         // Theoretical guarantee is 0.9995; allow slack for sampling.
-        assert!(above > 990, "bound covered the max only {above}/{trials} times");
+        assert!(
+            above > 990,
+            "bound covered the max only {above}/{trials} times"
+        );
     }
 
     #[test]

@@ -192,7 +192,9 @@ arlington,virginia";
             ParseError::MultipleRoots { name: "x".into() },
             ParseError::NoRoot,
             ParseError::DuplicateRegion { name: "x".into() },
-            ParseError::Unreachable { names: vec!["x".into()] },
+            ParseError::Unreachable {
+                names: vec!["x".into()],
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

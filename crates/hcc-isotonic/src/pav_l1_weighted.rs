@@ -148,7 +148,10 @@ mod tests {
         let a = isotonic_l1_weighted(&y, &w).values();
         let b = isotonic_l1(&y).values();
         let cost = |x: &[f64]| -> f64 {
-            x.iter().zip(y.iter()).map(|(v, &t)| (v - t as f64).abs()).sum()
+            x.iter()
+                .zip(y.iter())
+                .map(|(v, &t)| (v - t as f64).abs())
+                .sum()
         };
         assert_eq!(cost(&a), cost(&b));
     }

@@ -90,10 +90,7 @@ mod tests {
     fn paper_figure2_example() {
         // Figure 2: noisy [0, 4, 2, 4, 5, 3] → [0, 3, 3, 4, 4, 4].
         let y = [0.0, 4.0, 2.0, 4.0, 5.0, 3.0];
-        assert_eq!(
-            isotonic_l2(&y).values(),
-            vec![0.0, 3.0, 3.0, 4.0, 4.0, 4.0]
-        );
+        assert_eq!(isotonic_l2(&y).values(), vec![0.0, 3.0, 3.0, 4.0, 4.0, 4.0]);
     }
 
     #[test]

@@ -6,7 +6,9 @@ use rand::{Rng, SeedableRng};
 fn anchored_l1_100k_cells_is_fast() {
     let mut rng = StdRng::seed_from_u64(1);
     let n = 100_001usize;
-    let noisy: Vec<i64> = (0..n).map(|i| (i / 10) as i64 + rng.gen_range(-5..5)).collect();
+    let noisy: Vec<i64> = (0..n)
+        .map(|i| (i / 10) as i64 + rng.gen_range(-5..5))
+        .collect();
     let t = std::time::Instant::now();
     let out = anchored_cumulative(&noisy, (n as u64 - 1) / 10 + 10, CumulativeLoss::L1);
     let dt = t.elapsed();

@@ -144,10 +144,7 @@ mod tests {
     #[test]
     fn rejects_nonpositive_spend() {
         let mut b = PrivacyBudget::new(1.0);
-        assert!(matches!(
-            b.spend(0.0),
-            Err(BudgetError::NonPositive { .. })
-        ));
+        assert!(matches!(b.spend(0.0), Err(BudgetError::NonPositive { .. })));
         assert!(matches!(
             b.spend(-0.5),
             Err(BudgetError::NonPositive { .. })

@@ -39,11 +39,7 @@ impl DiscreteGaussian {
         // Discrete Laplace with scale t: P(y) ∝ e^(−|y|/t); reuse the
         // double-geometric sampler with ε/Δ = 1/t.
         let proposal = DoubleGeometric::new(1.0, t);
-        Self {
-            sigma,
-            proposal,
-            t,
-        }
+        Self { sigma, proposal, t }
     }
 
     /// The configured `σ`.
@@ -175,7 +171,10 @@ impl ZCdpBudget {
     /// The `(ε, δ)`-DP guarantee implied by the *total* budget:
     /// `ε(δ) = ρ + 2√(ρ ln(1/δ))`.
     pub fn epsilon(&self, delta: f64) -> f64 {
-        assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&delta) && delta > 0.0,
+            "delta must be in (0, 1)"
+        );
         self.total + 2.0 * (self.total * (1.0 / delta).ln()).sqrt()
     }
 }

@@ -56,16 +56,25 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::BadRow { line, row } => {
-                write!(f, "line {line}: expected two comma-separated fields, got {row:?}")
+                write!(
+                    f,
+                    "line {line}: expected two comma-separated fields, got {row:?}"
+                )
             }
             CsvError::UnknownRegion { line, region } => {
-                write!(f, "line {line}: {region:?} is not a leaf region of the hierarchy")
+                write!(
+                    f,
+                    "line {line}: {region:?} is not a leaf region of the hierarchy"
+                )
             }
             CsvError::DuplicateGroup { line, group } => {
                 write!(f, "line {line}: group {group:?} declared twice")
             }
             CsvError::UnknownGroup { line, group } => {
-                write!(f, "line {line}: entity references undeclared group {group:?}")
+                write!(
+                    f,
+                    "line {line}: entity references undeclared group {group:?}"
+                )
             }
         }
     }
@@ -108,10 +117,7 @@ impl<'h> CsvLoader<'h> {
     /// Parses one CSV body (no quoting — identifiers are plain
     /// tokens). Lines that are empty or start with `#` are skipped; a
     /// first line equal to the expected header is skipped too.
-    fn rows<'a>(
-        text: &'a str,
-        header: &'a str,
-    ) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+    fn rows<'a>(text: &'a str, header: &'a str) -> impl Iterator<Item = (usize, &'a str)> + 'a {
         text.lines().enumerate().filter_map(move |(i, l)| {
             let l = l.trim();
             if l.is_empty() || l.starts_with('#') || (i == 0 && l.eq_ignore_ascii_case(header)) {
@@ -203,9 +209,7 @@ mod tests {
         let h = hierarchy();
         let mut loader = CsvLoader::new(&h);
         let n = loader
-            .load_groups(
-                "group_id,region_name\n# comment\ng1,alpha\ng2,alpha\ng3,beta\n\n",
-            )
+            .load_groups("group_id,region_name\n# comment\ng1,alpha\ng2,alpha\ng3,beta\n\n")
             .unwrap();
         assert_eq!(n, 3);
         let n = loader

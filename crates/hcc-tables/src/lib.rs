@@ -233,10 +233,7 @@ mod tests {
         let (h, db, a, bb) = paper_example();
         let hists = db.node_histograms(&h);
         // Htop = [2, 1, 0, 1] over sizes 1..4 → dense [0, 2, 1, 0, 1].
-        assert_eq!(
-            hists[Hierarchy::ROOT.index()].as_slice(),
-            &[0, 2, 1, 0, 1]
-        );
+        assert_eq!(hists[Hierarchy::ROOT.index()].as_slice(), &[0, 2, 1, 0, 1]);
         // Ha = groups of sizes {4, 1}.
         assert_eq!(hists[a.index()], CountOfCounts::from_group_sizes([4, 1]));
         // Hb = groups of sizes {2, 1}.

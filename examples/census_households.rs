@@ -29,8 +29,7 @@ fn main() {
     let method = LevelMethod::Cumulative { bound: 100_000 };
 
     let cfg = TopDownConfig::new(epsilon).with_method(method);
-    let topdown =
-        top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).expect("uniform depth");
+    let topdown = top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).expect("uniform depth");
     topdown.assert_desiderata(&ds.hierarchy);
 
     let bu = bottom_up_release(&ds.hierarchy, &ds.data, method, epsilon, &mut rng)
@@ -69,7 +68,10 @@ fn main() {
     // Show a published query a downstream user would run: household
     // size distribution for the largest state (CA).
     let ca = ds.hierarchy.level(1)[0];
-    println!("\n{} household-size histogram (sizes 1..=7):", ds.hierarchy.name(ca));
+    println!(
+        "\n{} household-size histogram (sizes 1..=7):",
+        ds.hierarchy.name(ca)
+    );
     let t = ds.data.node(ca);
     let r = topdown.node(ca);
     for size in 1..=7u64 {

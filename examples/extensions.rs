@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example extensions`
 
-use hccount::consistency::{
-    private_group_counts, top_down_release, LevelMethod, TopDownConfig,
-};
+use hccount::consistency::{private_group_counts, top_down_release, LevelMethod, TopDownConfig};
 use hccount::core::{kth_largest, quantile, size_stats};
 use hccount::estimators::estimate_size_bound;
 use hccount::hierarchy::{Hierarchy, HierarchyBuilder};

@@ -38,8 +38,8 @@ fn main() {
     // 4. Release. Everything after the noisy per-node estimates is
     //    post-processing, so the whole release satisfies 1.0-DP.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2018);
-    let released = top_down_release(&hierarchy, &data, &config, &mut rng)
-        .expect("hierarchy is uniform depth");
+    let released =
+        top_down_release(&hierarchy, &data, &config, &mut rng).expect("hierarchy is uniform depth");
 
     // 5. The output satisfies every desideratum of the problem.
     released.assert_desiderata(&hierarchy);

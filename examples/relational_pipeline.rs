@@ -62,11 +62,13 @@ fn main() {
 
     // Release under ε = 2 with the default Hc method.
     let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Cumulative { bound: 64 });
-    let released =
-        top_down_release(&hierarchy, &data, &cfg, &mut rng).expect("uniform depth");
+    let released = top_down_release(&hierarchy, &data, &cfg, &mut rng).expect("uniform depth");
     released.assert_desiderata(&hierarchy);
 
-    println!("\n{:<12} {:>8} {:>8} {:>6}", "region", "groups", "people", "EMD");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>6}",
+        "region", "groups", "people", "EMD"
+    );
     for node in hierarchy.iter() {
         println!(
             "{:<12} {:>8} {:>8} {:>6}",

@@ -101,7 +101,9 @@ fn required<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
 fn parsed<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse {v:?}")),
     }
 }
 
@@ -147,7 +149,10 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
     let ds = Dataset::generate(kind, scale, seed);
 
-    write(&out_dir.join("hierarchy.csv"), &hierarchy_to_csv(&ds.hierarchy))?;
+    write(
+        &out_dir.join("hierarchy.csv"),
+        &hierarchy_to_csv(&ds.hierarchy),
+    )?;
 
     // Emit groups/entities rows from the leaf histograms.
     let mut groups = String::from("group_id,region_name\n");

@@ -52,7 +52,9 @@ pub mod prelude {
         TopDownConfig,
     };
     pub use hcc_core::{emd, CountOfCounts, Cumulative, Run, Unattributed};
-    pub use hcc_estimators::{CumulativeEstimator, Estimator, NaiveEstimator, UnattributedEstimator};
+    pub use hcc_estimators::{
+        CumulativeEstimator, Estimator, NaiveEstimator, UnattributedEstimator,
+    };
     pub use hcc_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
     pub use hcc_noise::{GeometricMechanism, LaplaceMechanism, PrivacyBudget};
 }

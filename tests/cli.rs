@@ -19,11 +19,17 @@ fn tmp_dir(name: &str) -> PathBuf {
 fn full_pipeline_generate_release_stats_evaluate() {
     let dir = tmp_dir("pipeline");
     let out = hcc()
-        .args(["generate", "--kind", "taxi", "--scale", "0.002", "--seed", "3"])
+        .args([
+            "generate", "--kind", "taxi", "--scale", "0.002", "--seed", "3",
+        ])
         .args(["--out-dir", dir.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in ["hierarchy.csv", "groups.csv", "entities.csv"] {
         assert!(dir.join(f).exists(), "missing {f}");
     }
@@ -38,7 +44,11 @@ fn full_pipeline_generate_release_stats_evaluate() {
         .args(["--out", release.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let content = std::fs::read_to_string(&release).unwrap();
     assert!(content.starts_with("region,level,size,count"));
 
@@ -74,7 +84,9 @@ fn deterministic_given_seed() {
     let dir = tmp_dir("determinism");
     for name in ["a.csv", "b.csv"] {
         let out = hcc()
-            .args(["generate", "--kind", "housing", "--scale", "0.001", "--seed", "9"])
+            .args([
+                "generate", "--kind", "housing", "--scale", "0.001", "--seed", "9",
+            ])
             .args(["--out-dir", dir.to_str().unwrap()])
             .output()
             .unwrap();
@@ -88,7 +100,11 @@ fn deterministic_given_seed() {
             .args(["--out", dir.join(name).to_str().unwrap()])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let a = std::fs::read_to_string(dir.join("a.csv")).unwrap();
     let b = std::fs::read_to_string(dir.join("b.csv")).unwrap();

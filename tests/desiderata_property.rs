@@ -13,10 +13,7 @@ use rand::SeedableRng;
 
 /// Builds a random uniform-depth hierarchy with the given per-level
 /// fan-outs and random group-size multisets at the leaves.
-fn build_case(
-    fanouts: &[usize],
-    leaf_sizes: &[Vec<u64>],
-) -> (Hierarchy, HierarchicalCounts) {
+fn build_case(fanouts: &[usize], leaf_sizes: &[Vec<u64>]) -> (Hierarchy, HierarchicalCounts) {
     let mut b = HierarchyBuilder::new("root");
     let mut frontier = vec![Hierarchy::ROOT];
     for &f in fanouts {

@@ -70,8 +70,7 @@ fn empty_and_singleton_groups_flow_through() {
     let mut db = Database::new();
     db.add_group(&h, leaf); // size 0
     db.add_group_with_size(&h, leaf, 1);
-    let data =
-        HierarchicalCounts::from_node_histograms(&h, db.node_histograms(&h)).unwrap();
+    let data = HierarchicalCounts::from_node_histograms(&h, db.node_histograms(&h)).unwrap();
     assert_eq!(data.node(leaf).count_of(0), 1);
 
     let mut rng = StdRng::seed_from_u64(9);

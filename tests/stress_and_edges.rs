@@ -2,7 +2,7 @@
 //! pathological histograms, deep trees, and large-value safety.
 
 use hccount::consistency::{top_down_release, LevelMethod, TopDownConfig};
-use hccount::core::{emd, try_emd, CountOfCounts, CoreError};
+use hccount::core::{emd, try_emd, CoreError, CountOfCounts};
 use hccount::hierarchy::{Hierarchy, HierarchyBuilder};
 use hccount::prelude::HierarchicalCounts;
 use rand::rngs::StdRng;
@@ -116,11 +116,8 @@ fn zero_entity_region_all_empty_groups() {
     let mut b = HierarchyBuilder::new("root");
     let a = b.add_child(Hierarchy::ROOT, "a");
     let h = b.build();
-    let data = HierarchicalCounts::from_leaves(
-        &h,
-        vec![(a, CountOfCounts::from_counts(vec![50]))],
-    )
-    .unwrap();
+    let data = HierarchicalCounts::from_leaves(&h, vec![(a, CountOfCounts::from_counts(vec![50]))])
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(65);
     let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 8 });
     let rel = top_down_release(&h, &data, &cfg, &mut rng).unwrap();
@@ -179,7 +176,10 @@ fn adaptive_method_in_hierarchy() {
     let data = HierarchicalCounts::from_leaves(
         &h,
         vec![
-            (a, CountOfCounts::from_group_sizes((1..=60).collect::<Vec<u64>>())),
+            (
+                a,
+                CountOfCounts::from_group_sizes((1..=60).collect::<Vec<u64>>()),
+            ),
             (c, CountOfCounts::from_group_sizes([1, 1, 1, 9_000])),
         ],
     )

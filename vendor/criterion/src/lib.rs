@@ -1,0 +1,167 @@
+//! Minimal, self-contained stand-in for the parts of the `criterion`
+//! crate that this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency. It is a wall-clock
+//! mean-per-iteration harness: no warm-up analysis, outlier rejection,
+//! or HTML reports. Each benchmark runs for a short fixed measurement
+//! window and prints `group/id ... <mean> ns/iter`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        Self { text }
+    }
+}
+
+/// Passed to the closure under test; `iter` measures the closure.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration from the last `iter` call.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (also forces lazy init in the routine).
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1);
+    }
+}
+
+fn run_one(group: &str, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.text.clone()
+    } else {
+        format!("{group}/{}", id.text)
+    };
+    println!("{label:<50} {:>12} ns/iter", b.elapsed_per_iter.as_nanos());
+}
+
+/// Group of related benchmarks; mirrors criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
