@@ -174,6 +174,69 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine throughput: released jobs/sec through the full job API
+/// (bounded queue → worker pool → subtree executor) at 1, 2, and 4
+/// workers, plus the cache-hit fast path.
+fn bench_engine(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use hcc_engine::{Engine, EngineConfig, ReleaseRequest};
+
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    let ds = housing(&HousingConfig {
+        scale: 2e-5,
+        seed: 6,
+        ..Default::default()
+    });
+    let hierarchy = Arc::new(ds.hierarchy);
+    let data = Arc::new(ds.data);
+    let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 20_000 });
+    let request = |seed: u64| {
+        ReleaseRequest::new(Arc::clone(&hierarchy), Arc::clone(&data), cfg.clone(), seed)
+    };
+
+    const BATCH: u64 = 8;
+    for &workers in &[1usize, 2, 4] {
+        // Distinct seeds defeat the cache, so every job computes; one
+        // iteration = one BATCH-job release burst, drained to empty.
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_cache_capacity(0),
+        );
+        let mut round = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("jobs_batch8", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    let ids: Vec<_> = (0..BATCH)
+                        .map(|i| engine.submit(request(round * BATCH + i)).unwrap())
+                        .collect();
+                    for id in ids {
+                        black_box(engine.wait(id).unwrap());
+                    }
+                })
+            },
+        );
+    }
+
+    // Repeat request: after the first computation every submission is
+    // a fingerprint lookup.
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let id = engine.submit(request(0)).unwrap();
+    engine.wait(id).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            let id = engine.submit(request(0)).unwrap();
+            black_box(engine.wait(id).unwrap())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_isotonic,
@@ -181,6 +244,7 @@ criterion_group!(
     bench_matching,
     bench_emd,
     bench_noise,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_engine
 );
 criterion_main!(benches);

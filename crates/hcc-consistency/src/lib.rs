@@ -49,4 +49,6 @@ pub use mean_consistency::{mean_consistency_release, MeanConsistencyReport};
 pub use merge::MergeStrategy;
 pub use omniscient::{omniscient_expected_error, omniscient_release};
 pub use private_counts::private_group_counts;
-pub use topdown::{top_down_release, LevelMethod, TopDownConfig};
+pub use topdown::{
+    node_seeds, top_down_from_estimates, top_down_release, LevelMethod, TopDownConfig,
+};

@@ -139,10 +139,10 @@ impl TopDownConfig {
     /// Estimates nodes on `threads` worker threads. The per-node
     /// estimates are embarrassingly parallel (disjoint regions,
     /// independent noise); each node draws from its own RNG seeded
-    /// deterministically from the caller's, so results are
-    /// reproducible for a fixed seed *and thread count-independent*.
-    /// `1` (the default) uses the caller's RNG directly, preserving
-    /// the exact noise stream of earlier releases.
+    /// deterministically from the caller's (see [`node_seeds`]), so
+    /// the release is a pure function of the master seed and
+    /// **bit-identical for every thread count**, including `1` (the
+    /// default, which runs inline without spawning).
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "parallelism must be at least 1");
         self.parallelism = threads;
@@ -172,24 +172,64 @@ impl TopDownConfig {
                 .expect("methods is checked non-empty at construction"),
         )
     }
+
+    /// The per-level budget slice `ε / (L + 1)` for a hierarchy with
+    /// `levels` levels (sequential composition across levels).
+    pub fn level_epsilon(&self, levels: usize) -> f64 {
+        self.epsilon / levels as f64
+    }
+}
+
+/// Draws one RNG seed per hierarchy node, sequentially and in
+/// iteration order, from the caller's master RNG.
+///
+/// This is the derivation both [`top_down_release`] and any external
+/// executor (e.g. the `hcc-engine` worker pool) must share: node `i`
+/// of `hierarchy.iter()` gets its own `StdRng` seeded with `seeds[i]`,
+/// making the noise stream a pure function of the master seed and
+/// independent of estimation order or thread count.
+pub fn node_seeds<R: Rng + ?Sized>(hierarchy: &Hierarchy, rng: &mut R) -> Vec<u64> {
+    (0..hierarchy.num_nodes()).map(|_| rng.gen()).collect()
+}
+
+/// Estimates one node with its own seeded RNG stream.
+fn estimate_node(
+    hierarchy: &Hierarchy,
+    data: &HierarchicalCounts,
+    cfg: &TopDownConfig,
+    eps_level: f64,
+    node: NodeId,
+    seed: u64,
+) -> NodeEstimate {
+    use rand::SeedableRng;
+    let method = cfg.method_for_level(hierarchy.level_of(node));
+    let h = data.node(node);
+    let mut local = rand::rngs::StdRng::seed_from_u64(seed);
+    method.estimate(h, h.num_groups(), eps_level, &mut local)
 }
 
 /// Estimates every node on `cfg.parallelism()` threads. Seeds one
-/// `StdRng` per node from the caller's RNG (drawn sequentially, so the
-/// result is a pure function of the master seed) and strides nodes
-/// across workers.
+/// `StdRng` per node via [`node_seeds`] and strides nodes across
+/// workers; with one thread the loop runs inline, producing the same
+/// estimates without spawning.
 fn parallel_estimates(
     hierarchy: &Hierarchy,
     data: &HierarchicalCounts,
     cfg: &TopDownConfig,
     eps_level: f64,
     rng: &mut (impl Rng + ?Sized),
-) -> Vec<Option<NodeEstimate>> {
-    use rand::SeedableRng;
+) -> Vec<NodeEstimate> {
     let n = hierarchy.num_nodes();
     let nodes: Vec<NodeId> = hierarchy.iter().collect();
-    let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let seeds = node_seeds(hierarchy, rng);
     let threads = cfg.parallelism.min(n.max(1));
+    if threads <= 1 {
+        return nodes
+            .iter()
+            .zip(&seeds)
+            .map(|(&node, &seed)| estimate_node(hierarchy, data, cfg, eps_level, node, seed))
+            .collect();
+    }
     let mut out: Vec<Option<NodeEstimate>> = vec![None; n];
     let chunks: Vec<(usize, &mut [Option<NodeEstimate>])> = {
         // Split the output into contiguous chunks, one per worker.
@@ -214,16 +254,16 @@ fn parallel_estimates(
             scope.spawn(move || {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let idx = start + off;
-                    let node = nodes[idx];
-                    let method = cfg.method_for_level(hierarchy.level_of(node));
-                    let h = data.node(node);
-                    let mut local = rand::rngs::StdRng::seed_from_u64(seeds[idx]);
-                    *slot = Some(method.estimate(h, h.num_groups(), eps_level, &mut local));
+                    *slot = Some(estimate_node(
+                        hierarchy, data, cfg, eps_level, nodes[idx], seeds[idx],
+                    ));
                 }
             });
         }
     });
-    out
+    out.into_iter()
+        .map(|e| e.expect("every chunk slot filled"))
+        .collect()
 }
 
 /// Algorithm 1: releases ε-differentially-private count-of-counts
@@ -270,24 +310,42 @@ pub fn top_down_release<R: Rng + ?Sized>(
     if !hierarchy.is_uniform_depth() {
         return Err(ConsistencyError::NotUniformDepth);
     }
-    let levels = hierarchy.num_levels();
-    let eps_level = cfg.epsilon / levels as f64;
+    let eps_level = cfg.level_epsilon(hierarchy.num_levels());
 
     // Lines 1–4: independent per-node estimates, one budget slice per
     // level. Within a level this is parallel composition (disjoint
     // regions), so the estimates may also be *computed* in parallel.
-    let mut estimates: Vec<Option<NodeEstimate>> = if cfg.parallelism <= 1 {
-        hierarchy
-            .iter()
-            .map(|node| {
-                let method = cfg.method_for_level(hierarchy.level_of(node));
-                let h = data.node(node);
-                Some(method.estimate(h, h.num_groups(), eps_level, rng))
-            })
-            .collect()
-    } else {
-        parallel_estimates(hierarchy, data, cfg, eps_level, rng)
-    };
+    let estimates = parallel_estimates(hierarchy, data, cfg, eps_level, rng);
+    top_down_from_estimates(hierarchy, cfg, estimates)
+}
+
+/// The post-processing half of Algorithm 1: given one independent
+/// [`NodeEstimate`] per node (in `hierarchy.iter()` order), performs
+/// the top-down matching + merging and upward back-substitution,
+/// returning the consistent release.
+///
+/// [`top_down_release`] computes the estimates and calls this; an
+/// external executor (e.g. the `hcc-engine` worker pool) can instead
+/// compute the per-node estimates on its own scheduler — they are
+/// embarrassingly parallel — and feed them here. Everything in this
+/// function is deterministic post-processing (Theorem 1), so the
+/// release is a pure function of the estimates.
+pub fn top_down_from_estimates(
+    hierarchy: &Hierarchy,
+    cfg: &TopDownConfig,
+    estimates: Vec<NodeEstimate>,
+) -> Result<HierarchicalCounts, ConsistencyError> {
+    if !hierarchy.is_uniform_depth() {
+        return Err(ConsistencyError::NotUniformDepth);
+    }
+    if estimates.len() != hierarchy.num_nodes() {
+        return Err(ConsistencyError::WrongNodeCount {
+            got: estimates.len(),
+            expected: hierarchy.num_nodes(),
+        });
+    }
+    let levels = hierarchy.num_levels();
+    let mut estimates: Vec<Option<NodeEstimate>> = estimates.into_iter().map(Some).collect();
 
     // Lines 8–12: top-down matching + merging. `updated[n]` holds the
     // merged estimate Ĥ' for nodes whose level has been processed.
@@ -543,11 +601,34 @@ mod parallel_tests {
             let mut rng = StdRng::seed_from_u64(82);
             top_down_release(&h, &d, &cfg, &mut rng).unwrap()
         };
+        let one = run(1);
         let two = run(2);
         let eight = run(8);
         for node in h.iter() {
+            assert_eq!(one.node(node), two.node(node));
             assert_eq!(two.node(node), eight.node(node));
         }
+    }
+
+    #[test]
+    fn from_estimates_matches_release_and_validates_length() {
+        let (h, d) = data();
+        let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 64 });
+        let eps_level = cfg.level_epsilon(h.num_levels());
+        let mut rng = StdRng::seed_from_u64(83);
+        let seeds = node_seeds(&h, &mut rng);
+        let estimates: Vec<NodeEstimate> = h
+            .iter()
+            .zip(&seeds)
+            .map(|(node, &seed)| estimate_node(&h, &d, &cfg, eps_level, node, seed))
+            .collect();
+        let via_estimates = top_down_from_estimates(&h, &cfg, estimates).unwrap();
+        let mut rng = StdRng::seed_from_u64(83);
+        let direct = top_down_release(&h, &d, &cfg, &mut rng).unwrap();
+        assert_eq!(via_estimates, direct);
+
+        let err = top_down_from_estimates(&h, &cfg, Vec::new()).unwrap_err();
+        assert!(matches!(err, ConsistencyError::WrongNodeCount { .. }));
     }
 
     #[test]

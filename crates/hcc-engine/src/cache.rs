@@ -1,0 +1,121 @@
+//! In-memory LRU cache of finished releases.
+//!
+//! Production deployments see the same release request repeatedly —
+//! dashboards refresh, downstream consumers retry — and a private
+//! release is a pure function of its request fingerprint, so
+//! recomputing it burns CPU for a bit-identical answer. (Re-serving a
+//! cached release also spends no additional privacy budget: it is the
+//! *same* ε-DP output, not a fresh draw.)
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::fingerprint::Fingerprint;
+use crate::job::ReleaseResult;
+
+/// Bounded LRU map from request fingerprint to finished release.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<Fingerprint, Arc<ReleaseResult>>,
+    /// Front = least recently used.
+    order: VecDeque<Fingerprint>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` releases; `0` disables
+    /// caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Looks up a finished release, refreshing its recency.
+    pub fn get(&mut self, key: Fingerprint) -> Option<Arc<ReleaseResult>> {
+        let hit = self.map.get(&key).cloned()?;
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+        Some(hit)
+    }
+
+    /// Stores a finished release, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: Fingerprint, value: Arc<ReleaseResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, value).is_some() {
+            // Refresh recency of the overwritten key.
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+            }
+        } else if self.map.len() > self.capacity {
+            if let Some(lru) = self.order.pop_front() {
+                self.map.remove(&lru);
+            }
+        }
+        self.order.push_back(key);
+    }
+
+    /// Number of cached releases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result(tag: u64) -> Arc<ReleaseResult> {
+        Arc::new(ReleaseResult {
+            csv: format!("region,level,size,count\nr,0,1,{tag}\n"),
+            rows: 1,
+            compute_time: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ResultCache::new(2);
+        c.insert(Fingerprint(1), result(1));
+        c.insert(Fingerprint(2), result(2));
+        assert!(c.get(Fingerprint(1)).is_some()); // 2 is now LRU
+        c.insert(Fingerprint(3), result(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(Fingerprint(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(Fingerprint(1)).is_some());
+        assert!(c.get(Fingerprint(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let mut c = ResultCache::new(2);
+        c.insert(Fingerprint(1), result(1));
+        c.insert(Fingerprint(2), result(2));
+        c.insert(Fingerprint(1), result(10));
+        assert_eq!(c.len(), 2);
+        c.insert(Fingerprint(3), result(3));
+        assert!(c.get(Fingerprint(2)).is_none(), "2 was the LRU");
+        assert!(c.get(Fingerprint(1)).unwrap().csv.contains(",10"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(Fingerprint(1), result(1));
+        assert!(c.is_empty());
+        assert!(c.get(Fingerprint(1)).is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Blocking TCP client for the engine server.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::job::JobId;
+use crate::protocol::{read_line, read_section_body, write_section, SubmitParams};
+
+/// A release fetched over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FetchedRelease {
+    /// The `region,level,size,count` CSV, exactly as released.
+    pub csv: String,
+    /// Whether the server's result cache served it.
+    pub from_cache: bool,
+}
+
+/// One connection to an engine server; every method is a blocking
+/// request/response exchange.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server started with [`crate::serve`] or
+    /// `hcc serve`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn request_line(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.request_line("PING")? == "PONG")
+    }
+
+    /// The server's `STATS` line (workers, queue depth, counters).
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request_line("STATS")
+    }
+
+    /// Submits a release job from raw CSV tables, returning its id.
+    pub fn submit(
+        &mut self,
+        params: &SubmitParams,
+        hierarchy_csv: &str,
+        groups_csv: &str,
+        entities_csv: &str,
+    ) -> io::Result<Result<JobId, String>> {
+        writeln!(self.writer, "SUBMIT {}", params.encode())?;
+        write_section(&mut self.writer, "HIERARCHY", hierarchy_csv)?;
+        write_section(&mut self.writer, "GROUPS", groups_csv)?;
+        write_section(&mut self.writer, "ENTITIES", entities_csv)?;
+        writeln!(self.writer, "END")?;
+        self.writer.flush()?;
+        let reply = read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Ok(match reply.split_once(' ') {
+            Some(("OK", id)) => id.parse().map_err(|e: String| e),
+            Some(("ERR", msg)) => Err(msg.to_string()),
+            _ => Err(format!("unexpected reply {reply:?}")),
+        })
+    }
+
+    /// One-line job status, e.g. `QUEUED` or `DONE rows=12 cached=0`.
+    pub fn status(&mut self, id: JobId) -> io::Result<String> {
+        self.request_line(&format!("STATUS {id}"))
+    }
+
+    /// Blocks until the job finishes and downloads the release.
+    pub fn wait(&mut self, id: JobId) -> io::Result<Result<FetchedRelease, String>> {
+        self.fetch_with(id, "WAIT")
+    }
+
+    /// Downloads a finished release without blocking on computation.
+    pub fn fetch(&mut self, id: JobId) -> io::Result<Result<FetchedRelease, String>> {
+        self.fetch_with(id, "FETCH")
+    }
+
+    fn fetch_with(&mut self, id: JobId, cmd: &str) -> io::Result<Result<FetchedRelease, String>> {
+        let reply = self.request_line(&format!("{cmd} {id}"))?;
+        let Some(("RELEASE", tail)) = reply.split_once(' ') else {
+            return Ok(Err(reply
+                .strip_prefix("ERR ")
+                .unwrap_or(&reply)
+                .to_string()));
+        };
+        let (lines, cached) = match tail.split_once(' ') {
+            Some((n, c)) => (n, c.strip_prefix("cached=").unwrap_or("0")),
+            None => (tail, "0"),
+        };
+        let lines: usize = lines.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad RELEASE header {reply:?}"),
+            )
+        })?;
+        // The client trusts its own server for release sizes; cap at
+        // a level no legitimate release exceeds.
+        let csv = read_section_body(&mut self.reader, lines, 1 << 32)?;
+        match read_line(&mut self.reader)? {
+            Some(end) if end == "END" => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected END, got {other:?}"),
+                ))
+            }
+        }
+        Ok(Ok(FetchedRelease {
+            csv,
+            from_cache: cached == "1",
+        }))
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request_line("QUIT")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,674 @@
+//! The release engine: a bounded job queue drained by a hand-rolled
+//! `std::thread` worker pool, fronted by the result cache.
+//!
+//! Lifecycle of a job:
+//!
+//! ```text
+//! submit(request) ─▶ Queued ─▶ Running ─▶ Done { result, from_cache }
+//!        │                        └─────▶ Failed(message)
+//!        ├─▶ Done { from_cache: true } instantly on a cache hit
+//!        └─▶ Err(QueueFull) when the bounded queue is at capacity
+//! ```
+//!
+//! [`Engine::submit`] consults the [`ResultCache`] by request
+//! fingerprint first, so hits complete at submission without touching
+//! the queue. Workers pop the misses FIFO, re-check the cache (an
+//! identical job may have finished in the meantime), and run the
+//! subtree-parallel release ([`parallel_release`]). Waiters block on
+//! a condvar rather than polling. Dropping the engine finishes every
+//! queued job, then joins the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hcc_consistency::to_csv;
+
+use crate::cache::ResultCache;
+use crate::exec::parallel_release;
+use crate::fingerprint::fingerprint;
+use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
+
+/// Sizing knobs for [`Engine::start`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the job queue (jobs run concurrently).
+    pub workers: usize,
+    /// Scoped threads each worker uses *inside* one release for
+    /// subtree-level parallelism (see [`parallel_release`]).
+    pub threads_per_job: usize,
+    /// Bounded queue capacity; [`Engine::submit`] returns
+    /// [`EngineError::QueueFull`] beyond it.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in releases; `0` disables caching.
+    pub cache_capacity: usize,
+    /// How many *finished* jobs stay queryable through
+    /// [`Engine::status`]/[`Engine::wait`]. A long-running service
+    /// would otherwise retain every release ever computed; beyond this
+    /// many finished jobs, the oldest are forgotten (a later lookup
+    /// gets [`EngineError::UnknownJob`]).
+    pub retained_jobs: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            threads_per_job: 1,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            retained_jobs: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the intra-release subtree parallelism.
+    pub fn with_threads_per_job(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread per job");
+        self.threads_per_job = threads;
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the result-cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets how many finished jobs stay queryable.
+    pub fn with_retained_jobs(mut self, retained: usize) -> Self {
+        assert!(retained >= 1, "must retain at least one finished job");
+        self.retained_jobs = retained;
+        self
+    }
+}
+
+/// Point-in-time counters, readable without blocking the queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted by [`Engine::submit`].
+    pub submitted: u64,
+    /// Jobs finished successfully (cache hits included).
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Completions served from the result cache.
+    pub cache_hits: u64,
+    /// Completions that had to compute.
+    pub cache_misses: u64,
+}
+
+struct QueuedJob {
+    id: JobId,
+    request: ReleaseRequest,
+    /// Precomputed at submission (None when caching is disabled) so
+    /// workers never re-hash the request.
+    key: Option<crate::fingerprint::Fingerprint>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    jobs: HashMap<JobId, JobStatus>,
+    /// Finished job ids, oldest first; bounds `jobs` growth.
+    finished: VecDeque<JobId>,
+    cache: ResultCache,
+    next_id: u64,
+    shutting_down: bool,
+}
+
+impl State {
+    /// Records a terminal status and forgets the oldest finished jobs
+    /// beyond the retention limit.
+    fn finish(&mut self, id: JobId, status: JobStatus, retained: usize) {
+        self.jobs.insert(id, status);
+        self.finished.push_back(id);
+        while self.finished.len() > retained {
+            if let Some(old) = self.finished.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or the engine shuts down.
+    work: Condvar,
+    /// Signalled when any job reaches Done/Failed.
+    done: Condvar,
+    counters: Counters,
+    config: EngineConfig,
+}
+
+/// A long-running release service: submit jobs, poll or block on
+/// their completion, share results through the cache.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hcc_consistency::{HierarchicalCounts, TopDownConfig};
+/// use hcc_core::CountOfCounts;
+/// use hcc_engine::{Engine, EngineConfig, ReleaseRequest};
+/// use hcc_hierarchy::{Hierarchy, HierarchyBuilder};
+///
+/// let mut b = HierarchyBuilder::new("country");
+/// let va = b.add_child(Hierarchy::ROOT, "VA");
+/// let hierarchy = Arc::new(b.build());
+/// let data = Arc::new(HierarchicalCounts::from_leaves(
+///     &hierarchy,
+///     vec![(va, CountOfCounts::from_group_sizes([1, 2, 2]))],
+/// ).unwrap());
+///
+/// let engine = Engine::start(EngineConfig::default());
+/// let req = ReleaseRequest::new(hierarchy, data, TopDownConfig::new(1.0), 7);
+/// let id = engine.submit(req).unwrap();
+/// let (result, _from_cache) = engine.wait(id).unwrap();
+/// assert!(result.csv.starts_with("region,level,size,count"));
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Boots the worker pool.
+    pub fn start(config: EngineConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                finished: VecDeque::new(),
+                cache: ResultCache::new(config.cache_capacity),
+                next_id: 0,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            counters: Counters::default(),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hcc-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues a release job, returning its handle immediately. A
+    /// request whose release is already cached completes at
+    /// submission — it consumes no queue slot and no worker dispatch,
+    /// so cache hits are never rejected by a full queue.
+    ///
+    /// Fails with [`EngineError::QueueFull`] when the bounded queue is
+    /// at capacity — callers decide whether to retry, shed load, or
+    /// block.
+    pub fn submit(&self, request: ReleaseRequest) -> Result<JobId, EngineError> {
+        let key = (self.shared.config.cache_capacity > 0).then(|| {
+            fingerprint(
+                &request.hierarchy,
+                &request.data,
+                &request.config,
+                request.seed,
+            )
+        });
+        let mut state = self.lock();
+        if state.shutting_down {
+            return Err(EngineError::ShuttingDown);
+        }
+        if let Some(result) = key.and_then(|k| state.cache.get(k)) {
+            let id = JobId(state.next_id);
+            state.next_id += 1;
+            state.finish(
+                id,
+                JobStatus::Done {
+                    result,
+                    from_cache: true,
+                },
+                self.shared.config.retained_jobs,
+            );
+            let c = &self.shared.counters;
+            c.submitted.fetch_add(1, Ordering::Relaxed);
+            c.completed.fetch_add(1, Ordering::Relaxed);
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+            drop(state);
+            self.shared.done.notify_all();
+            return Ok(id);
+        }
+        if state.queue.len() >= self.shared.config.queue_capacity {
+            return Err(EngineError::QueueFull {
+                capacity: self.shared.config.queue_capacity,
+            });
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        state.jobs.insert(id, JobStatus::Queued);
+        state.queue.push_back(QueuedJob { id, request, key });
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.work.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot of a job's current status (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.lock().jobs.get(&id).cloned()
+    }
+
+    /// Blocks until the job finishes, returning the release and
+    /// whether the cache served it.
+    pub fn wait(&self, id: JobId) -> Result<(Arc<ReleaseResult>, bool), EngineError> {
+        let mut state = self.lock();
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err(EngineError::UnknownJob(id)),
+                Some(JobStatus::Done { result, from_cache }) => {
+                    return Ok((Arc::clone(result), *from_cache));
+                }
+                Some(JobStatus::Failed(msg)) => return Err(EngineError::JobFailed(msg.clone())),
+                Some(_) => {
+                    state = self
+                        .shared
+                        .done
+                        .wait(state)
+                        .expect("engine state lock poisoned");
+                }
+            }
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.shared.counters;
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// The configuration the engine was started with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// Finishes all queued jobs, then stops the workers (idempotent;
+    /// also runs on drop). Finished results stay queryable through
+    /// [`Engine::status`] and [`Engine::wait`] afterwards, but new
+    /// submissions are rejected with [`EngineError::ShuttingDown`].
+    pub fn shutdown(&mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.lock().shutting_down = true;
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock poisoned")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let QueuedJob { id, request, key } = {
+            let mut state = shared.state.lock().expect("engine state lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.jobs.insert(job.id, JobStatus::Running);
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.work.wait(state).expect("engine state lock poisoned");
+            }
+        };
+
+        // Submission missed the cache, but an identical job may have
+        // completed while this one sat in the queue — re-check.
+        let cached = key.and_then(|k| {
+            shared
+                .state
+                .lock()
+                .expect("engine state lock poisoned")
+                .cache
+                .get(k)
+        });
+
+        let outcome = match cached {
+            Some(result) => {
+                shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((result, true))
+            }
+            None => {
+                shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                // A panicking release (degenerate budget, estimator
+                // assert) must fail the *job*, not kill the worker: an
+                // unwound worker would shrink the pool and strand the
+                // job in Running, hanging every waiter on it.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // The CSV serialisation stays inside the guard
+                    // too — any panic past this point must become a
+                    // Failed job, never a dead worker.
+                    parallel_release(
+                        &request.hierarchy,
+                        &request.data,
+                        &request.config,
+                        request.seed,
+                        shared.config.threads_per_job,
+                    )
+                    .map(|release| {
+                        let csv = to_csv(&request.hierarchy, &release);
+                        let rows = csv.lines().count().saturating_sub(1);
+                        Arc::new(ReleaseResult {
+                            csv,
+                            rows,
+                            compute_time: started.elapsed(),
+                        })
+                    })
+                }))
+                .map_err(|panic| {
+                    panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                })
+                .and_then(|computed| computed.map_err(|e| e.to_string()))
+                .map(|result| (result, false))
+            }
+        };
+
+        let mut state = shared.state.lock().expect("engine state lock poisoned");
+        match outcome {
+            Ok((result, from_cache)) => {
+                if let (Some(key), false) = (key, from_cache) {
+                    state.cache.insert(key, Arc::clone(&result));
+                }
+                state.finish(
+                    id,
+                    JobStatus::Done { result, from_cache },
+                    shared.config.retained_jobs,
+                );
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(msg) => {
+                state.finish(id, JobStatus::Failed(msg), shared.config.retained_jobs);
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(state);
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_consistency::{top_down_release, HierarchicalCounts, LevelMethod, TopDownConfig};
+    use hcc_core::CountOfCounts;
+    use hcc_hierarchy::{Hierarchy, HierarchyBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn request(seed: u64) -> ReleaseRequest {
+        let mut b = HierarchyBuilder::new("root");
+        let leaves: Vec<_> = (0..6)
+            .map(|i| b.add_child(Hierarchy::ROOT, format!("l{i}")))
+            .collect();
+        let h = Arc::new(b.build());
+        let data = Arc::new(
+            HierarchicalCounts::from_leaves(
+                &h,
+                leaves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| {
+                        (
+                            l,
+                            CountOfCounts::from_group_sizes(
+                                (0..12u64).map(|k| 1 + (k + i as u64) % 7),
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 32 });
+        ReleaseRequest::new(h, data, cfg, seed)
+    }
+
+    #[test]
+    fn submit_wait_matches_direct_release() {
+        let engine = Engine::start(EngineConfig::default().with_workers(3));
+        let req = request(11);
+        let direct = {
+            let mut rng = StdRng::seed_from_u64(11);
+            let rel = top_down_release(&req.hierarchy, &req.data, &req.config, &mut rng).unwrap();
+            to_csv(&req.hierarchy, &rel)
+        };
+        let id = engine.submit(req).unwrap();
+        let (result, from_cache) = engine.wait(id).unwrap();
+        assert!(!from_cache);
+        assert_eq!(result.csv, direct);
+        assert_eq!(result.rows, direct.lines().count() - 1);
+    }
+
+    #[test]
+    fn cache_serves_repeat_requests() {
+        let engine = Engine::start(EngineConfig::default().with_workers(1));
+        let a = engine.submit(request(5)).unwrap();
+        let (first, _) = engine.wait(a).unwrap();
+        let b = engine.submit(request(5)).unwrap();
+        let (second, from_cache) = engine.wait(b).unwrap();
+        assert!(from_cache, "identical request must hit the cache");
+        assert!(Arc::ptr_eq(&first, &second), "cache shares the Arc");
+        let c = engine.submit(request(6)).unwrap();
+        let (_, from_cache) = engine.wait(c).unwrap();
+        assert!(!from_cache, "different seed is a different release");
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn many_concurrent_jobs_all_finish_deterministically() {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(4)
+                .with_threads_per_job(2)
+                .with_cache_capacity(0),
+        );
+        let ids: Vec<JobId> = (0..16)
+            .map(|s| engine.submit(request(s)).unwrap())
+            .collect();
+        for (seed, id) in ids.into_iter().enumerate() {
+            let (result, _) = engine.wait(id).unwrap();
+            let req = request(seed as u64);
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let direct =
+                top_down_release(&req.hierarchy, &req.data, &req.config, &mut rng).unwrap();
+            assert_eq!(result.csv, to_csv(&req.hierarchy, &direct), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        // One worker, capacity 1: with the worker parked on the first
+        // job, the second fills the queue and the third must bounce.
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1),
+        );
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for s in 0..50 {
+            match engine.submit(request(s)) {
+                Ok(_) => accepted += 1,
+                Err(EngineError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(accepted >= 1);
+        assert!(rejected >= 1, "a 50-deep burst must overflow capacity 1");
+    }
+
+    #[test]
+    fn unknown_job_and_status_lifecycle() {
+        let engine = Engine::start(EngineConfig::default());
+        assert!(engine.status(JobId(99)).is_none());
+        assert!(matches!(
+            engine.wait(JobId(99)),
+            Err(EngineError::UnknownJob(JobId(99)))
+        ));
+        let id = engine.submit(request(1)).unwrap();
+        engine.wait(id).unwrap();
+        assert_eq!(engine.status(id).unwrap().name(), "done");
+    }
+
+    #[test]
+    fn cache_hits_bypass_a_full_queue() {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1),
+        );
+        // Prime the cache.
+        let id = engine.submit(request(0)).unwrap();
+        engine.wait(id).unwrap();
+        // Saturate the pool and the queue with uncached work.
+        let mut burst = Vec::new();
+        for s in 1..50 {
+            match engine.submit(request(s)) {
+                Ok(id) => burst.push(id),
+                Err(EngineError::QueueFull { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // The cached request must still be accepted and complete
+        // instantly, no matter how full the queue is.
+        let id = engine.submit(request(0)).unwrap();
+        let (_, from_cache) = engine.wait(id).unwrap();
+        assert!(from_cache);
+        for id in burst {
+            engine.wait(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn panicking_release_fails_the_job_but_not_the_worker() {
+        let engine = Engine::start(EngineConfig::default().with_workers(1));
+        // A negative budget trips the noise mechanism's assert; the
+        // panic must surface as a Failed job, not a dead worker.
+        let mut bad = request(1);
+        bad.config = TopDownConfig::new(-1.0);
+        let id = engine.submit(bad).unwrap();
+        let err = engine.wait(id).unwrap_err();
+        assert!(matches!(err, EngineError::JobFailed(_)), "{err:?}");
+        assert_eq!(engine.stats().failed, 1);
+        // The lone worker is still alive and serves the next job.
+        let id = engine.submit(request(2)).unwrap();
+        assert!(engine.wait(id).is_ok());
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_beyond_retention() {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_retained_jobs(2)
+                .with_cache_capacity(0),
+        );
+        let ids: Vec<JobId> = (0..4).map(|s| engine.submit(request(s)).unwrap()).collect();
+        // One worker drains FIFO, so the newest job finishing means all
+        // four are done.
+        engine.wait(ids[3]).unwrap();
+        // Only the two newest remain queryable.
+        assert!(engine.status(ids[0]).is_none());
+        assert!(engine.status(ids[1]).is_none());
+        assert_eq!(engine.status(ids[2]).unwrap().name(), "done");
+        assert_eq!(engine.status(ids[3]).unwrap().name(), "done");
+        assert!(matches!(
+            engine.wait(ids[0]),
+            Err(EngineError::UnknownJob(_))
+        ));
+        assert_eq!(engine.stats().completed, 4);
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_then_rejects_new_jobs() {
+        let mut engine = Engine::start(EngineConfig::default().with_workers(2));
+        let ids: Vec<JobId> = (0..6).map(|s| engine.submit(request(s)).unwrap()).collect();
+        engine.shutdown();
+        for id in ids {
+            assert_eq!(engine.status(id).unwrap().name(), "done");
+            assert!(engine.wait(id).is_ok());
+        }
+        assert_eq!(engine.stats().completed, 6);
+        assert!(matches!(
+            engine.submit(request(0)),
+            Err(EngineError::ShuttingDown)
+        ));
+    }
+}

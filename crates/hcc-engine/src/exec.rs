@@ -1,0 +1,211 @@
+//! Subtree-parallel execution of the top-down release.
+//!
+//! The per-node estimates of Algorithm 1 are embarrassingly parallel:
+//! sibling regions hold disjoint groups (parallel composition) and
+//! each node draws noise from its own RNG stream. This module splits
+//! the hierarchy into **subtree tasks**, feeds them to a hand-rolled
+//! work queue consumed by scoped `std::thread` workers, and hands the
+//! finished estimates to
+//! [`hcc_consistency::top_down_from_estimates`] for the deterministic
+//! matching/merging phase.
+//!
+//! Determinism: node `i` of `hierarchy.iter()` is estimated with a
+//! `StdRng` seeded by `seeds[i]`, where the seeds are drawn
+//! sequentially from `StdRng::seed_from_u64(master_seed)` — the exact
+//! derivation [`hcc_consistency::node_seeds`] uses. Task scheduling
+//! only changes *when* a node is estimated, never its RNG stream, so
+//! the release is **bit-identical** to a direct single-threaded
+//! [`top_down_release`](hcc_consistency::top_down_release) call with
+//! the same master seed, for every worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hcc_consistency::{
+    node_seeds, top_down_from_estimates, ConsistencyError, HierarchicalCounts, TopDownConfig,
+};
+use hcc_estimators::NodeEstimate;
+use hcc_hierarchy::{Hierarchy, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Partitions the hierarchy into estimation tasks: one task per node
+/// at the chosen split level (that node plus all its descendants), and
+/// one task for everything above the split level. The split level is
+/// the shallowest level wide enough to keep `threads` workers busy
+/// (at least two tasks per worker when the tree allows it).
+fn subtree_tasks(hierarchy: &Hierarchy, threads: usize) -> Vec<Vec<NodeId>> {
+    let levels = hierarchy.num_levels();
+    let want = 2 * threads.max(1);
+    let split = (0..levels)
+        .find(|&l| hierarchy.level(l).len() >= want)
+        .unwrap_or(levels - 1);
+    let mut tasks: Vec<Vec<NodeId>> = Vec::new();
+    for &root in hierarchy.level(split) {
+        // The subtree rooted at `root`, depth-first.
+        let mut nodes = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            nodes.push(n);
+            stack.extend_from_slice(hierarchy.children(n));
+        }
+        tasks.push(nodes);
+    }
+    if split > 0 {
+        let above: Vec<NodeId> = (0..split)
+            .flat_map(|l| hierarchy.level(l).to_vec())
+            .collect();
+        tasks.push(above);
+    }
+    tasks
+}
+
+/// Runs the full top-down release with subtree-level parallelism on
+/// `threads` scoped worker threads pulling tasks from a shared queue.
+///
+/// Bit-identical to
+/// `top_down_release(hierarchy, data, cfg, &mut StdRng::seed_from_u64(seed))`
+/// for every `threads >= 1`; with one thread the estimates are
+/// computed inline without spawning.
+pub fn parallel_release(
+    hierarchy: &Hierarchy,
+    data: &HierarchicalCounts,
+    cfg: &TopDownConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<HierarchicalCounts, ConsistencyError> {
+    if !hierarchy.is_uniform_depth() {
+        return Err(ConsistencyError::NotUniformDepth);
+    }
+    let mut master = StdRng::seed_from_u64(seed);
+    let seeds = node_seeds(hierarchy, &mut master);
+    let eps_level = cfg.level_epsilon(hierarchy.num_levels());
+    let n = hierarchy.num_nodes();
+
+    let estimate = |node: NodeId| -> NodeEstimate {
+        let method = cfg.method_for_level(hierarchy.level_of(node));
+        let h = data.node(node);
+        let mut rng = StdRng::seed_from_u64(seeds[node.index()]);
+        method.estimate(h, h.num_groups(), eps_level, &mut rng)
+    };
+
+    let estimates: Vec<NodeEstimate> = if threads <= 1 {
+        hierarchy.iter().map(estimate).collect()
+    } else {
+        let tasks = subtree_tasks(hierarchy, threads);
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<NodeEstimate>>> = Mutex::new(vec![None; n]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(tasks.len()) {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(t) else { break };
+                    let done: Vec<(usize, NodeEstimate)> = task
+                        .iter()
+                        .map(|&node| (node.index(), estimate(node)))
+                        .collect();
+                    let mut slots = slots.lock().expect("no worker panicked holding the lock");
+                    for (i, e) in done {
+                        slots[i] = Some(e);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|e| e.expect("tasks cover every node exactly once"))
+            .collect()
+    };
+    top_down_from_estimates(hierarchy, cfg, estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_consistency::{top_down_release, LevelMethod};
+    use hcc_core::CountOfCounts;
+    use hcc_hierarchy::HierarchyBuilder;
+
+    fn deep_data() -> (Hierarchy, HierarchicalCounts) {
+        let mut b = HierarchyBuilder::new("nation");
+        let mut leaves = Vec::new();
+        for s in 0..3 {
+            let state = b.add_child(Hierarchy::ROOT, format!("s{s}"));
+            for c in 0..4 {
+                let county = b.add_child(state, format!("s{s}c{c}"));
+                for t in 0..2 {
+                    leaves.push(b.add_child(county, format!("s{s}c{c}t{t}")));
+                }
+            }
+        }
+        let h = b.build();
+        let data = HierarchicalCounts::from_leaves(
+            &h,
+            leaves
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| {
+                    (
+                        l,
+                        CountOfCounts::from_group_sizes(
+                            (0..20u64).map(|k| 1 + (k * (i as u64 + 3)) % 11),
+                        ),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        (h, data)
+    }
+
+    #[test]
+    fn tasks_cover_every_node_exactly_once() {
+        let (h, _) = deep_data();
+        for threads in [1, 2, 4, 16] {
+            let tasks = subtree_tasks(&h, threads);
+            let mut seen = vec![0usize; h.num_nodes()];
+            for task in &tasks {
+                for &n in task {
+                    seen[n.index()] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "threads={threads}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_direct_release_for_every_worker_count() {
+        let (h, d) = deep_data();
+        for method in [
+            LevelMethod::Cumulative { bound: 64 },
+            LevelMethod::Unattributed,
+            LevelMethod::Adaptive { bound: 64 },
+        ] {
+            let cfg = TopDownConfig::new(1.0).with_method(method);
+            let mut rng = StdRng::seed_from_u64(7);
+            let direct = top_down_release(&h, &d, &cfg, &mut rng).unwrap();
+            for threads in [1, 2, 3, 8] {
+                let parallel = parallel_release(&h, &d, &cfg, 7, threads).unwrap();
+                assert_eq!(parallel, direct, "{} threads={threads}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_hierarchy_is_rejected() {
+        let mut b = HierarchyBuilder::new("r");
+        let mid = b.add_child(Hierarchy::ROOT, "mid");
+        let _deep = b.add_child(mid, "deep");
+        let _shallow = b.add_child(Hierarchy::ROOT, "shallow");
+        let h = b.build();
+        let data = HierarchicalCounts::from_leaves(&h, Vec::new());
+        assert!(
+            data.is_err() || {
+                let cfg = TopDownConfig::new(1.0);
+                parallel_release(&h, &data.unwrap(), &cfg, 1, 2).is_err()
+            }
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Job types: what a client submits, what the engine returns, and the
+//! lifecycle states in between.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hcc_consistency::{HierarchicalCounts, TopDownConfig};
+use hcc_hierarchy::Hierarchy;
+
+/// Opaque handle for a submitted release job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl std::str::FromStr for JobId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.strip_prefix("job-")
+            .and_then(|n| n.parse().ok())
+            .map(JobId)
+            .ok_or_else(|| format!("malformed job id {s:?}"))
+    }
+}
+
+/// One release to compute: the hierarchy, the sensitive per-node
+/// histograms, the algorithm configuration, and the master RNG seed.
+///
+/// Hierarchy and data are shared via [`Arc`] so a request is cheap to
+/// move into the queue even for large inputs.
+#[derive(Clone, Debug)]
+pub struct ReleaseRequest {
+    /// The region hierarchy.
+    pub hierarchy: Arc<Hierarchy>,
+    /// True (sensitive) histograms, consistent by construction.
+    pub data: Arc<HierarchicalCounts>,
+    /// Budget, per-level methods, and merge strategy.
+    pub config: TopDownConfig,
+    /// Master seed; the released bytes are a pure function of
+    /// (hierarchy, data, config, seed).
+    pub seed: u64,
+}
+
+impl ReleaseRequest {
+    /// Bundles a request.
+    pub fn new(
+        hierarchy: Arc<Hierarchy>,
+        data: Arc<HierarchicalCounts>,
+        config: TopDownConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            hierarchy,
+            data,
+            config,
+            seed,
+        }
+    }
+}
+
+/// A finished release.
+#[derive(Clone, Debug)]
+pub struct ReleaseResult {
+    /// The release serialised as `region,level,size,count` CSV.
+    pub csv: String,
+    /// Number of data rows in `csv` (excluding the header).
+    pub rows: usize,
+    /// Wall-clock time the original computation took. A cache hit
+    /// shares the originally computed result, so this stays the
+    /// first run's duration — use the `from_cache` flag (not this
+    /// field) to detect cache service.
+    pub compute_time: Duration,
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Debug)]
+pub enum JobStatus {
+    /// Waiting in the bounded queue.
+    Queued,
+    /// A worker is computing it.
+    Running,
+    /// Finished; `from_cache` tells whether the result was served
+    /// from the result cache instead of recomputed.
+    Done {
+        /// The finished release.
+        result: Arc<ReleaseResult>,
+        /// Whether the result cache served it.
+        from_cache: bool,
+    },
+    /// The release failed (e.g. a ragged hierarchy).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Short wire/display name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Errors surfaced by the engine's job API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The bounded job queue is at capacity; retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// No job with the given id was ever submitted.
+    UnknownJob(JobId),
+    /// The job ran and failed.
+    JobFailed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} jobs)")
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            EngineError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,49 @@
+//! # hcc-engine — parallel release engine for hierarchical
+//! count-of-counts histograms
+//!
+//! The other `hcc-*` crates reproduce Kuo et al.'s *algorithm*
+//! (PVLDB 11(12), 2018); this crate turns it into a *service*. A
+//! statistical agency does not run Algorithm 1 once from a batch CLI —
+//! it serves release requests continuously, under concurrency, with
+//! repeated requests for the same table. The engine provides the
+//! missing execution layer:
+//!
+//! * **[`exec`]** — subtree-level parallelism: per-node estimates are
+//!   embarrassingly parallel (sibling regions hold disjoint groups),
+//!   so a hand-rolled work queue of subtree tasks drained by scoped
+//!   `std::thread` workers computes them concurrently. Per-node RNG
+//!   streams are derived deterministically from the master seed
+//!   ([`hcc_consistency::node_seeds`]), so the released bytes are
+//!   **identical for every worker count** — parallelism is purely an
+//!   execution concern, never a statistical one.
+//! * **[`Engine`]** — a job API: [`Engine::submit`] enqueues a
+//!   [`ReleaseRequest`] into a bounded queue drained by a configurable
+//!   worker pool; [`Engine::status`] polls, [`Engine::wait`] blocks.
+//! * **[`cache`]** — an LRU result cache keyed by a 128-bit
+//!   fingerprint of (hierarchy, data, config, seed), with hit/miss
+//!   counters. A release is a pure function of its fingerprint, so
+//!   serving a repeat from cache is bit-exact and spends no extra
+//!   privacy budget.
+//! * **[`serve`]/[`Client`]** — a `std::net` TCP server speaking a
+//!   line-delimited protocol ([`protocol`]), wired into the CLI as
+//!   `hcc serve` and `hcc submit`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod client;
+mod engine;
+pub mod exec;
+pub mod fingerprint;
+mod job;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, FetchedRelease};
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use exec::parallel_release;
+pub use fingerprint::{fingerprint, Fingerprint};
+pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
+pub use protocol::level_method;
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,254 @@
+//! The line-delimited wire protocol spoken by the server
+//! ([`crate::serve`]) and the [`Client`](crate::Client).
+//!
+//! Every request starts with one ASCII command line; bulk payloads
+//! (CSV tables) follow as line-count-prefixed sections so no escaping
+//! is ever needed:
+//!
+//! ```text
+//! PING                      → PONG
+//! STATS                     → STATS workers=2 queued=0 submitted=3 ...
+//! SUBMIT epsilon=1.0 method=hc bound=100000 seed=42
+//! HIERARCHY <n>             (then n raw CSV lines)
+//! GROUPS <n>                (then n raw CSV lines)
+//! ENTITIES <n>              (then n raw CSV lines)
+//! END                       → OK job-0 | ERR <message>
+//! STATUS job-0              → QUEUED | RUNNING | DONE rows=17 cached=0
+//!                             | FAILED <message> | ERR <message>
+//! WAIT job-0                → (blocks) RELEASE <n> cached=0|1,
+//!                             then n CSV lines, then END
+//! FETCH job-0               → like WAIT but ERR if not finished
+//! QUIT                      → BYE, connection closes
+//! ```
+//!
+//! Responses are single lines except `RELEASE`, which frames the CSV
+//! the same way submissions do. Error messages are flattened to one
+//! line.
+
+use std::io::{self, BufRead, Write};
+
+use hcc_consistency::LevelMethod;
+
+/// Maps a wire method name + bound to the estimator selection — the
+/// single source of truth for which method names the protocol admits.
+pub fn level_method(method: &str, bound: u64) -> Result<LevelMethod, String> {
+    match method {
+        "hc" => Ok(LevelMethod::Cumulative { bound }),
+        "hc-l2" => Ok(LevelMethod::CumulativeL2 { bound }),
+        "hg" => Ok(LevelMethod::Unattributed),
+        "naive" => Ok(LevelMethod::Naive { bound }),
+        "adaptive" => Ok(LevelMethod::Adaptive { bound }),
+        other => Err(format!(
+            "unknown method {other:?} (hc|hc-l2|hg|naive|adaptive)"
+        )),
+    }
+}
+
+/// The release parameters carried on a `SUBMIT` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitParams {
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Estimator selection: `hc`, `hc-l2`, `hg`, `naive`, or
+    /// `adaptive`.
+    pub method: String,
+    /// Public group-size bound `K`.
+    pub bound: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SubmitParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 1.0,
+            method: "hc".to_string(),
+            bound: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+impl SubmitParams {
+    /// Renders the `key=value` tail of a `SUBMIT` line.
+    pub fn encode(&self) -> String {
+        format!(
+            "epsilon={} method={} bound={} seed={}",
+            self.epsilon, self.method, self.bound, self.seed
+        )
+    }
+
+    /// Parses the `key=value` tokens of a `SUBMIT` line; `epsilon` is
+    /// required, everything else defaults.
+    pub fn decode(tail: &str) -> Result<Self, String> {
+        let mut params = Self::default();
+        let mut saw_epsilon = false;
+        for token in tail.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            match key {
+                "epsilon" => {
+                    params.epsilon = value
+                        .parse()
+                        .map_err(|_| format!("epsilon: cannot parse {value:?}"))?;
+                    saw_epsilon = true;
+                }
+                "method" => {
+                    level_method(value, 0)?;
+                    params.method = value.to_string();
+                }
+                "bound" => {
+                    params.bound = value
+                        .parse()
+                        .map_err(|_| format!("bound: cannot parse {value:?}"))?;
+                }
+                "seed" => {
+                    params.seed = value
+                        .parse()
+                        .map_err(|_| format!("seed: cannot parse {value:?}"))?;
+                }
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        if !saw_epsilon {
+            return Err("missing required parameter epsilon".to_string());
+        }
+        if !(params.epsilon.is_finite() && params.epsilon > 0.0) {
+            // The noise mechanisms assert this; reject at the wire so a
+            // bad request cannot panic an engine worker.
+            return Err(format!(
+                "epsilon must be positive and finite, got {}",
+                params.epsilon
+            ));
+        }
+        Ok(params)
+    }
+}
+
+/// Reads one `\n`-terminated line, trimming the terminator; `None` at
+/// EOF.
+pub fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Writes a text block as a `<label> <n>` header plus `n` raw lines.
+pub fn write_section(w: &mut impl Write, label: &str, text: &str) -> io::Result<()> {
+    let lines: Vec<&str> = text.lines().collect();
+    writeln!(w, "{label} {}", lines.len())?;
+    for l in &lines {
+        writeln!(w, "{l}")?;
+    }
+    Ok(())
+}
+
+/// Reads the `n` raw lines of a section announced as `<label> n`,
+/// reassembling the original text (`\n`-joined, trailing newline).
+///
+/// `max_bytes` caps the reassembled size: declared lengths come from
+/// the peer, so a server must bound how much one section may ask it
+/// to buffer. Exceeding the cap is an [`io::ErrorKind::InvalidData`]
+/// error — the remaining payload is unread, so the caller should drop
+/// the connection.
+pub fn read_section_body(
+    reader: &mut impl BufRead,
+    lines: usize,
+    max_bytes: usize,
+) -> io::Result<String> {
+    let mut text = String::new();
+    for _ in 0..lines {
+        match read_line(reader)? {
+            Some(l) => {
+                if text.len() + l.len() + 1 > max_bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("section exceeds the {max_bytes}-byte limit"),
+                    ));
+                }
+                text.push_str(&l);
+                text.push('\n');
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-section",
+                ))
+            }
+        }
+    }
+    Ok(text)
+}
+
+/// Flattens a multi-line error message onto one protocol line.
+pub fn one_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], "; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn params_round_trip() {
+        let p = SubmitParams {
+            epsilon: 0.5,
+            method: "adaptive".into(),
+            bound: 1234,
+            seed: 9,
+        };
+        assert_eq!(SubmitParams::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn params_defaults_and_errors() {
+        let p = SubmitParams::decode("epsilon=2").unwrap();
+        assert_eq!(p.method, "hc");
+        assert_eq!(p.bound, 100_000);
+        assert_eq!(p.seed, 42);
+        assert!(SubmitParams::decode("").unwrap_err().contains("epsilon"));
+        assert!(SubmitParams::decode("epsilon=1 method=bogus").is_err());
+        assert!(SubmitParams::decode("epsilon=1 what=no").is_err());
+        assert!(SubmitParams::decode("epsilon=abc").is_err());
+        // Degenerate budgets are rejected at the wire, not asserted in
+        // a worker thread.
+        for eps in ["0", "-1", "NaN", "inf"] {
+            let err = SubmitParams::decode(&format!("epsilon={eps}")).unwrap_err();
+            assert!(err.contains("positive and finite"), "{eps}: {err}");
+        }
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let text = "a,b\nc,d\n";
+        let mut buf = Vec::new();
+        write_section(&mut buf, "GROUPS", text).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let header = read_line(&mut r).unwrap().unwrap();
+        assert_eq!(header, "GROUPS 2");
+        assert_eq!(read_section_body(&mut r, 2, 1 << 20).unwrap(), text);
+    }
+
+    #[test]
+    fn oversized_section_is_rejected() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, "GROUPS", "aaaa,bbbb\ncccc,dddd\n").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let _header = read_line(&mut r).unwrap().unwrap();
+        let err = read_section_body(&mut r, 2, 12).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_section_is_an_error() {
+        let mut r = BufReader::new(&b"only,one\n"[..]);
+        assert!(read_section_body(&mut r, 2, 1 << 20).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! TCP front end: serves the engine's job API over `std::net` using
+//! the line protocol of [`crate::protocol`].
+//!
+//! One thread accepts connections; each connection gets its own
+//! handler thread (requests on a connection are processed in order,
+//! but `SUBMIT` returns immediately, so a single connection can keep
+//! many jobs in flight and `WAIT` on them selectively).
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hcc_consistency::TopDownConfig;
+use hcc_hierarchy::hierarchy_from_csv;
+use hcc_tables::CsvLoader;
+
+use crate::job::{EngineError, JobStatus, ReleaseRequest};
+use crate::protocol::{level_method, one_line, read_line, read_section_body, SubmitParams};
+use crate::Engine;
+
+/// Most lines one `SUBMIT` section may declare; counts come from the
+/// peer, so they are bounded before any payload is read.
+const MAX_SECTION_LINES: usize = 50_000_000;
+
+/// Most bytes one `SUBMIT` section may occupy once reassembled.
+const MAX_SECTION_BYTES: usize = 1 << 30;
+
+/// Most concurrent connections; beyond this, new clients get one
+/// `ERR server busy` line and are dropped (handler threads are
+/// per-connection and can block in `WAIT`, so they must be bounded).
+const MAX_CONNECTIONS: usize = 1024;
+
+/// Decrements the live-connection count when a handler thread exits,
+/// however it exits.
+struct ConnectionGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running TCP server; dropping the handle stops accepting (open
+/// connections finish their current request).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Binds `addr` and serves the engine until the handle is shut down.
+pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("hcc-engine-accept".to_string())
+        .spawn(move || {
+            let live = Arc::new(AtomicUsize::new(0));
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else {
+                    // Persistent accept errors (EMFILE under fd
+                    // exhaustion) would otherwise spin this loop at
+                    // 100% CPU.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                };
+                if live.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = writeln!(stream, "ERR server busy ({MAX_CONNECTIONS} connections)");
+                    continue;
+                }
+                let guard = ConnectionGuard(Arc::clone(&live));
+                let engine = Arc::clone(&engine);
+                // On spawn failure the closure (and with it the
+                // guard) is dropped, releasing the slot.
+                let _ = std::thread::Builder::new()
+                    .name("hcc-engine-conn".to_string())
+                    .spawn(move || {
+                        let _guard = guard;
+                        let _ = handle_connection(&engine, stream);
+                    });
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(line) = read_line(&mut reader)? {
+        let (cmd, tail) = match line.split_once(' ') {
+            Some((c, t)) => (c, t.trim()),
+            None => (line.as_str(), ""),
+        };
+        match cmd {
+            "" => continue,
+            "PING" => writeln!(writer, "PONG")?,
+            "QUIT" => {
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            "STATS" => {
+                let s = engine.stats();
+                writeln!(
+                    writer,
+                    "STATS workers={} queued={} submitted={} completed={} failed={} \
+                     cache_hits={} cache_misses={}",
+                    engine.config().workers,
+                    engine.queue_len(),
+                    s.submitted,
+                    s.completed,
+                    s.failed,
+                    s.cache_hits,
+                    s.cache_misses
+                )?;
+            }
+            "SUBMIT" => match read_submit(engine, &mut reader, tail) {
+                Ok(id) => writeln!(writer, "OK {id}")?,
+                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Err(SubmitFailure::Fatal(e)) => {
+                    // Section framing is lost; any further reads would
+                    // misparse payload as commands. Report and close.
+                    writeln!(writer, "ERR {}", one_line(&e))?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                Err(SubmitFailure::Io(e)) => return Err(e),
+            },
+            "STATUS" => match tail.parse::<crate::JobId>() {
+                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Ok(id) => match engine.status(id) {
+                    None => writeln!(writer, "ERR unknown job {id}")?,
+                    Some(JobStatus::Queued) => writeln!(writer, "QUEUED")?,
+                    Some(JobStatus::Running) => writeln!(writer, "RUNNING")?,
+                    Some(JobStatus::Done { result, from_cache }) => writeln!(
+                        writer,
+                        "DONE rows={} cached={}",
+                        result.rows,
+                        u8::from(from_cache)
+                    )?,
+                    Some(JobStatus::Failed(msg)) => writeln!(writer, "FAILED {}", one_line(&msg))?,
+                },
+            },
+            "WAIT" | "FETCH" => match tail.parse::<crate::JobId>() {
+                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Ok(id) => {
+                    let finished = if cmd == "WAIT" {
+                        engine.wait(id).map_err(|e| e.to_string())
+                    } else {
+                        match engine.status(id) {
+                            None => Err(EngineError::UnknownJob(id).to_string()),
+                            Some(JobStatus::Done { result, from_cache }) => {
+                                Ok((result, from_cache))
+                            }
+                            Some(JobStatus::Failed(msg)) => {
+                                Err(EngineError::JobFailed(msg).to_string())
+                            }
+                            Some(_) => Err(format!("job {id} not finished")),
+                        }
+                    };
+                    match finished {
+                        Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
+                        Ok((result, from_cache)) => {
+                            writeln!(
+                                writer,
+                                "RELEASE {} cached={}",
+                                result.csv.lines().count(),
+                                u8::from(from_cache)
+                            )?;
+                            writer.write_all(result.csv.as_bytes())?;
+                            writeln!(writer, "END")?;
+                        }
+                    }
+                }
+            },
+            other => writeln!(writer, "ERR unknown command {:?}", one_line(other))?,
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+enum SubmitFailure {
+    /// Malformed request whose payload was fully drained — report on
+    /// the wire, keep the connection.
+    Protocol(String),
+    /// Malformed request whose section framing is unrecoverable (the
+    /// remaining payload length is unknowable) — report, then close
+    /// the connection so stale payload is never parsed as commands.
+    Fatal(String),
+    /// Transport failure — give up on the connection.
+    Io(io::Error),
+}
+
+impl From<io::Error> for SubmitFailure {
+    fn from(e: io::Error) -> Self {
+        SubmitFailure::Io(e)
+    }
+}
+
+/// Reads the three CSV sections of a `SUBMIT`, builds the request,
+/// and enqueues it.
+fn read_submit(
+    engine: &Engine,
+    reader: &mut impl io::BufRead,
+    params_tail: &str,
+) -> Result<crate::JobId, SubmitFailure> {
+    // Parse the parameter line but defer its error: the client has
+    // already written the section payload, so it must be consumed
+    // through END either way — replying before draining would leave
+    // stale CSV lines on the stream and desync every later request on
+    // this connection. The same applies to an unknown-but-well-framed
+    // section label (drain it, then reject); only a header whose
+    // length is unparseable forces closing the connection.
+    let params = SubmitParams::decode(params_tail);
+    let mut bad_section: Option<String> = None;
+    let mut sections: [Option<String>; 3] = [None, None, None];
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(SubmitFailure::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-submit",
+            )));
+        };
+        if line == "END" {
+            break;
+        }
+        let header = line
+            .split_once(' ')
+            .and_then(|(label, count)| Some((label, count.parse::<usize>().ok()?)));
+        let Some((label, count)) = header else {
+            return Err(SubmitFailure::Fatal(format!(
+                "unparseable section header {line:?}; closing connection"
+            )));
+        };
+        // Declared lengths are peer-controlled: refuse to buffer (or
+        // even drain) absurd sections before reading a single line.
+        if count > MAX_SECTION_LINES {
+            return Err(SubmitFailure::Fatal(format!(
+                "section {label} declares {count} lines (limit {MAX_SECTION_LINES}); \
+                 closing connection"
+            )));
+        }
+        let body = read_section_body(reader, count, MAX_SECTION_BYTES).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                SubmitFailure::Fatal(e.to_string())
+            } else {
+                SubmitFailure::Io(e)
+            }
+        })?;
+        match label {
+            "HIERARCHY" => sections[0] = Some(body),
+            "GROUPS" => sections[1] = Some(body),
+            "ENTITIES" => sections[2] = Some(body),
+            other => {
+                bad_section.get_or_insert_with(|| format!("unknown section {other:?}"));
+            }
+        }
+    }
+    let params = params.map_err(SubmitFailure::Protocol)?;
+    if let Some(e) = bad_section {
+        return Err(SubmitFailure::Protocol(e));
+    }
+    let [Some(hierarchy_csv), Some(groups_csv), Some(entities_csv)] = sections else {
+        return Err(SubmitFailure::Protocol(
+            "SUBMIT needs HIERARCHY, GROUPS, and ENTITIES sections".to_string(),
+        ));
+    };
+
+    let (hierarchy, _) = hierarchy_from_csv(&hierarchy_csv)
+        .map_err(|e| SubmitFailure::Protocol(format!("hierarchy: {e}")))?;
+    let mut loader = CsvLoader::new(&hierarchy);
+    loader
+        .load_groups(&groups_csv)
+        .map_err(|e| SubmitFailure::Protocol(format!("groups: {e}")))?;
+    loader
+        .load_entities(&entities_csv)
+        .map_err(|e| SubmitFailure::Protocol(format!("entities: {e}")))?;
+    let db = loader.finish();
+    let data = hcc_consistency::HierarchicalCounts::from_node_histograms(
+        &hierarchy,
+        db.node_histograms(&hierarchy),
+    )
+    .map_err(|e| SubmitFailure::Protocol(e.to_string()))?;
+
+    let method = level_method(&params.method, params.bound).map_err(SubmitFailure::Protocol)?;
+    let config = TopDownConfig::new(params.epsilon).with_method(method);
+    let request = ReleaseRequest::new(Arc::new(hierarchy), Arc::new(data), config, params.seed);
+    engine
+        .submit(request)
+        .map_err(|e| SubmitFailure::Protocol(e.to_string()))
+}

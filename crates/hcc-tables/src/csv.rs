@@ -50,6 +50,36 @@ pub enum CsvError {
         /// The unresolved group id.
         group: String,
     },
+    /// Reading a CSV file from disk failed.
+    Io {
+        /// The file that could not be read.
+        path: String,
+        /// The underlying `io::Error`, stringified.
+        message: String,
+    },
+    /// A parse failure, attributed to the file it came from (the
+    /// file-based loaders wrap the row-level variants in this so the
+    /// offending path always reaches the user).
+    InFile {
+        /// The file the bad row lives in.
+        path: String,
+        /// The underlying row-level error.
+        error: Box<CsvError>,
+    },
+}
+
+impl CsvError {
+    /// Attributes this error to `path` (idempotent for IO errors,
+    /// which already carry their path).
+    pub fn in_file(self, path: &std::path::Path) -> CsvError {
+        match self {
+            CsvError::Io { .. } | CsvError::InFile { .. } => self,
+            other => CsvError::InFile {
+                path: path.display().to_string(),
+                error: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for CsvError {
@@ -76,6 +106,8 @@ impl std::fmt::Display for CsvError {
                     "line {line}: entity references undeclared group {group:?}"
                 )
             }
+            CsvError::Io { path, message } => write!(f, "{path}: {message}"),
+            CsvError::InFile { path, error } => write!(f, "{path}: {error}"),
         }
     }
 }
@@ -180,6 +212,35 @@ impl<'h> CsvLoader<'h> {
         Ok(loaded)
     }
 
+    /// Reads `path` and loads it as the groups table. IO and parse
+    /// failures both name the file.
+    pub fn load_groups_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<usize, CsvError> {
+        let path = path.as_ref();
+        let text = Self::read_file(path)?;
+        self.load_groups(&text).map_err(|e| e.in_file(path))
+    }
+
+    /// Reads `path` and loads it as the entities table. IO and parse
+    /// failures both name the file.
+    pub fn load_entities_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<usize, CsvError> {
+        let path = path.as_ref();
+        let text = Self::read_file(path)?;
+        self.load_entities(&text).map_err(|e| e.in_file(path))
+    }
+
+    fn read_file(path: &std::path::Path) -> Result<String, CsvError> {
+        std::fs::read_to_string(path).map_err(|e| CsvError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
     /// Finishes loading, returning the populated database.
     pub fn finish(self) -> Database {
         self.db
@@ -261,6 +322,39 @@ mod tests {
         let err = loader.load_groups("justonefield").unwrap_err();
         assert!(matches!(err, CsvError::BadRow { line: 1, .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn file_loaders_name_the_offending_path() {
+        let dir = std::env::temp_dir().join("hcc_tables_csv_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let h = hierarchy();
+
+        // IO failure: missing file.
+        let mut loader = CsvLoader::new(&h);
+        let missing = dir.join("missing.csv");
+        let err = loader.load_groups_file(&missing).unwrap_err();
+        assert!(matches!(err, CsvError::Io { .. }));
+        assert!(err.to_string().contains("missing.csv"), "{err}");
+
+        // Parse failure: error names both the file and the row.
+        let bad = dir.join("bad_groups.csv");
+        std::fs::write(&bad, "g1,nowhere\n").unwrap();
+        let err = loader.load_groups_file(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad_groups.csv"), "{msg}");
+        assert!(msg.contains("nowhere"), "{msg}");
+
+        // Happy path through files, entities included.
+        let groups = dir.join("groups.csv");
+        let entities = dir.join("entities.csv");
+        std::fs::write(&groups, "g1,alpha\ng2,beta\n").unwrap();
+        std::fs::write(&entities, "e1,g1\ne2,g2\ne3,g9\n").unwrap();
+        let mut loader = CsvLoader::new(&h);
+        assert_eq!(loader.load_groups_file(&groups).unwrap(), 2);
+        let err = loader.load_entities_file(&entities).unwrap_err();
+        assert!(err.to_string().contains("entities.csv"), "{err}");
+        assert!(err.to_string().contains("g9"), "{err}");
     }
 
     #[test]

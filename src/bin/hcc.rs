@@ -7,7 +7,7 @@
 //!
 //! hcc release  --hierarchy data/hierarchy.csv --groups data/groups.csv \
 //!              --entities data/entities.csv --epsilon 1.0 \
-//!              [--method hc|hg|adaptive] [--bound 100000] [--seed 42] \
+//!              [--method hc|hc-l2|hg|naive|adaptive] [--bound 100000] [--seed 42] \
 //!              --out release.csv
 //!     runs Algorithm 1 and writes the consistent private release
 //!
@@ -18,18 +18,29 @@
 //! hcc evaluate --hierarchy data/hierarchy.csv --release release.csv \
 //!              --truth truth.csv
 //!     prints per-level earth-mover's distance between two releases
+//!
+//! hcc serve    --addr 127.0.0.1:7878 --threads 4
+//!     boots the hcc-engine job server (bounded queue, worker pool,
+//!     result cache) and serves release requests over TCP
+//!
+//! hcc submit   --addr 127.0.0.1:7878 --hierarchy data/hierarchy.csv \
+//!              --groups data/groups.csv --entities data/entities.csv \
+//!              --epsilon 1.0 --out release.csv
+//!     submits one release to a running server and fetches the result
 //! ```
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use hccount::consistency::{
     from_csv as release_from_csv, to_csv as release_to_csv, top_down_release, HierarchicalCounts,
-    LevelMethod, TopDownConfig,
+    TopDownConfig,
 };
 use hccount::core::{emd, size_stats};
 use hccount::data::{Dataset, DatasetKind};
+use hccount::engine::{level_method, protocol::SubmitParams, serve, Client, Engine, EngineConfig};
 use hccount::hierarchy::{hierarchy_from_csv, hierarchy_to_csv, Hierarchy};
 use hccount::tables::CsvLoader;
 use rand::rngs::StdRng;
@@ -53,6 +64,8 @@ fn main() -> ExitCode {
         "release" => cmd_release(&opts),
         "stats" => cmd_stats(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -70,10 +83,20 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   hcc generate --kind housing|race-white|race-hawaiian|taxi [--scale F] [--seed N] --out-dir DIR
-  hcc release  --hierarchy F --groups F --entities F --epsilon F [--method hc|hg|adaptive]
-               [--bound N] [--seed N] --out F
+  hcc release  --hierarchy F --groups F --entities F --epsilon F [--method hc|hc-l2|hg|naive|adaptive]
+               [--bound N] [--seed N] [--threads N] --out F
   hcc stats    --hierarchy F --release F [--region NAME]
-  hcc evaluate --hierarchy F --release F --truth F";
+  hcc evaluate --hierarchy F --release F --truth F
+  hcc serve    --addr HOST:PORT [--threads N] [--job-threads N] [--queue N] [--cache N]
+  hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
+               [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
+
+environment:
+  HCC_THREADS  default for --threads: estimator parallelism in `release`,
+               worker-pool size in `serve` (a fixed seed gives the same
+               release at every thread count)
+  HCC_SCALE, HCC_RUNS, HCC_SEED, HCC_BOUND, HCC_OUT
+               experiment-harness knobs honoured by the hcc-bench binaries";
 
 type Opts = HashMap<String, String>;
 
@@ -119,21 +142,42 @@ fn write(path: &Path, content: &str) -> Result<(), String> {
 }
 
 /// Loads hierarchy + the two row tables and aggregates to consistent
-/// per-node histograms.
+/// per-node histograms. Every IO or parse failure names the file it
+/// came from.
 fn load_all(opts: &Opts) -> Result<(Hierarchy, HierarchicalCounts), String> {
+    let hierarchy_path = required(opts, "hierarchy")?;
     let (hierarchy, _) =
-        hierarchy_from_csv(&read(required(opts, "hierarchy")?)?).map_err(|e| e.to_string())?;
+        hierarchy_from_csv(&read(hierarchy_path)?).map_err(|e| format!("{hierarchy_path}: {e}"))?;
     let mut loader = CsvLoader::new(&hierarchy);
     loader
-        .load_groups(&read(required(opts, "groups")?)?)
+        .load_groups_file(required(opts, "groups")?)
         .map_err(|e| e.to_string())?;
     loader
-        .load_entities(&read(required(opts, "entities")?)?)
+        .load_entities_file(required(opts, "entities")?)
         .map_err(|e| e.to_string())?;
     let db = loader.finish();
     let data = HierarchicalCounts::from_node_histograms(&hierarchy, db.node_histograms(&hierarchy))
         .map_err(|e| e.to_string())?;
     Ok((hierarchy, data))
+}
+
+/// Resolves `--threads`, falling back to `HCC_THREADS`, then `default`.
+fn threads_opt(opts: &Opts, default: usize) -> Result<usize, String> {
+    let n = match opts.get("threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--threads: cannot parse {v:?}"))?,
+        None => match std::env::var("HCC_THREADS") {
+            Ok(v) => v
+                .parse()
+                .map_err(|_| format!("HCC_THREADS: cannot parse {v:?}"))?,
+            Err(_) => default,
+        },
+    };
+    if n == 0 {
+        return Err("thread count must be at least 1".to_string());
+    }
+    Ok(n)
 }
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
@@ -189,13 +233,14 @@ fn cmd_release(opts: &Opts) -> Result<(), String> {
         .map_err(|_| "--epsilon: not a number".to_string())?;
     let bound: u64 = parsed(opts, "bound", 100_000)?;
     let seed: u64 = parsed(opts, "seed", 42)?;
-    let method = match opts.get("method").map(String::as_str).unwrap_or("hc") {
-        "hc" => LevelMethod::Cumulative { bound },
-        "hg" => LevelMethod::Unattributed,
-        "adaptive" => LevelMethod::Adaptive { bound },
-        other => return Err(format!("unknown method {other:?} (hc|hg|adaptive)")),
-    };
-    let cfg = TopDownConfig::new(epsilon).with_method(method);
+    let method = level_method(
+        opts.get("method").map(String::as_str).unwrap_or("hc"),
+        bound,
+    )?;
+    let threads = threads_opt(opts, 1)?;
+    let cfg = TopDownConfig::new(epsilon)
+        .with_method(method)
+        .with_parallelism(threads);
     let mut rng = StdRng::seed_from_u64(seed);
     let released =
         top_down_release(&hierarchy, &data, &cfg, &mut rng).map_err(|e| e.to_string())?;
@@ -245,6 +290,83 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
             None => println!("{:<20} {:>10}", hierarchy.name(node), 0),
         }
     }
+    Ok(())
+}
+
+/// Boots the hcc-engine worker pool and serves it over TCP until
+/// killed. Prints one `listening` line (with the actual port, so
+/// `--addr host:0` is scriptable) before blocking.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let default_workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let workers = threads_opt(opts, default_workers)?;
+    let job_threads: usize = parsed(opts, "job-threads", 1)?;
+    let queue: usize = parsed(opts, "queue", 64)?;
+    let cache: usize = parsed(opts, "cache", 32)?;
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_threads_per_job(job_threads.max(1))
+            .with_queue_capacity(queue.max(1))
+            .with_cache_capacity(cache),
+    );
+    let handle = serve(Arc::new(engine), addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache})",
+        handle.addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Client mode: submits one release request to a running `hcc serve`
+/// and downloads the result.
+fn cmd_submit(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let params = SubmitParams {
+        epsilon: required(opts, "epsilon")?
+            .parse()
+            .map_err(|_| "--epsilon: not a number".to_string())?,
+        method: opts.get("method").cloned().unwrap_or_else(|| "hc".into()),
+        bound: parsed(opts, "bound", 100_000)?,
+        seed: parsed(opts, "seed", 42)?,
+    };
+    // Validate the method locally for a fast, friendly error.
+    level_method(&params.method, params.bound)?;
+    let hierarchy_csv = read(required(opts, "hierarchy")?)?;
+    let groups_csv = read(required(opts, "groups")?)?;
+    let entities_csv = read(required(opts, "entities")?)?;
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let io = |e: std::io::Error| format!("talking to {addr}: {e}");
+    let id = client
+        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+        .map_err(io)?
+        .map_err(|e| format!("server rejected the request: {e}"))?;
+    let release = client
+        .wait(id)
+        .map_err(io)?
+        .map_err(|e| format!("{id} failed: {e}"))?;
+    match opts.get("out") {
+        Some(out) => {
+            let out = PathBuf::from(out);
+            write(&out, &release.csv)?;
+            println!(
+                "{id}: {} rows ({}) written to {}",
+                release.csv.lines().count().saturating_sub(1),
+                if release.from_cache {
+                    "cache hit"
+                } else {
+                    "computed"
+                },
+                out.display()
+            );
+        }
+        None => print!("{}", release.csv),
+    }
+    let _ = client.quit();
     Ok(())
 }
 

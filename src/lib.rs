@@ -39,6 +39,7 @@
 pub use hcc_consistency as consistency;
 pub use hcc_core as core;
 pub use hcc_data as data;
+pub use hcc_engine as engine;
 pub use hcc_estimators as estimators;
 pub use hcc_hierarchy as hierarchy;
 pub use hcc_isotonic as isotonic;
@@ -52,6 +53,7 @@ pub mod prelude {
         TopDownConfig,
     };
     pub use hcc_core::{emd, CountOfCounts, Cumulative, Run, Unattributed};
+    pub use hcc_engine::{Engine, EngineConfig, JobStatus, ReleaseRequest};
     pub use hcc_estimators::{
         CumulativeEstimator, Estimator, NaiveEstimator, UnattributedEstimator,
     };

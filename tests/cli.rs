@@ -111,6 +111,80 @@ fn deterministic_given_seed() {
     assert_eq!(a, b, "same seed must give identical releases");
 }
 
+/// Boots `hcc serve` on an ephemeral loopback port, submits a release
+/// with `hcc submit`, and checks the bytes match a direct
+/// `hcc release` run with the same seed.
+#[test]
+fn serve_and_submit_roundtrip() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("serve");
+    let out = hcc()
+        .args([
+            "generate", "--kind", "housing", "--scale", "0.001", "--seed", "4",
+        ])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut server = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The first stdout line announces the actual address.
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let direct = dir.join("direct.csv");
+    let served = dir.join("served.csv");
+    let common = |cmd: &str| {
+        let mut c = hcc();
+        c.args([cmd]);
+        c.args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()]);
+        c.args(["--groups", dir.join("groups.csv").to_str().unwrap()]);
+        c.args(["--entities", dir.join("entities.csv").to_str().unwrap()]);
+        c.args(["--epsilon", "1.5", "--method", "hc", "--bound", "2000"]);
+        c.args(["--seed", "11"]);
+        c
+    };
+    let out = common("release")
+        .args(["--out", direct.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = common("submit")
+        .args(["--addr", &addr])
+        .args(["--out", served.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let _ = server.kill();
+    let _ = server.wait();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rows"));
+    assert_eq!(
+        std::fs::read_to_string(&direct).unwrap(),
+        std::fs::read_to_string(&served).unwrap(),
+        "served release must be byte-identical to the direct one"
+    );
+}
+
 #[test]
 fn helpful_errors() {
     // Unknown subcommand.
@@ -131,8 +205,75 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset kind"));
 
-    // Help exits zero.
+    // Help exits zero and documents the server mode and env knobs.
     let out = hcc().args(["help"]).output().unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+    let help = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in ["usage", "serve", "submit", "--threads", "HCC_THREADS"] {
+        assert!(help.contains(needle), "help is missing {needle:?}");
+    }
+
+    // CSV errors name the offending file.
+    let dir = tmp_dir("errors");
+    std::fs::write(dir.join("hierarchy.csv"), "region,parent\nroot,\nva,root\n").unwrap();
+    std::fs::write(dir.join("groups.csv"), "g1,atlantis\n").unwrap();
+    std::fs::write(dir.join("entities.csv"), "e1,g1\n").unwrap();
+    let bad_release = |groups: &str| {
+        hcc()
+            .args(["release"])
+            .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+            .args(["--groups", groups])
+            .args(["--entities", dir.join("entities.csv").to_str().unwrap()])
+            .args([
+                "--epsilon",
+                "1",
+                "--out",
+                dir.join("r.csv").to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    // Parse failure: unknown region, attributed to groups.csv.
+    let out = bad_release(dir.join("groups.csv").to_str().unwrap());
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("groups.csv"), "stderr: {stderr}");
+    assert!(stderr.contains("atlantis"), "stderr: {stderr}");
+    // IO failure: missing file, path included.
+    let out = bad_release(dir.join("nope.csv").to_str().unwrap());
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("nope.csv"), "stderr: {stderr}");
+}
+
+/// `--threads` changes only the execution schedule, never the bytes.
+#[test]
+fn release_is_thread_count_invariant() {
+    let dir = tmp_dir("threads");
+    let out = hcc()
+        .args([
+            "generate", "--kind", "taxi", "--scale", "0.001", "--seed", "6",
+        ])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let release = |name: &str, threads: &str| {
+        let out = hcc()
+            .args(["release"])
+            .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+            .args(["--groups", dir.join("groups.csv").to_str().unwrap()])
+            .args(["--entities", dir.join("entities.csv").to_str().unwrap()])
+            .args(["--epsilon", "1.0", "--seed", "3", "--threads", threads])
+            .args(["--out", dir.join(name).to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join(name)).unwrap()
+    };
+    assert_eq!(release("t1.csv", "1"), release("t4.csv", "4"));
 }

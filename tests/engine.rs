@@ -1,0 +1,254 @@
+//! Integration tests of the `hcc-engine` subsystem: multi-worker
+//! byte-identity with the direct library call, and the TCP server
+//! driven end-to-end over a loopback connection.
+
+use std::sync::Arc;
+
+use hccount::consistency::{to_csv, top_down_release, LevelMethod, TopDownConfig};
+use hccount::data::{Dataset, DatasetKind};
+use hccount::engine::{
+    protocol::SubmitParams, serve, Client, Engine, EngineConfig, ReleaseRequest,
+};
+use hccount::hierarchy::hierarchy_to_csv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    Dataset::generate(DatasetKind::Housing, 0.001, 5)
+}
+
+fn config() -> TopDownConfig {
+    TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 1000 })
+}
+
+/// Acceptance criterion: the engine with ≥2 workers produces a
+/// byte-identical release CSV to a direct single-threaded
+/// `top_down_release` call with the same seed.
+#[test]
+fn engine_multi_worker_release_is_byte_identical_to_direct_call() {
+    let ds = dataset();
+    let cfg = config();
+    let direct = {
+        let mut rng = StdRng::seed_from_u64(99);
+        to_csv(
+            &ds.hierarchy,
+            &top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).unwrap(),
+        )
+    };
+
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(4)
+            .with_threads_per_job(3),
+    );
+    let hierarchy = Arc::new(ds.hierarchy);
+    let data = Arc::new(ds.data);
+    for _ in 0..2 {
+        // Second round exercises the cache path; bytes must not change.
+        let id = engine
+            .submit(ReleaseRequest::new(
+                Arc::clone(&hierarchy),
+                Arc::clone(&data),
+                cfg.clone(),
+                99,
+            ))
+            .unwrap();
+        let (result, _) = engine.wait(id).unwrap();
+        assert_eq!(result.csv, direct);
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+}
+
+/// Builds the three CSV tables a server submission needs from a
+/// generated dataset (mirrors `hcc generate`'s emitter).
+fn tables(ds: &Dataset) -> (String, String, String) {
+    let hierarchy_csv = hierarchy_to_csv(&ds.hierarchy);
+    let mut groups = String::from("group_id,region_name\n");
+    let mut entities = String::from("entity_id,group_id\n");
+    let (mut gid, mut eid) = (0u64, 0u64);
+    for leaf in ds.hierarchy.leaves() {
+        let name = ds.hierarchy.name(leaf);
+        for run in ds.data.node(leaf).to_unattributed().runs() {
+            for _ in 0..run.count {
+                groups.push_str(&format!("g{gid},{name}\n"));
+                for _ in 0..run.size {
+                    entities.push_str(&format!("e{eid},g{gid}\n"));
+                    eid += 1;
+                }
+                gid += 1;
+            }
+        }
+    }
+    (hierarchy_csv, groups, entities)
+}
+
+/// Acceptance criterion: submit → poll → fetch over a real loopback
+/// TCP connection.
+#[test]
+fn serve_end_to_end_over_loopback() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    let expected = {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = TopDownConfig::new(2.0).with_method(LevelMethod::Cumulative { bound: 500 });
+        to_csv(
+            &ds.hierarchy,
+            &top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).unwrap(),
+        )
+    };
+
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.ping().unwrap());
+
+    let params = SubmitParams {
+        epsilon: 2.0,
+        method: "hc".into(),
+        bound: 500,
+        seed: 7,
+    };
+    let id = client
+        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .expect("server accepts a well-formed submission");
+
+    // Poll until done, then fetch; the released bytes must match the
+    // direct library call (the server round-trips CSV losslessly).
+    loop {
+        let status = client.status(id).unwrap();
+        if status.starts_with("DONE") {
+            break;
+        }
+        assert!(
+            status == "QUEUED" || status == "RUNNING",
+            "unexpected status {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let fetched = client.fetch(id).unwrap().unwrap();
+    assert_eq!(fetched.csv, expected);
+    assert!(!fetched.from_cache);
+
+    // A second identical submission is served from the cache; WAIT
+    // both blocks and downloads.
+    let id2 = client
+        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let again = client.wait(id2).unwrap().unwrap();
+    assert_eq!(again.csv, expected);
+    assert!(again.from_cache);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("cache_hits=1"), "{stats}");
+    assert!(stats.contains("submitted=2"), "{stats}");
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Malformed wire requests get one-line errors and keep the
+/// connection usable.
+#[test]
+fn server_reports_errors_and_survives_them() {
+    let engine = Engine::start(EngineConfig::default());
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown job.
+    let err = client
+        .fetch(hccount::engine::JobId(404))
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("unknown job"), "{err}");
+
+    // Bad submission: groups referencing a region missing from the
+    // hierarchy. The error names the bad region.
+    let err = client
+        .submit(
+            &SubmitParams::default(),
+            "region,parent\nroot,\nva,root\n",
+            "g1,nowhere\n",
+            "e1,g1\n",
+        )
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("nowhere"), "{err}");
+
+    // Bad parameter line: the client has already written the CSV
+    // sections, so the server must drain them before replying — the
+    // connection stays in sync for the next request.
+    let err = client
+        .submit(
+            &SubmitParams {
+                epsilon: 0.0,
+                ..SubmitParams::default()
+            },
+            "region,parent\nroot,\nva,root\n",
+            "g1,va\n",
+            "e1,g1\n",
+        )
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("positive and finite"), "{err}");
+
+    // Connection still works afterwards.
+    assert!(client.ping().unwrap());
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Hand-rolled wire requests with broken section framing: a
+/// well-framed unknown section is drained and rejected with the
+/// connection kept; an unparseable header closes the connection
+/// (stale payload must never be parsed as commands).
+#[test]
+fn raw_protocol_framing_errors() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let engine = Engine::start(EngineConfig::default());
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+
+    // Misspelled but well-framed section label: the one payload line
+    // is drained, the submit is rejected, and PING still answers.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write!(stream, "SUBMIT epsilon=1\nHIERACHY 1\nroot,\nEND\nPING\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR"), "{line:?}");
+    assert!(line.contains("HIERACHY"), "{line:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "PONG");
+
+    // Unparseable section length: framing is lost, so the server
+    // reports once and closes instead of misreading the payload.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write!(stream, "SUBMIT epsilon=1\nHIERARCHY x\nroot,\nEND\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR"), "{line:?}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+
+    // Absurd declared section size: rejected before any payload is
+    // buffered, and the connection is closed.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write!(stream, "SUBMIT epsilon=1\nHIERARCHY 18446744073709551615\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("ERR") && line.contains("limit"),
+        "{line:?}"
+    );
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+
+    handle.shutdown();
+}
