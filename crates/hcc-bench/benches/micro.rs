@@ -96,7 +96,7 @@ fn bench_matching(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("run_length", groups),
             &(parent.clone(), children.clone()),
-            |b, (p, cs)| b.iter(|| match_groups(black_box(p), black_box(cs))),
+            |b, (p, cs)| b.iter(|| match_groups(black_box(p), black_box(cs)).unwrap()),
         );
         // The dense O(G log G) reference from the paper, for the
         // run-length-vs-dense ablation (skip the largest size: the
@@ -237,6 +237,94 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The prepared-dataset amortization win: an 8-point ε sweep over one
+/// prepared handle versus 8 cold inline submits of the same dataset,
+/// both through the real TCP server. Every inline submit ships and
+/// re-parses the CSV tables and re-aggregates the per-node true
+/// views; the prepared sweep pays that load exactly once (at setup)
+/// and each point costs only the release itself. The result cache is
+/// disabled so all 8 points *compute* in both variants — the measured
+/// gap is purely the amortized load, which must put the sweep at well
+/// under half the cold wall-time.
+fn bench_engine_sweep(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use hcc_data::{Dataset, DatasetKind};
+    use hcc_engine::{protocol::SubmitParams, serve, Client, Engine, EngineConfig};
+
+    let mut g = c.benchmark_group("engine_sweep");
+    g.sample_size(10);
+
+    // A dataset big enough that table load dominates one release: a
+    // couple hundred thousand entity rows against a tiny bound K.
+    let ds = Dataset::generate(DatasetKind::Housing, 1.0, 6);
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+    const EPS: [f64; 8] = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0];
+    let base = SubmitParams {
+        epsilon: 1.0,
+        method: "hc".into(),
+        bound: 500,
+        seed: 0,
+        handle: None,
+    };
+
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(0),
+    );
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let handle = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+
+    // Distinct seeds per iteration keep requests unique even if a
+    // cache were enabled.
+    let mut round = 0u64;
+    g.bench_function("prepared_sweep8", |b| {
+        b.iter(|| {
+            round += 1;
+            let params = SubmitParams {
+                seed: round,
+                ..base.clone()
+            };
+            client
+                .sweep(&params, handle, &EPS, |_, result| {
+                    black_box(result.unwrap());
+                })
+                .unwrap();
+        })
+    });
+    // The cold variant gets the same submit-all-then-wait pipelining
+    // as the sweep, so the measured gap isolates the amortized table
+    // load rather than conflating it with batch parallelism.
+    g.bench_function("cold_inline_submits8", |b| {
+        b.iter(|| {
+            round += 1;
+            let ids: Vec<_> = EPS
+                .iter()
+                .map(|&epsilon| {
+                    let params = SubmitParams {
+                        epsilon,
+                        seed: round,
+                        ..base.clone()
+                    };
+                    client
+                        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+                        .unwrap()
+                        .unwrap()
+                })
+                .collect();
+            for id in ids {
+                black_box(client.wait(id).unwrap().unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_isotonic,
@@ -245,6 +333,7 @@ criterion_group!(
     bench_emd,
     bench_noise,
     bench_end_to_end,
-    bench_engine
+    bench_engine,
+    bench_engine_sweep
 );
 criterion_main!(benches);

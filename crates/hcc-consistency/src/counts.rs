@@ -25,6 +25,17 @@ pub enum ConsistencyError {
         /// Number of nodes in the hierarchy.
         expected: usize,
     },
+    /// Algorithm 2 was asked to match a parent whose group total
+    /// disagrees with its children's pooled total. The public Groups
+    /// table guarantees `τ.G = Σ_c c.G` for well-formed inputs, so
+    /// this only arises from adversarial or corrupted data — a served
+    /// engine must reject it instead of dying.
+    GroupTotalsMismatch {
+        /// Number of groups in the parent's histogram.
+        parent: u64,
+        /// Pooled number of groups across the children.
+        children: u64,
+    },
 }
 
 impl std::fmt::Display for ConsistencyError {
@@ -45,6 +56,9 @@ impl std::fmt::Display for ConsistencyError {
                     f,
                     "got {got} histograms for a hierarchy of {expected} nodes"
                 )
+            }
+            ConsistencyError::GroupTotalsMismatch { parent, children } => {
+                write!(f, "parent has {parent} groups but children pool {children}")
             }
         }
     }
@@ -281,6 +295,10 @@ mod tests {
             ConsistencyError::WrongNodeCount {
                 got: 1,
                 expected: 2,
+            },
+            ConsistencyError::GroupTotalsMismatch {
+                parent: 3,
+                children: 4,
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -20,6 +20,8 @@ use std::collections::BinaryHeap;
 use hcc_estimators::VarianceRun;
 use hcc_isotonic::apportion;
 
+use crate::counts::ConsistencyError;
+
 /// A compressed bundle of matched pairs: `count` groups that are the
 /// `parent_size`-valued groups of the parent matched one-to-one with
 /// `child_size`-valued groups of child `child`.
@@ -62,19 +64,29 @@ impl MatchSegment {
 /// strictly increasing size (as produced by
 /// [`hcc_estimators::NodeEstimate::variance_runs`]).
 ///
-/// Panics if the total group counts disagree — callers guarantee
-/// `τ.G = Σ_c c.G` from the public Groups table.
-pub fn match_groups(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> Vec<MatchSegment> {
-    let parent_total: u64 = parent.iter().map(|r| r.count).sum();
-    let child_total: u64 = children
+/// Errors with [`ConsistencyError::GroupTotalsMismatch`] if the total
+/// group counts disagree — well-formed callers guarantee
+/// `τ.G = Σ_c c.G` from the public Groups table, but a served engine
+/// must reject adversarial inputs instead of panicking.
+pub fn match_groups(
+    parent: &[VarianceRun],
+    children: &[Vec<VarianceRun>],
+) -> Result<Vec<MatchSegment>, ConsistencyError> {
+    // Pool totals in u128: run counts are untrusted u64s, so their sum
+    // must not be allowed to wrap (a wrapped sum could spuriously
+    // *pass* the equality check below).
+    let parent_total: u128 = parent.iter().map(|r| r.count as u128).sum();
+    let child_total: u128 = children
         .iter()
         .flat_map(|c| c.iter())
-        .map(|r| r.count)
+        .map(|r| r.count as u128)
         .sum();
-    assert_eq!(
-        parent_total, child_total,
-        "parent has {parent_total} groups but children pool {child_total}"
-    );
+    if parent_total != child_total {
+        return Err(ConsistencyError::GroupTotalsMismatch {
+            parent: u64::try_from(parent_total).unwrap_or(u64::MAX),
+            children: u64::try_from(child_total).unwrap_or(u64::MAX),
+        });
+    }
 
     // Per-child cursor into its run list + remaining count of the
     // current run; a min-heap over (current size, child) locates the
@@ -129,9 +141,12 @@ pub fn match_groups(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> Ve
             gb.push(c);
         }
         debug_assert!(gb.contains(&first_child));
-        let gb_total: u64 = gb.iter().map(|&c| remaining[c]).sum();
+        // u128 again: per-child counts are individually u64, but tied
+        // children pool — totals above u64::MAX pass the equality
+        // check, so this sum must not wrap either.
+        let gb_total: u128 = gb.iter().map(|&c| u128::from(remaining[c])).sum();
 
-        if p_remaining >= gb_total {
+        if u128::from(p_remaining) >= gb_total {
             // |G_t| ≥ |G_b|: every child group at size sb matches now.
             for &c in &gb {
                 let crun = &children[c][cursor[c]];
@@ -145,7 +160,9 @@ pub fn match_groups(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> Ve
                 });
                 advance_child(c, &mut cursor, &mut remaining, &mut heap);
             }
-            p_remaining -= gb_total;
+            // gb_total ≤ p_remaining ≤ u64::MAX here, so the cast back
+            // is exact.
+            p_remaining -= gb_total as u64;
         } else {
             // |G_t| < |G_b|: apportion the parent's remaining groups
             // across the tied children proportionally.
@@ -174,7 +191,7 @@ pub fn match_groups(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> Ve
             p_remaining = 0;
         }
     }
-    segments
+    Ok(segments)
 }
 
 /// The optimal matching cost computed directly: sort the parent's
@@ -232,7 +249,7 @@ mod tests {
         let parent = runs(&[(1, 2), (2, 1), (3, 2)]);
         let c1 = runs(&[(1, 1), (3, 2)]);
         let c2 = runs(&[(1, 1), (2, 1)]);
-        let segs = match_groups(&parent, &[c1, c2]);
+        let segs = match_groups(&parent, &[c1, c2]).unwrap();
         assert_eq!(total_cost(&segs), 0);
         assert_eq!(matched_per_child(&segs, 2), vec![3, 2]);
     }
@@ -244,7 +261,7 @@ mod tests {
         // groups of size 1 remain and must match parent size-2 groups).
         let parent = runs(&[(1, 300), (2, 100)]);
         let children = vec![runs(&[(1, 200)]), runs(&[(1, 100)]), runs(&[(1, 100)])];
-        let segs = match_groups(&parent, &children);
+        let segs = match_groups(&parent, &children).unwrap();
         // The 300 parent size-1 groups split 50% / 25% / 25%.
         let at_size1: Vec<u64> = (0..3)
             .map(|c| {
@@ -269,21 +286,55 @@ mod tests {
     fn single_child_is_identity_pairing() {
         let parent = runs(&[(1, 1), (5, 1), (9, 1)]);
         let child = runs(&[(2, 1), (4, 1), (9, 1)]);
-        let segs = match_groups(&parent, std::slice::from_ref(&child));
+        let segs = match_groups(&parent, std::slice::from_ref(&child)).unwrap();
         assert_eq!(total_cost(&segs), sorted_order_cost(&parent, &[child]));
     }
 
     #[test]
-    #[should_panic(expected = "groups but children pool")]
-    fn mismatched_totals_panic() {
+    fn mismatched_totals_are_an_error_not_a_panic() {
+        // Regression: this used to assert (killing an engine worker on
+        // adversarial input); it must surface as a typed error.
         let parent = runs(&[(1, 2)]);
         let child = runs(&[(1, 1)]);
-        let _ = match_groups(&parent, &[child]);
+        let err = match_groups(&parent, &[child]).unwrap_err();
+        assert_eq!(
+            err,
+            ConsistencyError::GroupTotalsMismatch {
+                parent: 2,
+                children: 1
+            }
+        );
+        assert!(err.to_string().contains("children pool"), "{err}");
+    }
+
+    #[test]
+    fn pooled_totals_beyond_u64_do_not_wrap_mid_match() {
+        // Regression: totals above u64::MAX pass the (u128) equality
+        // check, but the per-tie pool `gb_total` and apportion's
+        // weight sum used to still accumulate in u64 — a debug panic
+        // (dead engine worker) or wrapped totals emitting corrupt
+        // segments in release.
+        let parent = runs(&[(5, u64::MAX), (6, 1)]);
+        let children = vec![runs(&[(5, u64::MAX)]), runs(&[(5, 1)])];
+        let segs = match_groups(&parent, &children).unwrap();
+        let matched: Vec<u128> = (0..2)
+            .map(|c| {
+                segs.iter()
+                    .filter(|s| s.child == c)
+                    .map(|s| u128::from(s.count))
+                    .sum()
+            })
+            .collect();
+        assert_eq!(matched, vec![u128::from(u64::MAX), 1]);
+        // Exactly one leftover child group matches the size-6 parent
+        // group: total cost 1.
+        let cost: u128 = segs.iter().map(|s| u128::from(s.cost())).sum();
+        assert_eq!(cost, 1);
     }
 
     #[test]
     fn empty_parent_and_children() {
-        let segs = match_groups(&[], &[vec![], vec![]]);
+        let segs = match_groups(&[], &[vec![], vec![]]).unwrap();
         assert!(segs.is_empty());
     }
 
@@ -299,7 +350,7 @@ mod tests {
             count: 1,
             variance: 4.0,
         }];
-        let segs = match_groups(&parent, &[child]);
+        let segs = match_groups(&parent, &[child]).unwrap();
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].parent_variance, 0.25);
         assert_eq!(segs[0].child_variance, 4.0);
@@ -344,7 +395,7 @@ mod tests {
             // Parent: same number of groups, sizes shifted by +1 in a
             // single run-length list (distinct multiset).
             let parent = vec![VarianceRun { size: 7, count: pool, variance: 1.0 }];
-            let segs = match_groups(&parent, &children);
+            let segs = match_groups(&parent, &children).unwrap();
             prop_assert_eq!(total_cost(&segs), sorted_order_cost(&parent, &children));
             let per_child = matched_per_child(&segs, nchild);
             for (c, runs) in children.iter().enumerate() {
@@ -394,7 +445,7 @@ mod tests {
                     _ => parent.push(VarianceRun { size: s, count: 1, variance: 1.0 }),
                 }
             }
-            let segs = match_groups(&parent, &children);
+            let segs = match_groups(&parent, &children).unwrap();
             prop_assert_eq!(total_cost(&segs), sorted_order_cost(&parent, &children));
         }
     }

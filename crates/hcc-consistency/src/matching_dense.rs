@@ -243,7 +243,7 @@ mod tests {
                 }
             }
 
-            let segments = match_groups(&parent, &children);
+            let segments = match_groups(&parent, &children).unwrap();
             let (pairs, dense) = match_groups_dense_from_runs(&parent, &children);
             prop_assert_eq!(segments_cost(&segments), dense);
             // Per-child totals agree.

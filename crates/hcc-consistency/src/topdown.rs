@@ -367,7 +367,7 @@ pub fn top_down_from_estimates(
                         .variance_runs()
                 })
                 .collect();
-            let segments = match_groups(&parent_runs, &child_runs);
+            let segments = match_groups(&parent_runs, &child_runs)?;
             let merged = merge_segments(&segments, cfg.merge, children.len());
             for (c, est) in children.iter().zip(merged) {
                 updated[c.index()] = Some(est);

@@ -20,12 +20,20 @@ impl Cumulative {
     /// Builds the cumulative histogram of `h`, padded to cover sizes
     /// `0..=k`. Sizes above `k` must have been truncated beforehand
     /// (see [`CountOfCounts::truncated`]).
+    ///
+    /// Panics if the running total exceeds `u64::MAX`: counts are
+    /// untrusted (they arrive from CSV tables), and a silently wrapped
+    /// cumulative sum would violate the non-decreasing invariant this
+    /// type guarantees. (A served engine converts the panic into a
+    /// failed job rather than a corrupted release.)
     pub fn from_hist(h: &CountOfCounts, k: u64) -> Self {
         let dense = h.padded(k);
         let mut cum = Vec::with_capacity(dense.len());
         let mut acc = 0u64;
         for c in dense {
-            acc += c;
+            acc = acc
+                .checked_add(c)
+                .expect("cumulative histogram total overflows u64");
             cum.push(acc);
         }
         Self { cum }
@@ -110,6 +118,17 @@ mod tests {
         );
         assert!(Cumulative::from_vec(vec![0, 0, 5, 5]).is_ok());
         assert!(Cumulative::from_vec(vec![]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn wrapping_totals_are_rejected_not_wrapped() {
+        // Regression: untrusted counts whose total exceeds u64::MAX
+        // used to wrap the accumulator in release builds, producing a
+        // *decreasing* "cumulative" vector; now the overflow is caught
+        // in every build profile.
+        let h = CountOfCounts::from_counts(vec![u64::MAX, 0, 2]);
+        let _ = Cumulative::from_hist(&h, 2);
     }
 
     #[test]

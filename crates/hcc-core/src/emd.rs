@@ -15,8 +15,9 @@ use crate::histogram::CountOfCounts;
 /// cumulative histograms.
 ///
 /// Panics if the two histograms describe a different number of groups
-/// (use [`try_emd`] to get an error instead): the metric is only
-/// meaningful when mass can be matched one-to-one.
+/// (the metric is only meaningful when mass can be matched
+/// one-to-one) or if the distance itself exceeds `u64::MAX`; use
+/// [`try_emd`] to get the distinguishing error instead.
 ///
 /// ```
 /// use hcc_core::{emd, CountOfCounts};
@@ -27,11 +28,25 @@ use crate::histogram::CountOfCounts;
 /// assert_eq!(emd(&truth, &est), 20);
 /// ```
 pub fn emd(a: &CountOfCounts, b: &CountOfCounts) -> u64 {
-    try_emd(a, b).expect("EMD requires histograms with equal group counts")
+    // Distinct panic texts: an overflow reported as "unequal group
+    // counts" would send whoever reads the message (including engine
+    // failed-job diagnostics) down the wrong trail.
+    match try_emd(a, b) {
+        Ok(d) => d,
+        Err(e @ CoreError::GroupCountMismatch { .. }) => {
+            panic!("EMD requires histograms with equal group counts: {e}")
+        }
+        Err(e) => panic!("EMD not representable: {e}"),
+    }
 }
 
 /// Earth-mover's distance, returning an error when the group counts
-/// differ.
+/// differ, or [`CoreError::Overflow`] when the distance itself
+/// exceeds the `u64` range.
+///
+/// Counts are untrusted (they arrive from CSV tables), so both the
+/// running cumulative sums and the accumulated distance use `u128` —
+/// census-scale `K × counts` inputs must not wrap the accumulators.
 pub fn try_emd(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
     let (ga, gb) = (a.num_groups(), b.num_groups());
     if ga != gb {
@@ -43,15 +58,15 @@ pub fn try_emd(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreError> {
     let la = a.as_slice();
     let lb = b.as_slice();
     let n = la.len().max(lb.len());
-    let mut total = 0u64;
-    let mut cum_a = 0u64;
-    let mut cum_b = 0u64;
+    let mut total = 0u128;
+    let mut cum_a = 0u128;
+    let mut cum_b = 0u128;
     for i in 0..n {
-        cum_a += la.get(i).copied().unwrap_or(0);
-        cum_b += lb.get(i).copied().unwrap_or(0);
+        cum_a += u128::from(la.get(i).copied().unwrap_or(0));
+        cum_b += u128::from(lb.get(i).copied().unwrap_or(0));
         total += cum_a.abs_diff(cum_b);
     }
-    Ok(total)
+    u64::try_from(total).map_err(|_| CoreError::Overflow)
 }
 
 /// Reference implementation via the dense `Hg` representation:
@@ -68,7 +83,12 @@ pub fn emd_reference(a: &CountOfCounts, b: &CountOfCounts) -> Result<u64, CoreEr
     }
     let da = a.to_unattributed().to_dense();
     let db = b.to_unattributed().to_dense();
-    Ok(da.iter().zip(db.iter()).map(|(&x, &y)| x.abs_diff(y)).sum())
+    let total: u128 = da
+        .iter()
+        .zip(db.iter())
+        .map(|(&x, &y)| u128::from(x.abs_diff(y)))
+        .sum();
+    u64::try_from(total).map_err(|_| CoreError::Overflow)
 }
 
 #[cfg(test)]
@@ -117,6 +137,39 @@ mod tests {
         let a = CountOfCounts::from_group_sizes([1]);
         let b = CountOfCounts::from_group_sizes([1, 1]);
         let _ = emd(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn emd_panic_distinguishes_overflow_from_mismatch() {
+        // Equal group counts, unrepresentable distance: the panic must
+        // name the overflow, not falsely blame the group counts.
+        let x = u64::MAX / 2;
+        let a = CountOfCounts::from_counts(vec![0, x, x]);
+        let b = CountOfCounts::from_counts(vec![2 * x, 0, 0]);
+        let _ = emd(&a, &b);
+    }
+
+    #[test]
+    fn census_scale_counts_do_not_wrap() {
+        // Regression: cumulative sums and the distance itself used to
+        // accumulate in u64 — adversarial CSV counts near u64::MAX
+        // wrapped the accumulators (an overflow panic in debug builds,
+        // silently wrong distances in release). Accumulation is u128
+        // now, with an explicit error when the distance cannot be
+        // represented.
+        let x = u64::MAX / 2;
+        // Equal group counts (2x each), wildly different shapes.
+        let a = CountOfCounts::from_counts(vec![0, x, x]);
+        let b = CountOfCounts::from_counts(vec![2 * x, 0, 0]);
+        // Distance = |0 − 2x| + |x − 2x| + |2x − 2x| = 3x > u64::MAX.
+        assert_eq!(try_emd(&a, &b), Err(CoreError::Overflow));
+
+        // A representable census-scale distance computes exactly.
+        let c = CountOfCounts::from_counts(vec![x, x]);
+        let d = CountOfCounts::from_counts(vec![2 * x, 0]);
+        // Distance = |x − 2x| + |2x − 2x| = x.
+        assert_eq!(try_emd(&c, &d), Ok(x));
     }
 
     #[test]

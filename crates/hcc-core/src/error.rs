@@ -36,6 +36,11 @@ pub enum CoreError {
         /// Group count of the right operand.
         right: u64,
     },
+    /// An accumulated total exceeded the `u64` range. Counts are
+    /// untrusted (they arrive from CSV tables), so census-scale
+    /// `K × counts` sums are computed in `u128` and reported as this
+    /// error instead of silently wrapping.
+    Overflow,
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +63,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::GroupCountMismatch { left, right } => {
                 write!(f, "group counts differ: {left} vs {right}")
+            }
+            CoreError::Overflow => {
+                write!(f, "accumulated total exceeds the u64 range")
             }
         }
     }

@@ -2,7 +2,7 @@
 //! histograms.
 
 use hcc_consistency::HierarchicalCounts;
-use hcc_hierarchy::Hierarchy;
+use hcc_hierarchy::{hierarchy_to_csv, Hierarchy};
 
 use crate::housing::{housing, HousingConfig};
 use crate::race::{race, RaceConfig, RaceProfile};
@@ -81,6 +81,33 @@ impl Dataset {
                 ..Default::default()
             }),
         }
+    }
+
+    /// Serialises the dataset as the three relational CSV tables the
+    /// `hcc` CLI and the engine wire protocol consume: the hierarchy,
+    /// one `group_id,region_name` row per group, and one
+    /// `entity_id,group_id` row per entity. Group and entity ids are
+    /// assigned depth-first over the leaves, so the output is a pure
+    /// function of the dataset.
+    pub fn to_csv_tables(&self) -> (String, String, String) {
+        let hierarchy_csv = hierarchy_to_csv(&self.hierarchy);
+        let mut groups = String::from("group_id,region_name\n");
+        let mut entities = String::from("entity_id,group_id\n");
+        let (mut gid, mut eid) = (0u64, 0u64);
+        for leaf in self.hierarchy.leaves() {
+            let name = self.hierarchy.name(leaf);
+            for run in self.data.node(leaf).to_unattributed().runs() {
+                for _ in 0..run.count {
+                    groups.push_str(&format!("g{gid},{name}\n"));
+                    for _ in 0..run.size {
+                        entities.push_str(&format!("e{eid},g{gid}\n"));
+                        eid += 1;
+                    }
+                    gid += 1;
+                }
+            }
+        }
+        (hierarchy_csv, groups, entities)
     }
 
     /// Summary statistics (the paper's §6.1 table row).

@@ -5,6 +5,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::job::JobId;
 use crate::protocol::{read_line, read_section_body, write_section, SubmitParams};
+use crate::registry::DatasetHandle;
 
 /// A release fetched over the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,6 +23,17 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
 }
 
+/// Splits an `OK <tail>` / `ERR <message>` reply line, delegating the
+/// OK tail to `ok` and passing errors (or unrecognisable replies)
+/// through as `Err`.
+fn parse_reply<T>(reply: &str, ok: impl FnOnce(&str) -> Result<T, String>) -> Result<T, String> {
+    match reply.split_once(' ') {
+        Some(("OK", tail)) => ok(tail),
+        Some(("ERR", msg)) => Err(msg.to_string()),
+        _ => Err(format!("unexpected reply {reply:?}")),
+    }
+}
+
 impl Client {
     /// Connects to a server started with [`crate::serve`] or
     /// `hcc serve`.
@@ -36,6 +48,11 @@ impl Client {
     fn request_line(&mut self, line: &str) -> io::Result<String> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// Reads the single reply line of the request just flushed.
+    fn read_reply(&mut self) -> io::Result<String> {
         read_line(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })
@@ -65,14 +82,116 @@ impl Client {
         write_section(&mut self.writer, "ENTITIES", entities_csv)?;
         writeln!(self.writer, "END")?;
         self.writer.flush()?;
-        let reply = read_line(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
-        })?;
-        Ok(match reply.split_once(' ') {
-            Some(("OK", id)) => id.parse().map_err(|e: String| e),
-            Some(("ERR", msg)) => Err(msg.to_string()),
-            _ => Err(format!("unexpected reply {reply:?}")),
-        })
+        let reply = self.read_reply()?;
+        Ok(parse_reply(&reply, |id| id.parse()))
+    }
+
+    /// Registers the three CSV tables as a prepared dataset on the
+    /// server, returning its content-addressed handle. Subsequent
+    /// [`Client::submit_prepared`] calls reference the handle and skip
+    /// shipping + re-parsing the tables entirely.
+    pub fn prepare(
+        &mut self,
+        hierarchy_csv: &str,
+        groups_csv: &str,
+        entities_csv: &str,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        writeln!(self.writer, "PREPARE")?;
+        write_section(&mut self.writer, "HIERARCHY", hierarchy_csv)?;
+        write_section(&mut self.writer, "GROUPS", groups_csv)?;
+        write_section(&mut self.writer, "ENTITIES", entities_csv)?;
+        writeln!(self.writer, "END")?;
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        Ok(parse_reply(&reply, |handle| handle.parse()))
+    }
+
+    /// Drops one reference to a prepared dataset; returns how many
+    /// references the server still holds.
+    pub fn unprepare(&mut self, handle: DatasetHandle) -> io::Result<Result<u64, String>> {
+        let reply = self.request_line(&format!("UNPREPARE {handle}"))?;
+        Ok(parse_reply(&reply, |tail| {
+            tail.strip_prefix("refs=")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("unexpected reply tail {tail:?}"))
+        }))
+    }
+
+    /// Submits a release of a prepared dataset — no CSV payload is
+    /// shipped; any `handle` already inside `params` is overridden.
+    pub fn submit_prepared(
+        &mut self,
+        params: &SubmitParams,
+        handle: DatasetHandle,
+    ) -> io::Result<Result<JobId, String>> {
+        let params = SubmitParams {
+            handle: Some(handle),
+            ..params.clone()
+        };
+        writeln!(self.writer, "SUBMIT {}", params.encode())?;
+        writeln!(self.writer, "END")?;
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        Ok(parse_reply(&reply, |id| id.parse()))
+    }
+
+    /// Batch-submits an ε grid over one prepared handle on this
+    /// connection, then streams the finished releases back in grid
+    /// order, invoking `each` as every ε completes. Submissions are
+    /// enqueued as fast as the server accepts them, so the sweep runs
+    /// with full worker-pool parallelism; when the server's bounded
+    /// queue pushes back, the client drains its oldest in-flight
+    /// point (delivering its result) and retries, so grids larger
+    /// than the server queue still complete.
+    pub fn sweep(
+        &mut self,
+        base: &SubmitParams,
+        handle: DatasetHandle,
+        epsilons: &[f64],
+        mut each: impl FnMut(f64, Result<FetchedRelease, String>),
+    ) -> io::Result<()> {
+        // Every point's outcome is buffered (a job id or a hard
+        // rejection) and delivered strictly in grid order — callers
+        // label results positionally, so even a failed submission
+        // must not jump the queue ahead of older in-flight successes.
+        let mut in_flight: std::collections::VecDeque<(f64, Result<JobId, String>)> =
+            std::collections::VecDeque::new();
+        for &epsilon in epsilons {
+            let params = SubmitParams {
+                epsilon,
+                ..base.clone()
+            };
+            loop {
+                match self.submit_prepared(&params, handle)? {
+                    Ok(id) => {
+                        in_flight.push_back((epsilon, Ok(id)));
+                        break;
+                    }
+                    // Retryable rejection (stable `busy:` wire token,
+                    // never matched on prose): drain our oldest
+                    // in-flight point and retry — or, when *other*
+                    // clients saturate the queue and we hold nothing
+                    // to drain, back off briefly and retry, like the
+                    // blocking WAIT this method is built on.
+                    Err(e) if e.starts_with(crate::protocol::BUSY) => match in_flight.pop_front() {
+                        Some((done_eps, Ok(id))) => each(done_eps, self.wait(id)?),
+                        Some((done_eps, Err(failed))) => each(done_eps, Err(failed)),
+                        None => std::thread::sleep(std::time::Duration::from_millis(50)),
+                    },
+                    Err(e) => {
+                        in_flight.push_back((epsilon, Err(e)));
+                        break;
+                    }
+                }
+            }
+        }
+        for (epsilon, outcome) in in_flight {
+            match outcome {
+                Ok(id) => each(epsilon, self.wait(id)?),
+                Err(e) => each(epsilon, Err(e)),
+            }
+        }
+        Ok(())
     }
 
     /// One-line job status, e.g. `QUEUED` or `DONE rows=12 cached=0`.

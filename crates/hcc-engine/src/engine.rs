@@ -24,12 +24,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use hcc_consistency::to_csv;
+use hcc_consistency::{to_csv, HierarchicalCounts, TopDownConfig};
+use hcc_hierarchy::Hierarchy;
 
 use crate::cache::ResultCache;
 use crate::exec::parallel_release;
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint};
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
+use crate::registry::{DatasetHandle, DatasetRegistry};
 
 /// Sizing knobs for [`Engine::start`].
 #[derive(Clone, Debug)]
@@ -50,6 +52,10 @@ pub struct EngineConfig {
     /// many finished jobs, the oldest are forgotten (a later lookup
     /// gets [`EngineError::UnknownJob`]).
     pub retained_jobs: usize,
+    /// Capacity of the prepared-dataset registry in datasets; beyond
+    /// it, the least-recently-used dataset is evicted. `0` disables
+    /// [`Engine::prepare`].
+    pub prepared_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +66,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             retained_jobs: 1024,
+            prepared_capacity: 16,
         }
     }
 }
@@ -98,6 +105,13 @@ impl EngineConfig {
         self.retained_jobs = retained;
         self
     }
+
+    /// Sets the prepared-dataset registry capacity (`0` disables
+    /// preparation).
+    pub fn with_prepared_capacity(mut self, capacity: usize) -> Self {
+        self.prepared_capacity = capacity;
+        self
+    }
 }
 
 /// Point-in-time counters, readable without blocking the queue.
@@ -113,6 +127,9 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Completions that had to compute.
     pub cache_misses: u64,
+    /// `PREPARE` calls accepted (repeat preparations of identical
+    /// content included).
+    pub prepared: u64,
 }
 
 struct QueuedJob {
@@ -130,6 +147,7 @@ struct Counters {
     failed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    prepared: AtomicU64,
 }
 
 struct State {
@@ -138,6 +156,7 @@ struct State {
     /// Finished job ids, oldest first; bounds `jobs` growth.
     finished: VecDeque<JobId>,
     cache: ResultCache,
+    registry: DatasetRegistry,
     next_id: u64,
     shutting_down: bool,
 }
@@ -205,6 +224,7 @@ impl Engine {
                 jobs: HashMap::new(),
                 finished: VecDeque::new(),
                 cache: ResultCache::new(config.cache_capacity),
+                registry: DatasetRegistry::new(config.prepared_capacity),
                 next_id: 0,
                 shutting_down: false,
             }),
@@ -242,7 +262,78 @@ impl Engine {
                 request.seed,
             )
         });
+        let state = self.lock();
+        self.enqueue(state, request, key)
+    }
+
+    /// Registers a dataset in the prepared registry, returning its
+    /// content-addressed handle. Preparing identical content again
+    /// returns the same handle and adds a reference; beyond the
+    /// configured capacity the least-recently-used dataset is
+    /// evicted. Submissions via [`Engine::submit_prepared`] skip the
+    /// expensive data walk entirely.
+    pub fn prepare(
+        &self,
+        hierarchy: Arc<Hierarchy>,
+        data: Arc<HierarchicalCounts>,
+    ) -> Result<DatasetHandle, EngineError> {
+        // The content digest is the expensive part; compute it before
+        // taking the lock.
+        let handle = DatasetHandle(dataset_fingerprint(&hierarchy, &data));
         let mut state = self.lock();
+        if state.shutting_down {
+            return Err(EngineError::ShuttingDown);
+        }
+        state.registry.insert(handle, hierarchy, data)?;
+        self.shared
+            .counters
+            .prepared
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Drops one reference to a prepared dataset, removing it when no
+    /// references remain. Returns the number of references still
+    /// held. In-flight jobs keep their `Arc`s, so unpreparing never
+    /// invalidates running work.
+    pub fn unprepare(&self, handle: DatasetHandle) -> Result<u64, EngineError> {
+        self.lock().registry.release(handle)
+    }
+
+    /// Number of datasets currently held by the prepared registry.
+    pub fn prepared_len(&self) -> usize {
+        self.lock().registry.len()
+    }
+
+    /// Enqueues a release of a prepared dataset. Equivalent to
+    /// [`Engine::submit`] with the dataset the handle was prepared
+    /// from — including sharing cache entries with inline submissions
+    /// of the same data — but the cache key costs O(levels) instead
+    /// of a full data walk, so ε-sweeps over one handle are cheap to
+    /// fingerprint.
+    pub fn submit_prepared(
+        &self,
+        handle: DatasetHandle,
+        config: TopDownConfig,
+        seed: u64,
+    ) -> Result<JobId, EngineError> {
+        let mut state = self.lock();
+        let (hierarchy, data) = state.registry.get(handle)?;
+        let key = (self.shared.config.cache_capacity > 0)
+            .then(|| request_fingerprint(handle.0, hierarchy.num_levels(), &config, seed));
+        let request = ReleaseRequest::new(hierarchy, data, config, seed);
+        self.enqueue(state, request, key)
+    }
+
+    /// The shared back half of submission: consult the cache, then
+    /// enqueue. Takes the already-held state lock so handle
+    /// resolution and enqueueing are atomic.
+    fn enqueue(
+        &self,
+        mut state: std::sync::MutexGuard<'_, State>,
+        request: ReleaseRequest,
+        key: Option<crate::fingerprint::Fingerprint>,
+    ) -> Result<JobId, EngineError> {
         if state.shutting_down {
             return Err(EngineError::ShuttingDown);
         }
@@ -318,6 +409,7 @@ impl Engine {
             failed: c.failed.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            prepared: c.prepared.load(Ordering::Relaxed),
         }
     }
 
@@ -654,6 +746,107 @@ mod tests {
             Err(EngineError::UnknownJob(_))
         ));
         assert_eq!(engine.stats().completed, 4);
+    }
+
+    #[test]
+    fn prepared_submission_is_byte_identical_to_inline() {
+        // Cache disabled: both paths must *compute* and still agree.
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_cache_capacity(0),
+        );
+        let req = request(21);
+        let handle = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        let inline_id = engine.submit(req.clone()).unwrap();
+        let prepared_id = engine
+            .submit_prepared(handle, req.config.clone(), req.seed)
+            .unwrap();
+        let (inline, _) = engine.wait(inline_id).unwrap();
+        let (prepared, _) = engine.wait(prepared_id).unwrap();
+        assert_eq!(inline.csv, prepared.csv);
+    }
+
+    #[test]
+    fn prepared_and_inline_submissions_share_the_cache() {
+        let engine = Engine::start(EngineConfig::default().with_workers(1));
+        let req = request(13);
+        let id = engine.submit(req.clone()).unwrap();
+        let (first, _) = engine.wait(id).unwrap();
+        // Same data through the prepared path: the request fingerprint
+        // must collide with the inline one and hit the cache.
+        let handle = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        let id = engine
+            .submit_prepared(handle, req.config.clone(), req.seed)
+            .unwrap();
+        let (second, from_cache) = engine.wait(id).unwrap();
+        assert!(from_cache, "prepared submission must reuse the cache entry");
+        assert!(Arc::ptr_eq(&first, &second));
+        // A different ε over the same handle computes fresh.
+        let id = engine
+            .submit_prepared(
+                handle,
+                TopDownConfig::new(2.0).with_method(LevelMethod::Cumulative { bound: 32 }),
+                req.seed,
+            )
+            .unwrap();
+        let (_, from_cache) = engine.wait(id).unwrap();
+        assert!(!from_cache);
+    }
+
+    #[test]
+    fn prepare_is_content_addressed_and_refcounted() {
+        let engine = Engine::start(EngineConfig::default());
+        let req = request(1);
+        let a = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        let b = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        assert_eq!(a, b, "identical content gets one handle");
+        assert_eq!(engine.prepared_len(), 1);
+        assert_eq!(engine.stats().prepared, 2);
+        assert_eq!(engine.unprepare(a).unwrap(), 1);
+        assert_eq!(engine.unprepare(a).unwrap(), 0);
+        assert!(matches!(
+            engine.submit_prepared(a, req.config.clone(), 1),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            engine.unprepare(a),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn registry_eviction_surfaces_as_evicted_error() {
+        let engine = Engine::start(EngineConfig::default().with_prepared_capacity(1));
+        let first = {
+            let req = request(0);
+            engine.prepare(req.hierarchy, req.data).unwrap()
+        };
+        // A second, different dataset evicts the first (capacity 1).
+        let mut b = HierarchyBuilder::new("other");
+        let leaf = b.add_child(Hierarchy::ROOT, "x");
+        let h = Arc::new(b.build());
+        let d = Arc::new(
+            HierarchicalCounts::from_leaves(&h, vec![(leaf, CountOfCounts::from_group_sizes([2]))])
+                .unwrap(),
+        );
+        let second = engine.prepare(h, d).unwrap();
+        assert_ne!(first, second);
+        let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 32 });
+        assert!(matches!(
+            engine.submit_prepared(first, cfg.clone(), 7),
+            Err(EngineError::DatasetEvicted(_))
+        ));
+        let id = engine.submit_prepared(second, cfg, 7).unwrap();
+        assert!(engine.wait(id).is_ok());
     }
 
     #[test]

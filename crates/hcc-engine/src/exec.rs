@@ -17,6 +17,17 @@
 //! the release is **bit-identical** to a direct single-threaded
 //! [`top_down_release`](hcc_consistency::top_down_release) call with
 //! the same master seed, for every worker count.
+//!
+//! This is the execution layer behind *both* submission paths of the
+//! engine: inline jobs and prepared-handle jobs
+//! ([`Engine::submit_prepared`](crate::Engine::submit_prepared))
+//! resolve to the same `(hierarchy, data, config, seed)` tuple before
+//! reaching [`parallel_release`], which is why a sweep point over a
+//! prepared dataset is byte-identical to a cold inline submission.
+//! The per-release work here (seed derivation, subtree partitioning)
+//! is O(nodes) and depends on the master seed, so it is *not* hoisted
+//! into the prepared registry — what `PREPARE` amortizes is the far
+//! larger table parse + per-node true-view aggregation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,10 +1,19 @@
-//! Request fingerprinting for the result cache.
+//! Request fingerprinting for the result cache and the prepared-
+//! dataset registry.
 //!
 //! Two [`ReleaseRequest`](crate::ReleaseRequest)s produce the same
 //! release exactly when their hierarchy, sensitive data, release
 //! configuration, and master seed agree (the release is a pure
 //! function of those four — thread counts do not enter). The cache
 //! therefore keys on a 128-bit FNV-1a digest of that tuple.
+//!
+//! The digest is computed in two stages so that prepared datasets can
+//! amortize it: [`dataset_fingerprint`] digests the (large) hierarchy
+//! and per-node histograms once, and [`request_fingerprint`] folds
+//! that digest together with the (tiny) config and seed. An ε-sweep
+//! over a prepared handle therefore pays the expensive data walk
+//! exactly once; inline submissions compose the same two stages, so
+//! the two paths share cache entries for identical requests.
 //!
 //! Worker-thread counts and parallelism settings are deliberately
 //! *excluded*: they never change the released bytes.
@@ -53,15 +62,11 @@ impl Fnv128 {
     }
 }
 
-/// Digests a full release request: hierarchy shape and names, every
-/// node histogram, the output-relevant parts of the config, and the
-/// master seed.
-pub fn fingerprint(
-    hierarchy: &Hierarchy,
-    data: &HierarchicalCounts,
-    cfg: &TopDownConfig,
-    seed: u64,
-) -> Fingerprint {
+/// Digests the *data* half of a request — hierarchy shape and names
+/// plus every node histogram. This is the expensive walk (linear in
+/// hierarchy size × histogram width); prepared-dataset handles are
+/// exactly this digest, computed once at `PREPARE` time.
+pub fn dataset_fingerprint(hierarchy: &Hierarchy, data: &HierarchicalCounts) -> Fingerprint {
     let mut h = Fnv128::new();
     // Hierarchy: node count, then per node its name and parent index.
     h.write_u64(hierarchy.num_nodes() as u64);
@@ -80,14 +85,29 @@ pub fn fingerprint(
             h.write_u64(c);
         }
     }
-    // Config: budget, merge strategy, and the method at every level
-    // this hierarchy will actually use.
+    Fingerprint(h.0)
+}
+
+/// Digests the *request* half on top of a dataset digest: the
+/// output-relevant parts of the config (budget, merge strategy, and
+/// the method at each of the hierarchy's `levels`) plus the master
+/// seed. Cheap — O(levels) — so submissions by prepared handle pay
+/// nearly nothing for their cache key.
+pub fn request_fingerprint(
+    dataset: Fingerprint,
+    levels: usize,
+    cfg: &TopDownConfig,
+    seed: u64,
+) -> Fingerprint {
+    let mut h = Fnv128::new();
+    h.write(&dataset.0.to_le_bytes());
     h.write_u64(cfg.epsilon().to_bits());
     h.write_u64(match cfg.merge() {
         MergeStrategy::WeightedAverage => 0,
         MergeStrategy::PlainAverage => 1,
     });
-    for l in 0..hierarchy.num_levels() {
+    h.write_u64(levels as u64);
+    for l in 0..levels {
         use hcc_consistency::LevelMethod::*;
         let (tag, bound) = match cfg.method_for_level(l) {
             Cumulative { bound } => (0u64, bound),
@@ -101,6 +121,25 @@ pub fn fingerprint(
     }
     h.write_u64(seed);
     Fingerprint(h.0)
+}
+
+/// Digests a full release request: hierarchy shape and names, every
+/// node histogram, the output-relevant parts of the config, and the
+/// master seed. Composes [`dataset_fingerprint`] and
+/// [`request_fingerprint`], so an inline submission and a prepared-
+/// handle submission of the same request share one cache key.
+pub fn fingerprint(
+    hierarchy: &Hierarchy,
+    data: &HierarchicalCounts,
+    cfg: &TopDownConfig,
+    seed: u64,
+) -> Fingerprint {
+    request_fingerprint(
+        dataset_fingerprint(hierarchy, data),
+        hierarchy.num_levels(),
+        cfg,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -149,6 +188,26 @@ mod tests {
         // Region names.
         let (h3, d3) = case(["a", "x"], [1, 2, 3]);
         assert_ne!(base, fingerprint(&h3, &d3, &cfg, 7));
+    }
+
+    #[test]
+    fn prepared_and_inline_keys_coincide() {
+        // The two-stage digest must reproduce the one-shot digest:
+        // that is what lets submissions by prepared handle share cache
+        // entries with inline submissions of the same data.
+        let (h, d) = case(["a", "b"], [1, 2, 3]);
+        let cfg = TopDownConfig::new(1.0);
+        let ds = dataset_fingerprint(&h, &d);
+        assert_eq!(
+            request_fingerprint(ds, h.num_levels(), &cfg, 7),
+            fingerprint(&h, &d, &cfg, 7)
+        );
+        // The dataset digest ignores config and seed entirely.
+        assert_eq!(ds, dataset_fingerprint(&h, &d));
+        assert_ne!(
+            request_fingerprint(ds, h.num_levels(), &cfg, 7),
+            request_fingerprint(ds, h.num_levels(), &cfg, 8)
+        );
     }
 
     #[test]

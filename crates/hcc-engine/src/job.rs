@@ -122,6 +122,19 @@ pub enum EngineError {
     UnknownJob(JobId),
     /// The job ran and failed.
     JobFailed(String),
+    /// No dataset with the given handle was ever prepared.
+    UnknownDataset(crate::DatasetHandle),
+    /// The dataset was prepared but has since been evicted by the
+    /// registry's LRU bound; prepare it again.
+    DatasetEvicted(crate::DatasetHandle),
+    /// Different content digested to an already-registered handle.
+    /// FNV-1a is not collision-resistant, so the registry verifies
+    /// content equality on repeat preparations and refuses to alias
+    /// two datasets under one handle.
+    DatasetCollision(crate::DatasetHandle),
+    /// The engine was started with a zero-capacity prepared-dataset
+    /// registry, so `PREPARE` is unavailable.
+    RegistryDisabled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -133,6 +146,26 @@ impl std::fmt::Display for EngineError {
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
             EngineError::UnknownJob(id) => write!(f, "unknown job {id}"),
             EngineError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            EngineError::UnknownDataset(handle) => {
+                write!(f, "unknown dataset handle {handle}")
+            }
+            EngineError::DatasetEvicted(handle) => {
+                write!(
+                    f,
+                    "dataset {handle} was evicted from the prepared registry; \
+                     PREPARE it again"
+                )
+            }
+            EngineError::DatasetCollision(handle) => {
+                write!(
+                    f,
+                    "dataset handle collision: different content digests to {handle}; \
+                     refusing to alias it"
+                )
+            }
+            EngineError::RegistryDisabled => {
+                write!(f, "the prepared-dataset registry is disabled (capacity 0)")
+            }
         }
     }
 }

@@ -24,9 +24,17 @@
 //!   counters. A release is a pure function of its fingerprint, so
 //!   serving a repeat from cache is bit-exact and spends no extra
 //!   privacy budget.
+//! * **[`registry`]** — a prepared-dataset registry: `PREPARE` loads
+//!   the hierarchy + group tables once, aggregates the per-node true
+//!   views, and stores them under a content-addressed
+//!   [`DatasetHandle`]; ε-sweeps and repeated queries then submit by
+//!   handle and skip parsing/aggregation entirely, with the cache
+//!   key collapsing to a cheap (handle, config, seed) digest.
+//!   Entries are ref-counted under an LRU bound (`UNPREPARE` drops a
+//!   reference).
 //! * **[`serve`]/[`Client`]** — a `std::net` TCP server speaking a
 //!   line-delimited protocol ([`protocol`]), wired into the CLI as
-//!   `hcc serve` and `hcc submit`.
+//!   `hcc serve`, `hcc submit`, `hcc prepare`, and `hcc sweep`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,12 +46,14 @@ pub mod exec;
 pub mod fingerprint;
 mod job;
 pub mod protocol;
+pub mod registry;
 mod server;
 
 pub use client::{Client, FetchedRelease};
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use exec::parallel_release;
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
 pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 pub use protocol::level_method;
+pub use registry::{DatasetHandle, DatasetRegistry};
 pub use server::{serve, ServerHandle};

@@ -13,6 +13,13 @@
 //! GROUPS <n>                (then n raw CSV lines)
 //! ENTITIES <n>              (then n raw CSV lines)
 //! END                       → OK job-0 | ERR <message>
+//! PREPARE                   (same three sections + END)
+//!                           → OK ds-<32 hex> | ERR <message>
+//! SUBMIT epsilon=1.0 handle=ds-<32 hex> seed=42
+//! END                       → OK job-1 | ERR <message>
+//!                             (no sections: the dataset was loaded
+//!                              and aggregated once at PREPARE time)
+//! UNPREPARE ds-<32 hex>     → OK refs=<still held> | ERR <message>
 //! STATUS job-0              → QUEUED | RUNNING | DONE rows=17 cached=0
 //!                             | FAILED <message> | ERR <message>
 //! WAIT job-0                → (blocks) RELEASE <n> cached=0|1,
@@ -24,10 +31,22 @@
 //! Responses are single lines except `RELEASE`, which frames the CSV
 //! the same way submissions do. Error messages are flattened to one
 //! line.
+//!
+//! `PREPARE` registers the dataset under a content-addressed handle
+//! (see [`crate::registry`]); an ε-sweep then submits by handle on
+//! one connection and the server never re-parses the tables.
 
 use std::io::{self, BufRead, Write};
 
 use hcc_consistency::LevelMethod;
+
+use crate::registry::DatasetHandle;
+
+/// Stable machine-readable marker prefixing *retryable* rejections
+/// (the bounded job queue is at capacity): the server emits
+/// `ERR busy: <prose>` and clients key their backpressure handling on
+/// this token, never on the human-readable prose after it.
+pub const BUSY: &str = "busy:";
 
 /// Maps a wire method name + bound to the estimator selection — the
 /// single source of truth for which method names the protocol admits.
@@ -56,6 +75,10 @@ pub struct SubmitParams {
     pub bound: u64,
     /// Master RNG seed.
     pub seed: u64,
+    /// Prepared-dataset handle. When set, the submission carries no
+    /// CSV sections — the server resolves the handle against its
+    /// registry instead of re-parsing tables.
+    pub handle: Option<DatasetHandle>,
 }
 
 impl Default for SubmitParams {
@@ -65,6 +88,7 @@ impl Default for SubmitParams {
             method: "hc".to_string(),
             bound: 100_000,
             seed: 42,
+            handle: None,
         }
     }
 }
@@ -72,10 +96,14 @@ impl Default for SubmitParams {
 impl SubmitParams {
     /// Renders the `key=value` tail of a `SUBMIT` line.
     pub fn encode(&self) -> String {
-        format!(
+        let mut line = format!(
             "epsilon={} method={} bound={} seed={}",
             self.epsilon, self.method, self.bound, self.seed
-        )
+        );
+        if let Some(handle) = self.handle {
+            line.push_str(&format!(" handle={handle}"));
+        }
+        line
     }
 
     /// Parses the `key=value` tokens of a `SUBMIT` line; `epsilon` is
@@ -107,6 +135,9 @@ impl SubmitParams {
                     params.seed = value
                         .parse()
                         .map_err(|_| format!("seed: cannot parse {value:?}"))?;
+                }
+                "handle" => {
+                    params.handle = Some(value.parse()?);
                 }
                 other => return Err(format!("unknown parameter {other:?}")),
             }
@@ -203,8 +234,23 @@ mod tests {
             method: "adaptive".into(),
             bound: 1234,
             seed: 9,
+            handle: None,
         };
         assert_eq!(SubmitParams::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn handle_param_round_trips_and_validates() {
+        let p = SubmitParams {
+            handle: Some("ds-000000000000000000000000deadbeef".parse().unwrap()),
+            ..SubmitParams::default()
+        };
+        let line = p.encode();
+        assert!(line.contains("handle=ds-"), "{line}");
+        assert_eq!(SubmitParams::decode(&line).unwrap(), p);
+        assert!(SubmitParams::decode("epsilon=1").unwrap().handle.is_none());
+        let err = SubmitParams::decode("epsilon=1 handle=nope").unwrap_err();
+        assert!(err.contains("malformed dataset handle"), "{err}");
     }
 
     #[test]

@@ -12,12 +12,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use hcc_consistency::TopDownConfig;
-use hcc_hierarchy::hierarchy_from_csv;
+use hcc_consistency::{HierarchicalCounts, TopDownConfig};
+use hcc_hierarchy::{hierarchy_from_csv, Hierarchy};
 use hcc_tables::CsvLoader;
 
 use crate::job::{EngineError, JobStatus, ReleaseRequest};
 use crate::protocol::{level_method, one_line, read_line, read_section_body, SubmitParams};
+use crate::registry::DatasetHandle;
 use crate::Engine;
 
 /// Most lines one `SUBMIT` section may declare; counts come from the
@@ -144,14 +145,16 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                 writeln!(
                     writer,
                     "STATS workers={} queued={} submitted={} completed={} failed={} \
-                     cache_hits={} cache_misses={}",
+                     cache_hits={} cache_misses={} prepared={} prepared_datasets={}",
                     engine.config().workers,
                     engine.queue_len(),
                     s.submitted,
                     s.completed,
                     s.failed,
                     s.cache_hits,
-                    s.cache_misses
+                    s.cache_misses,
+                    s.prepared,
+                    engine.prepared_len()
                 )?;
             }
             "SUBMIT" => match read_submit(engine, &mut reader, tail) {
@@ -165,6 +168,23 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                     return Ok(());
                 }
                 Err(SubmitFailure::Io(e)) => return Err(e),
+            },
+            "PREPARE" => match read_prepare(engine, &mut reader) {
+                Ok(handle) => writeln!(writer, "OK {handle}")?,
+                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Err(SubmitFailure::Fatal(e)) => {
+                    writeln!(writer, "ERR {}", one_line(&e))?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                Err(SubmitFailure::Io(e)) => return Err(e),
+            },
+            "UNPREPARE" => match tail.parse::<DatasetHandle>() {
+                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Ok(handle) => match engine.unprepare(handle) {
+                    Ok(refs) => writeln!(writer, "OK refs={refs}")?,
+                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                },
             },
             "STATUS" => match tail.parse::<crate::JobId>() {
                 Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
@@ -238,21 +258,14 @@ impl From<io::Error> for SubmitFailure {
     }
 }
 
-/// Reads the three CSV sections of a `SUBMIT`, builds the request,
-/// and enqueues it.
-fn read_submit(
-    engine: &Engine,
+/// Reads the `HIERARCHY`/`GROUPS`/`ENTITIES` sections of a `SUBMIT`
+/// or `PREPARE` through the terminating `END`. Every slot may be
+/// `None`: a handle submission legitimately carries no sections, and
+/// a malformed request must still be drained so the connection stays
+/// in sync.
+fn read_table_sections(
     reader: &mut impl io::BufRead,
-    params_tail: &str,
-) -> Result<crate::JobId, SubmitFailure> {
-    // Parse the parameter line but defer its error: the client has
-    // already written the section payload, so it must be consumed
-    // through END either way — replying before draining would leave
-    // stale CSV lines on the stream and desync every later request on
-    // this connection. The same applies to an unknown-but-well-framed
-    // section label (drain it, then reject); only a header whose
-    // length is unparseable forces closing the connection.
-    let params = SubmitParams::decode(params_tail);
+) -> Result<[Option<String>; 3], SubmitFailure> {
     let mut bad_section: Option<String> = None;
     let mut sections: [Option<String>; 3] = [None, None, None];
     loop {
@@ -297,36 +310,102 @@ fn read_submit(
             }
         }
     }
-    let params = params.map_err(SubmitFailure::Protocol)?;
     if let Some(e) = bad_section {
         return Err(SubmitFailure::Protocol(e));
     }
-    let [Some(hierarchy_csv), Some(groups_csv), Some(entities_csv)] = sections else {
-        return Err(SubmitFailure::Protocol(
-            "SUBMIT needs HIERARCHY, GROUPS, and ENTITIES sections".to_string(),
-        ));
-    };
+    Ok(sections)
+}
 
-    let (hierarchy, _) = hierarchy_from_csv(&hierarchy_csv)
+/// Parses the three CSV tables and aggregates the per-node true
+/// views — the expensive load that `PREPARE` amortizes.
+fn load_dataset(
+    hierarchy_csv: &str,
+    groups_csv: &str,
+    entities_csv: &str,
+) -> Result<(Arc<Hierarchy>, Arc<HierarchicalCounts>), SubmitFailure> {
+    let (hierarchy, _) = hierarchy_from_csv(hierarchy_csv)
         .map_err(|e| SubmitFailure::Protocol(format!("hierarchy: {e}")))?;
     let mut loader = CsvLoader::new(&hierarchy);
     loader
-        .load_groups(&groups_csv)
+        .load_groups(groups_csv)
         .map_err(|e| SubmitFailure::Protocol(format!("groups: {e}")))?;
     loader
-        .load_entities(&entities_csv)
+        .load_entities(entities_csv)
         .map_err(|e| SubmitFailure::Protocol(format!("entities: {e}")))?;
     let db = loader.finish();
-    let data = hcc_consistency::HierarchicalCounts::from_node_histograms(
-        &hierarchy,
-        db.node_histograms(&hierarchy),
-    )
-    .map_err(|e| SubmitFailure::Protocol(e.to_string()))?;
+    let data = HierarchicalCounts::from_node_histograms(&hierarchy, db.node_histograms(&hierarchy))
+        .map_err(|e| SubmitFailure::Protocol(e.to_string()))?;
+    Ok((Arc::new(hierarchy), Arc::new(data)))
+}
 
+/// Reads the sections of a `SUBMIT` (inline tables or none for a
+/// handle submission), builds the request, and enqueues it.
+fn read_submit(
+    engine: &Engine,
+    reader: &mut impl io::BufRead,
+    params_tail: &str,
+) -> Result<crate::JobId, SubmitFailure> {
+    // Parse the parameter line but defer its error: the client has
+    // already written the section payload, so it must be consumed
+    // through END either way — replying before draining would leave
+    // stale CSV lines on the stream and desync every later request on
+    // this connection. The same applies to an unknown-but-well-framed
+    // section label (drain it, then reject); only a header whose
+    // length is unparseable forces closing the connection.
+    let params = SubmitParams::decode(params_tail);
+    let sections = read_table_sections(reader)?;
+    let params = params.map_err(SubmitFailure::Protocol)?;
     let method = level_method(&params.method, params.bound).map_err(SubmitFailure::Protocol)?;
     let config = TopDownConfig::new(params.epsilon).with_method(method);
-    let request = ReleaseRequest::new(Arc::new(hierarchy), Arc::new(data), config, params.seed);
+
+    if let Some(handle) = params.handle {
+        if sections.iter().any(Option::is_some) {
+            return Err(SubmitFailure::Protocol(
+                "SUBMIT with handle= takes no data sections".to_string(),
+            ));
+        }
+        return engine
+            .submit_prepared(handle, config, params.seed)
+            .map_err(|e| SubmitFailure::Protocol(reject_text(e)));
+    }
+
+    let [Some(hierarchy_csv), Some(groups_csv), Some(entities_csv)] = sections else {
+        return Err(SubmitFailure::Protocol(
+            "SUBMIT needs HIERARCHY, GROUPS, and ENTITIES sections (or a handle=)".to_string(),
+        ));
+    };
+    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)?;
+    let request = ReleaseRequest::new(hierarchy, data, config, params.seed);
     engine
         .submit(request)
+        .map_err(|e| SubmitFailure::Protocol(reject_text(e)))
+}
+
+/// Renders an engine-side submission rejection for the wire,
+/// prefixing retryable conditions with the stable
+/// [`protocol::BUSY`](crate::protocol::BUSY) token so clients can key
+/// backpressure handling on it instead of on error prose.
+fn reject_text(e: EngineError) -> String {
+    match e {
+        EngineError::QueueFull { .. } => format!("{} {e}", crate::protocol::BUSY),
+        other => other.to_string(),
+    }
+}
+
+/// Reads the sections of a `PREPARE`, loads the dataset once, and
+/// registers it under its content-addressed handle.
+fn read_prepare(
+    engine: &Engine,
+    reader: &mut impl io::BufRead,
+) -> Result<DatasetHandle, SubmitFailure> {
+    let sections = read_table_sections(reader)?;
+    let [Some(hierarchy_csv), Some(groups_csv), Some(entities_csv)] = sections else {
+        return Err(SubmitFailure::Protocol(
+            "PREPARE needs HIERARCHY, GROUPS, and ENTITIES sections".to_string(),
+        ));
+    };
+    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)?;
+    engine
+        .prepare(hierarchy, data)
         .map_err(|e| SubmitFailure::Protocol(e.to_string()))
 }

@@ -96,7 +96,7 @@ impl HierarchyBuilder {
 }
 
 /// An immutable region hierarchy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hierarchy {
     names: Vec<String>,
     parent: Vec<Option<NodeId>>,

@@ -12,14 +12,22 @@
 //!
 //! Both are the largest-remainder method, implemented here once.
 
-/// Rounds a non-negative fractional vector to integers summing to
-/// exactly `target`, by the largest-remainder rule. Negative inputs
-/// are clamped to zero before rounding.
+/// Rounds a fractional vector to integers summing to exactly
+/// `target`, by the largest-remainder rule. Inputs are explicitly
+/// clamped into the representable range first: negative fits round to
+/// zero (their deficit is redistributed across the other cells) and
+/// values beyond `u64::MAX` saturate.
 ///
 /// If even rounding everything up cannot reach `target` (or rounding
-/// everything down still overshoots), the residual is added to (or
-/// removed from) the largest cells; this keeps the function total for
-/// noisy inputs whose sum drifted from `target`.
+/// everything down still overshoots), the residual is spread evenly
+/// over the cells, largest fractional parts first; this keeps the
+/// function total for noisy inputs whose sum drifted from `target`.
+///
+/// Both `target` and the cell magnitudes are treated as untrusted
+/// (census-scale `K × counts` flows through here): the floor sum
+/// accumulates in `u128` so it cannot wrap, and redistribution is
+/// done in bulk arithmetic — the cost is `O(n log n)`, never
+/// `O(target)`.
 pub fn round_preserving_sum(x: &[f64], target: u64) -> Vec<u64> {
     assert!(
         x.iter().all(|v| v.is_finite()),
@@ -27,51 +35,66 @@ pub fn round_preserving_sum(x: &[f64], target: u64) -> Vec<u64> {
     );
     let mut out: Vec<u64> = Vec::with_capacity(x.len());
     let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(x.len());
-    let mut floor_sum: u64 = 0;
+    let mut floor_sum: u128 = 0;
     for (i, &v) in x.iter().enumerate() {
         let v = v.max(0.0);
         let f = v.floor();
-        floor_sum += f as u64;
-        out.push(f as u64);
+        // The `as u64` cast saturates at u64::MAX; accumulate from the
+        // saturated cell value (not the raw float, whose nearest f64
+        // above u64::MAX is 2^64) so `floor_sum` always equals the sum
+        // of `out` exactly.
+        let cell = f as u64;
+        floor_sum += u128::from(cell);
+        out.push(cell);
         fracs.push((v - f, i));
     }
-    if floor_sum <= target {
-        let mut r = target - floor_sum;
-        // Round up the r largest fractional parts first; if r exceeds
-        // the cell count, loop (adds ⌈r/n⌉-ish to the front cells).
-        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
-        while r > 0 {
-            for &(_, i) in &fracs {
-                if r == 0 {
-                    break;
-                }
-                out[i] += 1;
-                r -= 1;
+    if floor_sum <= u128::from(target) {
+        let mut r = u128::from(target) - floor_sum;
+        if !fracs.is_empty() && r > 0 {
+            // Round up the r largest fractional parts; if r exceeds the
+            // cell count, every cell takes an equal extra share (the
+            // closed form of handing out one unit per cell per pass).
+            fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            let n = fracs.len() as u128;
+            // r ≤ target ≤ u64::MAX, so both quotient and remainder fit.
+            let base = (r / n) as u64;
+            let extra = (r % n) as usize;
+            for (k, &(_, i)) in fracs.iter().enumerate() {
+                out[i] += base + u64::from(k < extra);
             }
-            if fracs.is_empty() {
-                break;
-            }
+            r = 0;
         }
+        debug_assert!(r == 0 || fracs.is_empty());
     } else {
-        let mut r = floor_sum - target;
-        // Overshoot: decrement cells, preferring the smallest
+        let mut r = floor_sum - u128::from(target);
+        // Overshoot: drain cells evenly, preferring the smallest
         // fractional parts (they were "least entitled" to their floor)
-        // among strictly positive cells.
+        // among strictly positive cells. Each pass removes an equal
+        // share per positive cell; a cell that empties shrinks the
+        // next pass, so this terminates in at most n + 1 passes.
         fracs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         while r > 0 {
-            let mut progressed = false;
-            for &(_, i) in &fracs {
-                if r == 0 {
-                    break;
-                }
-                if out[i] > 0 {
-                    out[i] -= 1;
-                    r -= 1;
-                    progressed = true;
-                }
-            }
-            if !progressed {
+            let positive: Vec<usize> = fracs
+                .iter()
+                .map(|&(_, i)| i)
+                .filter(|&i| out[i] > 0)
+                .collect();
+            if positive.is_empty() {
                 break;
+            }
+            let p = positive.len() as u128;
+            if r < p {
+                for &i in positive.iter().take(r as usize) {
+                    out[i] -= 1;
+                }
+                r = 0;
+            } else {
+                let share = r / p;
+                for &i in &positive {
+                    let take = u128::from(out[i]).min(share);
+                    out[i] -= take as u64;
+                    r -= take;
+                }
             }
         }
     }
@@ -88,7 +111,8 @@ pub fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
         assert_eq!(total, 0, "cannot apportion a positive total to nobody");
         return Vec::new();
     }
-    let wsum: u64 = weights.iter().sum();
+    // Weights are untrusted run counts — their sum can exceed u64.
+    let wsum: u128 = weights.iter().map(|&w| u128::from(w)).sum();
     if wsum == 0 {
         // Degenerate: spread evenly.
         let n = weights.len() as u64;
@@ -103,8 +127,8 @@ pub fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
     let mut assigned: u64 = 0;
     for (i, &w) in weights.iter().enumerate() {
         // Integer arithmetic for the quotient to stay exact at scale.
-        let q = (total as u128 * w as u128) / wsum as u128;
-        let rem = (total as u128 * w as u128) % wsum as u128;
+        let q = (total as u128 * w as u128) / wsum;
+        let rem = (total as u128 * w as u128) % wsum;
         out.push(q as u64);
         assigned += q as u64;
         fracs.push((rem as f64 / wsum as f64, i));
@@ -170,6 +194,62 @@ mod tests {
     }
 
     #[test]
+    fn all_negative_input_redistributes_the_full_target() {
+        // Regression: negative fits must be clamped *explicitly* and
+        // the resulting deficit redistributed — the output still sums
+        // to the public total, spread as evenly as possible.
+        let out = round_preserving_sum(&[-5.0, -1.0, -3.0], 7);
+        assert_eq!(out.iter().sum::<u64>(), 7);
+        assert_eq!(out, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn census_scale_floors_do_not_wrap() {
+        // Regression: two cells whose floors alone exceed u64::MAX
+        // used to wrap the u64 accumulator (an overflow panic in debug
+        // builds, a silently flipped under/overshoot branch in
+        // release). Accumulating in u128 keeps the branch honest.
+        let big = 1.6e19; // each < u64::MAX ≈ 1.845e19, but 2× is not
+        let out = round_preserving_sum(&[big, big], 10);
+        assert_eq!(out.iter().map(|&v| u128::from(v)).sum::<u128>(), 10);
+    }
+
+    #[test]
+    fn huge_target_is_distributed_in_bulk() {
+        // Regression: `target` is untrusted (it is the public group
+        // count G straight from a CSV). The old one-unit-per-pass loop
+        // made this take 2^64 iterations; the closed form is instant.
+        let out = round_preserving_sum(&[0.25, 0.5], u64::MAX);
+        assert_eq!(
+            out.iter().map(|&v| u128::from(v)).sum::<u128>(),
+            u128::from(u64::MAX)
+        );
+        // Largest fraction first gets the odd unit.
+        assert_eq!(out[1], out[0] + 1);
+    }
+
+    #[test]
+    fn saturated_cells_still_hit_the_target_exactly() {
+        // A value beyond u64::MAX saturates; the accumulated floor sum
+        // must track the *saturated* cell, not the raw float (whose
+        // nearest f64 is 2^64, one more than the cell can hold), or
+        // the drain removes one unit too many per saturated cell.
+        let out = round_preserving_sum(&[2e19], 5);
+        assert_eq!(out, vec![5]);
+        let out = round_preserving_sum(&[2e19, 2e19], 7);
+        assert_eq!(out.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn huge_overshoot_is_drained_in_bulk() {
+        // Mirror case: floors far above a small target must drain in
+        // O(n) passes, not one unit at a time.
+        let big = (u64::MAX / 4) as f64;
+        let out = round_preserving_sum(&[big, big, big], 5);
+        assert_eq!(out.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
     fn apportion_proportional_split() {
         // Paper's example: 300 parent groups over children with 200,
         // 100, 100 — wait, the paper splits |Gt|=300 when children
@@ -194,6 +274,17 @@ mod tests {
     fn apportion_zero_weight_entry_gets_nothing() {
         let out = apportion(7, &[0, 7]);
         assert_eq!(out, vec![0, 7]);
+    }
+
+    #[test]
+    fn apportion_weight_sums_beyond_u64_do_not_wrap() {
+        // Regression: weights are untrusted run counts whose sum can
+        // exceed u64::MAX (reachable from Algorithm 2's tie
+        // apportioning once pooled totals pass u64); the weight sum
+        // used to accumulate in u64.
+        assert_eq!(apportion(10, &[u64::MAX, u64::MAX]), vec![5, 5]);
+        let out = apportion(7, &[u64::MAX, u64::MAX, 2]);
+        assert_eq!(out.iter().sum::<u64>(), 7);
     }
 
     #[test]

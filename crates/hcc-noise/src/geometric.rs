@@ -24,7 +24,14 @@ impl DoubleGeometric {
     ///
     /// Panics if `epsilon` or `sensitivity` is not strictly positive
     /// and finite — a zero or negative budget provides no privacy
-    /// semantics and indicates a configuration bug.
+    /// semantics and indicates a configuration bug. Also panics if
+    /// `epsilon / sensitivity` is so small that `α = e^(−ε/Δ)` rounds
+    /// to exactly 1.0 (below ≈1e-16): at α = 1 the PMF is improper
+    /// (every integer equally likely), the inversion sampler divides
+    /// by `ln 1 = 0`, and before this guard the resulting `-inf` was
+    /// cast to a *negative* one-sided geometric draw — the two sides
+    /// cancelled and the mechanism silently added **zero** noise at
+    /// the tiniest (most privacy-demanding) budgets.
     pub fn new(epsilon: f64, sensitivity: f64) -> Self {
         assert!(
             epsilon.is_finite() && epsilon > 0.0,
@@ -34,9 +41,14 @@ impl DoubleGeometric {
             sensitivity.is_finite() && sensitivity > 0.0,
             "sensitivity must be positive and finite, got {sensitivity}"
         );
-        Self {
-            alpha: (-epsilon / sensitivity).exp(),
-        }
+        let alpha = (-epsilon / sensitivity).exp();
+        assert!(
+            alpha < 1.0,
+            "epsilon/sensitivity = {} is too small: alpha rounds to 1 and the \
+             double-geometric becomes improper (draws would overflow i64)",
+            epsilon / sensitivity
+        );
+        Self { alpha }
     }
 
     /// The distribution parameter `α = e^(−ε/Δ)`.
@@ -63,12 +75,17 @@ impl DoubleGeometric {
         // U ∈ (0, 1]; `1 - gen::<f64>()` avoids ln(0).
         let u: f64 = 1.0 - rng.gen::<f64>();
         let g = (u.ln() / self.alpha.ln()).floor();
-        // Guard against pathological α ≈ 1 producing enormous values
-        // that would overflow downstream i64 arithmetic.
-        if g >= i64::MAX as f64 {
-            i64::MAX / 4
+        // Clamp the extreme tail to i64::MAX instead of casting raw: a
+        // raw `as i64` of an out-of-range or non-finite quotient would
+        // saturate to i64::MIN for the -inf/NaN artifacts of α ≈ 1,
+        // turning an (always non-negative) geometric draw negative.
+        // Both sides of [`Self::sample`] stay in [0, i64::MAX], so
+        // their difference can never overflow.
+        if g.is_finite() && g < i64::MAX as f64 {
+            debug_assert!(g >= 0.0, "one-sided geometric draw must be non-negative");
+            g.max(0.0) as i64
         } else {
-            g as i64
+            i64::MAX
         }
     }
 }
@@ -144,6 +161,41 @@ mod tests {
     #[should_panic(expected = "sensitivity must be positive")]
     fn zero_sensitivity_rejected() {
         let _ = DoubleGeometric::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha rounds to 1")]
+    fn epsilon_below_f64_resolution_is_rejected() {
+        // Regression: ε/Δ below ~1e-16 makes α = e^(−ε/Δ) round to
+        // exactly 1.0. The inversion sampler then divides by ln 1 = 0,
+        // and the old raw cast turned the resulting -inf into
+        // i64::MIN — a *negative* one-sided geometric — whose two
+        // sides cancelled to zero net noise: the mechanism silently
+        // released true counts at the strictest budgets. Such budgets
+        // must be rejected at construction.
+        let _ = DoubleGeometric::new(1e-300, 1.0);
+    }
+
+    #[test]
+    fn tiny_epsilon_tail_is_clamped_not_overflowed() {
+        // The smallest admissible budgets produce astronomically
+        // heavy tails (mean one-sided draw ≈ Δ/ε). Every draw must
+        // stay inside [−i64::MAX, i64::MAX] so downstream integer
+        // arithmetic cannot overflow, while still being huge.
+        let d = DoubleGeometric::new(1e-12, 1.0);
+        assert!(d.alpha() < 1.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut saw_large = false;
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= -i64::MAX, "draw {s} escaped the clamp");
+            saw_large |= s.unsigned_abs() > 1_000_000_000;
+            // privatize() must saturate rather than wrap on top of
+            // such draws.
+            let m = GeometricMechanism::new(1e-12, 1.0);
+            let _ = m.privatize(u64::try_from(i64::MAX).unwrap(), &mut rng);
+        }
+        assert!(saw_large, "tiny-epsilon tails should be enormous");
     }
 
     #[test]

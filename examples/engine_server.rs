@@ -31,6 +31,7 @@ fn main() -> std::io::Result<()> {
         method: "hc".into(),
         bound: 100,
         seed: 7,
+        handle: None,
     };
     let id = client
         .submit(&params, hierarchy_csv, groups_csv, entities_csv)?
@@ -38,6 +39,27 @@ fn main() -> std::io::Result<()> {
     println!("submitted {id}, status: {}", client.status(id)?);
     let release = client.wait(id)?.expect("release succeeded");
     println!("released CSV:\n{}", release.csv);
+
+    // ε-sweep workflow: load the tables once into the prepared
+    // registry, then sweep a budget grid over the handle — the server
+    // never re-parses the tables and streams each ε as it finishes.
+    let handle = client
+        .prepare(hierarchy_csv, groups_csv, entities_csv)?
+        .expect("tables accepted");
+    println!("prepared {handle}");
+    client.sweep(&params, handle, &[0.5, 1.0, 2.0], |eps, result| {
+        let r = result.expect("sweep point succeeded");
+        println!(
+            "eps={eps}: {} rows ({})",
+            r.csv.lines().count().saturating_sub(1),
+            if r.from_cache {
+                "cache hit"
+            } else {
+                "computed"
+            }
+        );
+    })?;
+    client.unprepare(handle)?.expect("handle released");
 
     // The same request again — served bit-identically from the cache.
     let id2 = client

@@ -27,6 +27,19 @@
 //!              --groups data/groups.csv --entities data/entities.csv \
 //!              --epsilon 1.0 --out release.csv
 //!     submits one release to a running server and fetches the result
+//!
+//! hcc prepare  --addr 127.0.0.1:7878 --hierarchy data/hierarchy.csv \
+//!              --groups data/groups.csv --entities data/entities.csv
+//!     loads the tables into the server's prepared-dataset registry
+//!     once and prints the content-addressed handle
+//!
+//! hcc sweep    --addr 127.0.0.1:7878 --handle ds-... \
+//!              --eps 0.1,0.5,1,2 --out-dir sweeps/
+//!     batch-submits an ε grid over one prepared handle on one
+//!     connection, streaming per-ε results as they complete
+//!
+//! hcc unprepare --addr 127.0.0.1:7878 --handle ds-...
+//!     drops one reference to a prepared dataset
 //! ```
 
 use std::collections::HashMap;
@@ -40,8 +53,10 @@ use hccount::consistency::{
 };
 use hccount::core::{emd, size_stats};
 use hccount::data::{Dataset, DatasetKind};
-use hccount::engine::{level_method, protocol::SubmitParams, serve, Client, Engine, EngineConfig};
-use hccount::hierarchy::{hierarchy_from_csv, hierarchy_to_csv, Hierarchy};
+use hccount::engine::{
+    level_method, protocol::SubmitParams, serve, Client, DatasetHandle, Engine, EngineConfig,
+};
+use hccount::hierarchy::{hierarchy_from_csv, Hierarchy};
 use hccount::tables::CsvLoader;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +81,9 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
+        "prepare" => cmd_prepare(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "unprepare" => cmd_unprepare(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -88,8 +106,13 @@ const USAGE: &str = "usage:
   hcc stats    --hierarchy F --release F [--region NAME]
   hcc evaluate --hierarchy F --release F --truth F
   hcc serve    --addr HOST:PORT [--threads N] [--job-threads N] [--queue N] [--cache N]
+               [--prepared N]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
+  hcc prepare  --addr HOST:PORT --hierarchy F --groups F --entities F
+  hcc sweep    --addr HOST:PORT --eps F,F,... (--handle ds-HEX | --hierarchy F --groups F --entities F)
+               [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out-dir DIR]
+  hcc unprepare --addr HOST:PORT --handle ds-HEX
 
 environment:
   HCC_THREADS  default for --threads: estimator parallelism in `release`,
@@ -193,34 +216,18 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
     let ds = Dataset::generate(kind, scale, seed);
 
-    write(
-        &out_dir.join("hierarchy.csv"),
-        &hierarchy_to_csv(&ds.hierarchy),
-    )?;
-
-    // Emit groups/entities rows from the leaf histograms.
-    let mut groups = String::from("group_id,region_name\n");
-    let mut entities = String::from("entity_id,group_id\n");
-    let mut gid = 0u64;
-    let mut eid = 0u64;
-    for leaf in ds.hierarchy.leaves() {
-        let name = ds.hierarchy.name(leaf);
-        for run in ds.data.node(leaf).to_unattributed().runs() {
-            for _ in 0..run.count {
-                groups.push_str(&format!("g{gid},{name}\n"));
-                for _ in 0..run.size {
-                    entities.push_str(&format!("e{eid},g{gid}\n"));
-                    eid += 1;
-                }
-                gid += 1;
-            }
-        }
-    }
+    // Emit the hierarchy plus groups/entities rows from the leaf
+    // histograms (shared with tests and benches via `to_csv_tables`).
+    let (hierarchy_csv, groups, entities) = ds.to_csv_tables();
+    write(&out_dir.join("hierarchy.csv"), &hierarchy_csv)?;
     write(&out_dir.join("groups.csv"), &groups)?;
     write(&out_dir.join("entities.csv"), &entities)?;
+    let stats = ds.stats();
     println!(
-        "wrote {} regions, {gid} groups, {eid} entities under {}",
+        "wrote {} regions, {} groups, {} entities under {}",
         ds.hierarchy.num_nodes(),
+        stats.groups,
+        stats.entities,
         out_dir.display()
     );
     Ok(())
@@ -303,16 +310,19 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let job_threads: usize = parsed(opts, "job-threads", 1)?;
     let queue: usize = parsed(opts, "queue", 64)?;
     let cache: usize = parsed(opts, "cache", 32)?;
+    let prepared: usize = parsed(opts, "prepared", 16)?;
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
             .with_threads_per_job(job_threads.max(1))
             .with_queue_capacity(queue.max(1))
-            .with_cache_capacity(cache),
+            .with_cache_capacity(cache)
+            .with_prepared_capacity(prepared),
     );
     let handle = serve(Arc::new(engine), addr).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache})",
+        "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache}, \
+         prepared {prepared})",
         handle.addr()
     );
     // Serve until the process is killed.
@@ -332,6 +342,7 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
         method: opts.get("method").cloned().unwrap_or_else(|| "hc".into()),
         bound: parsed(opts, "bound", 100_000)?,
         seed: parsed(opts, "seed", 42)?,
+        handle: None,
     };
     // Validate the method locally for a fast, friendly error.
     level_method(&params.method, params.bound)?;
@@ -367,6 +378,150 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
         None => print!("{}", release.csv),
     }
     let _ = client.quit();
+    Ok(())
+}
+
+/// Loads the three tables into a running server's prepared-dataset
+/// registry and prints the content-addressed handle.
+fn cmd_prepare(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let hierarchy_csv = read(required(opts, "hierarchy")?)?;
+    let groups_csv = read(required(opts, "groups")?)?;
+    let entities_csv = read(required(opts, "entities")?)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let handle = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .map_err(|e| format!("talking to {addr}: {e}"))?
+        .map_err(|e| format!("server rejected the tables: {e}"))?;
+    println!("prepared {handle}");
+    let _ = client.quit();
+    Ok(())
+}
+
+/// Drops one reference to a prepared dataset on the server.
+fn cmd_unprepare(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let handle: DatasetHandle = required(opts, "handle")?.parse()?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let refs = client
+        .unprepare(handle)
+        .map_err(|e| format!("talking to {addr}: {e}"))?
+        .map_err(|e| format!("server rejected the request: {e}"))?;
+    println!("unprepared {handle} ({refs} references remain)");
+    let _ = client.quit();
+    Ok(())
+}
+
+/// Batch-submits an ε grid over one prepared handle on a single
+/// connection and streams the per-ε results as they complete. With
+/// table paths instead of `--handle`, prepares them first (and
+/// unprepares on the way out). Each release is written to
+/// `--out-dir/release-eps-<ε>.csv` when given; otherwise only the
+/// per-ε summary lines are printed.
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let eps_tokens: Vec<String> = required(opts, "eps")?
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(String::from)
+        .collect();
+    if eps_tokens.is_empty() {
+        return Err("--eps needs at least one value".to_string());
+    }
+    let epsilons: Vec<f64> = eps_tokens
+        .iter()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|_| format!("--eps: cannot parse {t:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let base = SubmitParams {
+        epsilon: 1.0,
+        method: opts.get("method").cloned().unwrap_or_else(|| "hc".into()),
+        bound: parsed(opts, "bound", 100_000)?,
+        seed: parsed(opts, "seed", 42)?,
+        handle: None,
+    };
+    level_method(&base.method, base.bound)?;
+    let out_dir = opts.get("out-dir").map(PathBuf::from);
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let io_err = |e: std::io::Error| format!("talking to {addr}: {e}");
+    let (handle, auto_prepared) = match opts.get("handle") {
+        Some(h) => (h.parse::<DatasetHandle>()?, false),
+        None => {
+            let hierarchy_csv = read(required(opts, "hierarchy")?)?;
+            let groups_csv = read(required(opts, "groups")?)?;
+            let entities_csv = read(required(opts, "entities")?)?;
+            let handle = client
+                .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+                .map_err(io_err)?
+                .map_err(|e| format!("server rejected the tables: {e}"))?;
+            println!("prepared {handle}");
+            (handle, true)
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut write_err: Option<String> = None;
+    let mut point = 0usize;
+    client
+        .sweep(&base, handle, &epsilons, |epsilon, result| {
+            // Results stream in grid order, so the token is positional
+            // — value-matching would alias distinct tokens that parse
+            // equal (`--eps 1,1.0`) and silently skip an output file.
+            let token = eps_tokens
+                .get(point)
+                .cloned()
+                .unwrap_or_else(|| epsilon.to_string());
+            point += 1;
+            match result {
+                Ok(release) => {
+                    let rows = release.csv.lines().count().saturating_sub(1);
+                    let source = if release.from_cache {
+                        "cache hit"
+                    } else {
+                        "computed"
+                    };
+                    match &out_dir {
+                        Some(dir) => {
+                            let path = dir.join(format!("release-eps-{token}.csv"));
+                            match write(&path, &release.csv) {
+                                Ok(()) => println!(
+                                    "eps={token}: {rows} rows ({source}) -> {}",
+                                    path.display()
+                                ),
+                                Err(e) => {
+                                    failures += 1;
+                                    write_err.get_or_insert(e);
+                                }
+                            }
+                        }
+                        None => println!("eps={token}: {rows} rows ({source})"),
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("eps={token}: failed: {e}");
+                }
+            }
+        })
+        .map_err(io_err)?;
+
+    if auto_prepared {
+        let _ = client.unprepare(handle);
+    }
+    let _ = client.quit();
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} sweep points failed",
+            epsilons.len()
+        ));
+    }
     Ok(())
 }
 

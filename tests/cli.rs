@@ -185,6 +185,117 @@ fn serve_and_submit_roundtrip() {
     );
 }
 
+/// Boots `hcc serve`, loads the tables once with `hcc prepare`, runs
+/// an ε grid with `hcc sweep` over the handle, and checks every sweep
+/// point is byte-identical to a direct `hcc release` with the same
+/// seed and ε.
+#[test]
+fn prepare_and_sweep_roundtrip() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("sweep");
+    let out = hcc()
+        .args([
+            "generate", "--kind", "housing", "--scale", "0.001", "--seed", "8",
+        ])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut server = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let tables = |c: &mut Command| {
+        c.args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()]);
+        c.args(["--groups", dir.join("groups.csv").to_str().unwrap()]);
+        c.args(["--entities", dir.join("entities.csv").to_str().unwrap()]);
+    };
+
+    // PREPARE once; the handle is printed and content-addressed.
+    let mut c = hcc();
+    c.args(["prepare", "--addr", &addr]);
+    tables(&mut c);
+    let out = c.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let handle = stdout
+        .split_whitespace()
+        .find(|w| w.starts_with("ds-"))
+        .unwrap_or_else(|| panic!("no handle in {stdout:?}"))
+        .to_string();
+
+    // Sweep the ε grid over the handle on one connection.
+    let sweep_dir = dir.join("sweeps");
+    let out = hcc()
+        .args(["sweep", "--addr", &addr, "--handle", &handle])
+        .args(["--eps", "0.5,1.5", "--seed", "11", "--bound", "2000"])
+        .args(["--out-dir", sweep_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("eps=0.5"), "{stdout}");
+    assert!(stdout.contains("eps=1.5"), "{stdout}");
+
+    // Every sweep point must equal a direct release at that ε.
+    for eps in ["0.5", "1.5"] {
+        let direct = dir.join(format!("direct-{eps}.csv"));
+        let mut c = hcc();
+        c.args(["release"]);
+        tables(&mut c);
+        let out = c
+            .args(["--epsilon", eps, "--seed", "11", "--bound", "2000"])
+            .args(["--out", direct.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read_to_string(sweep_dir.join(format!("release-eps-{eps}.csv"))).unwrap(),
+            std::fs::read_to_string(&direct).unwrap(),
+            "sweep at eps={eps} must be byte-identical to a direct release"
+        );
+    }
+
+    // UNPREPARE drops the reference.
+    let out = hcc()
+        .args(["unprepare", "--addr", &addr, "--handle", &handle])
+        .output()
+        .unwrap();
+    let _ = server.kill();
+    let _ = server.wait();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 references remain"));
+}
+
 #[test]
 fn helpful_errors() {
     // Unknown subcommand.

@@ -7,9 +7,8 @@ use std::sync::Arc;
 use hccount::consistency::{to_csv, top_down_release, LevelMethod, TopDownConfig};
 use hccount::data::{Dataset, DatasetKind};
 use hccount::engine::{
-    protocol::SubmitParams, serve, Client, Engine, EngineConfig, ReleaseRequest,
+    protocol::SubmitParams, serve, Client, DatasetHandle, Engine, EngineConfig, ReleaseRequest,
 };
-use hccount::hierarchy::hierarchy_to_csv;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,27 +59,10 @@ fn engine_multi_worker_release_is_byte_identical_to_direct_call() {
     assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
 }
 
-/// Builds the three CSV tables a server submission needs from a
-/// generated dataset (mirrors `hcc generate`'s emitter).
+/// The three CSV tables a server submission needs (the `hcc
+/// generate` emitter, shared via [`Dataset::to_csv_tables`]).
 fn tables(ds: &Dataset) -> (String, String, String) {
-    let hierarchy_csv = hierarchy_to_csv(&ds.hierarchy);
-    let mut groups = String::from("group_id,region_name\n");
-    let mut entities = String::from("entity_id,group_id\n");
-    let (mut gid, mut eid) = (0u64, 0u64);
-    for leaf in ds.hierarchy.leaves() {
-        let name = ds.hierarchy.name(leaf);
-        for run in ds.data.node(leaf).to_unattributed().runs() {
-            for _ in 0..run.count {
-                groups.push_str(&format!("g{gid},{name}\n"));
-                for _ in 0..run.size {
-                    entities.push_str(&format!("e{eid},g{gid}\n"));
-                    eid += 1;
-                }
-                gid += 1;
-            }
-        }
-    }
-    (hierarchy_csv, groups, entities)
+    ds.to_csv_tables()
 }
 
 /// Acceptance criterion: submit → poll → fetch over a real loopback
@@ -108,6 +90,7 @@ fn serve_end_to_end_over_loopback() {
         method: "hc".into(),
         bound: 500,
         seed: 7,
+        handle: None,
     };
     let id = client
         .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
@@ -144,6 +127,195 @@ fn serve_end_to_end_over_loopback() {
     let stats = client.stats().unwrap();
     assert!(stats.contains("cache_hits=1"), "{stats}");
     assert!(stats.contains("submitted=2"), "{stats}");
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Acceptance criterion: `PREPARE` → `SUBMIT`-by-handle → `UNPREPARE`
+/// over loopback TCP. Releases via a prepared handle are byte-
+/// identical to inline submissions with the same seed, and an ε-sweep
+/// over one handle streams per-ε results on a single connection.
+#[test]
+fn prepare_sweep_unprepare_over_loopback() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let ds_handle = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .expect("server accepts well-formed tables");
+    // Content-addressed: preparing the same tables again returns the
+    // same handle (and bumps the refcount).
+    let again = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    assert_eq!(ds_handle, again);
+    let stats = client.stats().unwrap();
+    // `prepared=` counts PREPARE calls accepted (mirrors
+    // `EngineStats::prepared`); `prepared_datasets=` is the live
+    // registry size — two preparations of identical content are one
+    // dataset.
+    assert!(stats.contains("prepared=2"), "{stats}");
+    assert!(stats.contains("prepared_datasets=1"), "{stats}");
+
+    // Inline and by-handle submissions of the same request must be
+    // byte-identical — and share one cache entry.
+    let params = SubmitParams {
+        epsilon: 1.5,
+        method: "hc".into(),
+        bound: 500,
+        seed: 3,
+        handle: None,
+    };
+    let inline_id = client
+        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let inline = client.wait(inline_id).unwrap().unwrap();
+    let by_handle_id = client.submit_prepared(&params, ds_handle).unwrap().unwrap();
+    let by_handle = client.wait(by_handle_id).unwrap().unwrap();
+    assert_eq!(inline.csv, by_handle.csv);
+    assert!(
+        by_handle.from_cache,
+        "handle submission must hit the cache entry the inline one filled"
+    );
+
+    // ε-sweep over the prepared handle, streamed in grid order.
+    let epsilons = [0.5, 1.0, 2.0];
+    let mut seen = Vec::new();
+    client
+        .sweep(&params, ds_handle, &epsilons, |eps, result| {
+            let release = result.expect("sweep point succeeds");
+            // Every sweep point must match a direct library release
+            // with the same seed.
+            let mut rng = StdRng::seed_from_u64(3);
+            let cfg = TopDownConfig::new(eps).with_method(LevelMethod::Cumulative { bound: 500 });
+            let direct = to_csv(
+                &ds.hierarchy,
+                &top_down_release(&ds.hierarchy, &ds.data, &cfg, &mut rng).unwrap(),
+            );
+            assert_eq!(release.csv, direct, "eps={eps}");
+            seen.push(eps);
+        })
+        .unwrap();
+    assert_eq!(seen, epsilons);
+
+    // Two references were taken; both must be dropped to free it.
+    assert_eq!(client.unprepare(ds_handle).unwrap().unwrap(), 1);
+    assert_eq!(client.unprepare(ds_handle).unwrap().unwrap(), 0);
+    let err = client
+        .submit_prepared(&params, ds_handle)
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("unknown dataset handle"), "{err}");
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// A sweep wider than the server's bounded job queue must still
+/// complete: the client drains its oldest in-flight point when the
+/// queue pushes back, preserving grid order.
+#[test]
+fn sweep_wider_than_the_queue_backpressures_and_completes() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    // One worker, one queue slot, no cache: at most two points can be
+    // in flight, so a 5-point grid must exercise the retry path.
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_cache_capacity(0),
+    );
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ds_handle = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let params = SubmitParams {
+        bound: 500,
+        ..SubmitParams::default()
+    };
+    let epsilons = [0.5, 0.75, 1.0, 1.5, 2.0];
+    let mut seen = Vec::new();
+    client
+        .sweep(&params, ds_handle, &epsilons, |eps, result| {
+            result.expect("every point completes despite queue pressure");
+            seen.push(eps);
+        })
+        .unwrap();
+    assert_eq!(seen, epsilons, "results stream in grid order");
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Unknown and evicted handles are distinguishable wire errors, and a
+/// SUBMIT that carries both a handle and data sections is rejected.
+#[test]
+fn unknown_and_evicted_handles_over_loopback() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    // Capacity-1 registry: the second PREPARE evicts the first.
+    let engine = Engine::start(EngineConfig::default().with_prepared_capacity(1));
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let params = SubmitParams::default();
+
+    // Never-prepared handle.
+    let bogus: DatasetHandle = "ds-00000000000000000000000000000000".parse().unwrap();
+    let err = client.submit_prepared(&params, bogus).unwrap().unwrap_err();
+    assert!(err.contains("unknown dataset handle"), "{err}");
+    let err = client.unprepare(bogus).unwrap().unwrap_err();
+    assert!(err.contains("unknown dataset handle"), "{err}");
+
+    // Prepare A, then B (a different dataset): A is evicted and says so.
+    let a = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let other = Dataset::generate(DatasetKind::Housing, 0.001, 6);
+    let (h2, g2, e2) = tables(&other);
+    let b = client.prepare(&h2, &g2, &e2).unwrap().unwrap();
+    assert_ne!(a, b);
+    let err = client.submit_prepared(&params, a).unwrap().unwrap_err();
+    assert!(err.contains("evicted"), "{err}");
+    assert!(client.submit_prepared(&params, b).unwrap().is_ok());
+
+    // Handle + sections on one SUBMIT is malformed (but well-framed,
+    // so the connection survives).
+    let mut p = params.clone();
+    p.handle = Some(b);
+    let err = client
+        .submit(&p, &hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("takes no data sections"), "{err}");
+    assert!(client.ping().unwrap());
+
+    // Malformed handle on the raw wire: the server rejects it with a
+    // one-line ERR and the connection stays usable.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        write!(stream, "UNPREPARE nope\nPING\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR"), "{line:?}");
+        assert!(line.contains("malformed dataset handle"), "{line:?}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "PONG");
+    }
 
     client.quit().unwrap();
     handle.shutdown();
