@@ -325,6 +325,56 @@ fn bench_engine_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// The delta-derivation win: moving a prepared dataset forward by a
+/// 1%-of-groups delta with `DERIVE` versus a cold `PREPARE` of the
+/// post-delta tables, both through the real TCP server. The cold path
+/// re-ships and re-parses every table row and re-aggregates the whole
+/// hierarchy; `DERIVE` ships only the delta CSV and re-aggregates
+/// only the touched root-to-leaf paths, so it must come in at ≥5×
+/// faster (in practice far more — no entity row ever crosses the
+/// wire).
+fn bench_engine_derive(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use hcc_data::{Dataset, DatasetDelta, DatasetKind};
+    use hcc_engine::{serve, Client, Engine, EngineConfig};
+
+    let mut g = c.benchmark_group("engine_derive");
+    g.sample_size(10);
+
+    let ds = Dataset::generate(DatasetKind::Housing, 1.0, 6);
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+
+    // A delta touching ~1% of all groups (shared builder with the
+    // tier-1 derive-vs-prepare perf smoke).
+    let delta = DatasetDelta::resize_sample(&ds, 100);
+    let post = ds.apply_delta(&delta).unwrap();
+    let (post_hierarchy_csv, post_groups_csv, post_entities_csv) = post.to_csv_tables();
+
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let parent = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+
+    g.bench_function("derive_1pct", |b| {
+        b.iter(|| black_box(client.derive(parent, &delta).unwrap().unwrap()))
+    });
+    g.bench_function("cold_prepare_post_delta", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .prepare(&post_hierarchy_csv, &post_groups_csv, &post_entities_csv)
+                    .unwrap()
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_isotonic,
@@ -334,6 +384,7 @@ criterion_group!(
     bench_noise,
     bench_end_to_end,
     bench_engine,
-    bench_engine_sweep
+    bench_engine_sweep,
+    bench_engine_derive
 );
 criterion_main!(benches);

@@ -36,7 +36,46 @@ pub enum ConsistencyError {
         /// Pooled number of groups across the children.
         children: u64,
     },
+    /// An edit named a node that does not exist in the hierarchy.
+    UnknownNode(NodeId),
+    /// An edit removes more groups of a size than the leaf holds.
+    MissingGroups {
+        /// The leaf the removal targets.
+        node: NodeId,
+        /// The group size being removed.
+        size: u64,
+        /// How many groups the edit wants to remove.
+        requested: u64,
+        /// How many groups of that size the leaf actually holds.
+        present: u64,
+    },
+    /// An edit would push a histogram cell past `u64::MAX`.
+    EditOverflow {
+        /// The node whose cell would overflow.
+        node: NodeId,
+        /// The group size of the overflowing cell.
+        size: u64,
+    },
+    /// An edit names a group size beyond [`MAX_EDIT_SIZE`]. The dense
+    /// histograms allocate one cell per representable size, so an
+    /// unbounded size on an untrusted edit would let a single delta
+    /// line demand a near-2^64-element allocation and abort the
+    /// process.
+    GroupSizeTooLarge {
+        /// The offending group size.
+        size: u64,
+        /// The [`MAX_EDIT_SIZE`] bound.
+        max: u64,
+    },
 }
+
+/// Largest group size an edit may introduce (2^26 ≈ 67M). Sizes are
+/// dense histogram indices, so this caps the per-cell allocation an
+/// untrusted edit can force at ~512 MB — aligned with the engine's
+/// wire-section bound of 50M entity rows, above which no legitimate
+/// group can exist. Data loaded from real tables is bounded by its
+/// row count and never consults this limit.
+pub const MAX_EDIT_SIZE: u64 = 1 << 26;
 
 impl std::fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -60,11 +99,49 @@ impl std::fmt::Display for ConsistencyError {
             ConsistencyError::GroupTotalsMismatch { parent, children } => {
                 write!(f, "parent has {parent} groups but children pool {children}")
             }
+            ConsistencyError::UnknownNode(n) => {
+                write!(f, "node {n} does not exist in the hierarchy")
+            }
+            ConsistencyError::MissingGroups {
+                node,
+                size,
+                requested,
+                present,
+            } => {
+                write!(
+                    f,
+                    "cannot remove {requested} group(s) of size {size} at {node}: \
+                     only {present} present"
+                )
+            }
+            ConsistencyError::EditOverflow { node, size } => {
+                write!(f, "edit overflows the size-{size} cell at {node}")
+            }
+            ConsistencyError::GroupSizeTooLarge { size, max } => {
+                write!(
+                    f,
+                    "edit group size {size} exceeds the supported maximum {max}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConsistencyError {}
+
+/// One signed change to a leaf's count-of-counts cell: `delta > 0`
+/// adds that many groups of size `size` to `leaf`, `delta < 0` removes
+/// them. The consistency desideratum is maintained by re-aggregating
+/// the leaf's root path, so an edit costs O(depth), not O(dataset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafEdit {
+    /// The leaf region the groups live in.
+    pub leaf: NodeId,
+    /// The group size whose cell changes.
+    pub size: u64,
+    /// Signed change to the number of groups of that size.
+    pub delta: i64,
+}
 
 /// One count-of-counts histogram per hierarchy node, guaranteed (by
 /// construction or validation) to be *consistent*: every internal
@@ -155,6 +232,86 @@ impl HierarchicalCounts {
     pub fn assert_desiderata(&self, hierarchy: &Hierarchy) {
         self.validate(hierarchy)
             .expect("released histograms violate the consistency desideratum");
+    }
+
+    /// Applies per-leaf cell edits **in place**, re-aggregating only
+    /// the root-to-leaf paths the edits touch — O(edits · depth)
+    /// instead of the O(dataset) full bottom-up aggregation of
+    /// [`HierarchicalCounts::from_leaves`]. Consistency is preserved
+    /// by construction: each edit adjusts the same cell at the leaf
+    /// and every ancestor.
+    ///
+    /// Edits are validated *before* anything is applied (membership in
+    /// the hierarchy, leaf-ness, removal availability in edit order,
+    /// cell overflow), so an `Err` leaves `self` untouched.
+    pub fn apply_edits(
+        &mut self,
+        hierarchy: &Hierarchy,
+        edits: &[LeafEdit],
+    ) -> Result<(), ConsistencyError> {
+        // Validation pass: project every touched (node, size) cell
+        // through the edit sequence without mutating anything. Edits
+        // interact (an add can fund a later removal of the same cell),
+        // so availability is tracked in order.
+        let mut projected: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
+        for e in edits {
+            if e.leaf.index() >= hierarchy.num_nodes() {
+                return Err(ConsistencyError::UnknownNode(e.leaf));
+            }
+            if !hierarchy.is_leaf(e.leaf) {
+                return Err(ConsistencyError::NotALeaf(e.leaf));
+            }
+            // Sizes are dense-vector indices: an unbounded size on an
+            // untrusted edit is an allocation bomb, not a data point.
+            if e.size > MAX_EDIT_SIZE {
+                return Err(ConsistencyError::GroupSizeTooLarge {
+                    size: e.size,
+                    max: MAX_EDIT_SIZE,
+                });
+            }
+            let mut cur = Some(e.leaf);
+            while let Some(node) = cur {
+                let cell = projected
+                    .entry((node.index(), e.size))
+                    .or_insert_with(|| self.hists[node.index()].count_of(e.size));
+                if e.delta >= 0 {
+                    *cell = cell
+                        .checked_add(e.delta.unsigned_abs())
+                        .ok_or(ConsistencyError::EditOverflow { node, size: e.size })?;
+                } else {
+                    let need = e.delta.unsigned_abs();
+                    if *cell < need {
+                        // By additivity an ancestor cell is at least
+                        // its leaf's, so the first (and only) node
+                        // that can trip this is the leaf itself.
+                        return Err(ConsistencyError::MissingGroups {
+                            node,
+                            size: e.size,
+                            requested: need,
+                            present: *cell,
+                        });
+                    }
+                    *cell -= need;
+                }
+                cur = hierarchy.parent(node);
+            }
+        }
+        // Apply pass — infallible after validation.
+        for e in edits {
+            let mut cur = Some(e.leaf);
+            while let Some(node) = cur {
+                let h = &mut self.hists[node.index()];
+                if e.delta >= 0 {
+                    h.add_groups(e.size, e.delta.unsigned_abs());
+                } else {
+                    h.remove_groups(e.size, e.delta.unsigned_abs())
+                        .expect("validated edit cannot underflow");
+                }
+                cur = hierarchy.parent(node);
+            }
+        }
+        Ok(())
     }
 
     /// The histogram at a node.
@@ -300,8 +457,210 @@ mod tests {
                 parent: 3,
                 children: 4,
             },
+            ConsistencyError::UnknownNode(Hierarchy::ROOT),
+            ConsistencyError::MissingGroups {
+                node: Hierarchy::ROOT,
+                size: 3,
+                requested: 2,
+                present: 1,
+            },
+            ConsistencyError::EditOverflow {
+                node: Hierarchy::ROOT,
+                size: 3,
+            },
+            ConsistencyError::GroupSizeTooLarge {
+                size: u64::MAX,
+                max: MAX_EDIT_SIZE,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// Three-level tree so path re-aggregation crosses an internal
+    /// node: root → {mid1 → {a, b}, mid2 → {c}}.
+    fn three_level() -> (Hierarchy, NodeId, NodeId, NodeId) {
+        let mut b = HierarchyBuilder::new("root");
+        let m1 = b.add_child(Hierarchy::ROOT, "mid1");
+        let m2 = b.add_child(Hierarchy::ROOT, "mid2");
+        let a = b.add_child(m1, "a");
+        let bb = b.add_child(m1, "b");
+        let c = b.add_child(m2, "c");
+        let _ = bb;
+        (b.build(), a, bb, c)
+    }
+
+    #[test]
+    fn apply_edits_matches_full_reaggregation() {
+        let (h, a, b, c) = three_level();
+        let mut data = HierarchicalCounts::from_leaves(
+            &h,
+            vec![
+                (a, CountOfCounts::from_group_sizes([1, 2, 2])),
+                (b, CountOfCounts::from_group_sizes([3])),
+                (c, CountOfCounts::from_group_sizes([1, 5])),
+            ],
+        )
+        .unwrap();
+        // Add two groups of size 4 at a, remove one of size 2 at a,
+        // resize c's size-5 group to 6 (remove + add).
+        data.apply_edits(
+            &h,
+            &[
+                LeafEdit {
+                    leaf: a,
+                    size: 4,
+                    delta: 2,
+                },
+                LeafEdit {
+                    leaf: a,
+                    size: 2,
+                    delta: -1,
+                },
+                LeafEdit {
+                    leaf: c,
+                    size: 5,
+                    delta: -1,
+                },
+                LeafEdit {
+                    leaf: c,
+                    size: 6,
+                    delta: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let expected = HierarchicalCounts::from_leaves(
+            &h,
+            vec![
+                (a, CountOfCounts::from_group_sizes([1, 2, 4, 4])),
+                (b, CountOfCounts::from_group_sizes([3])),
+                (c, CountOfCounts::from_group_sizes([1, 6])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(data, expected);
+        data.assert_desiderata(&h);
+    }
+
+    #[test]
+    fn apply_edits_rejects_bad_edits_without_mutating() {
+        let (h, a, _, _) = three_level();
+        let mid1 = h.parent(a).unwrap();
+        let data =
+            HierarchicalCounts::from_leaves(&h, vec![(a, CountOfCounts::from_group_sizes([1, 2]))])
+                .unwrap();
+
+        let mut scratch = data.clone();
+        // Non-leaf target.
+        assert_eq!(
+            scratch.apply_edits(
+                &h,
+                &[LeafEdit {
+                    leaf: mid1,
+                    size: 1,
+                    delta: 1
+                }]
+            ),
+            Err(ConsistencyError::NotALeaf(mid1))
+        );
+        // Removing more than present — even when a *later* edit in the
+        // batch would have re-funded the cell, validation is in order.
+        let err = scratch
+            .apply_edits(
+                &h,
+                &[
+                    LeafEdit {
+                        leaf: a,
+                        size: 2,
+                        delta: -2,
+                    },
+                    LeafEdit {
+                        leaf: a,
+                        size: 2,
+                        delta: 5,
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConsistencyError::MissingGroups {
+                node: a,
+                size: 2,
+                requested: 2,
+                present: 1,
+            }
+        );
+        // An allocation-bomb size is rejected in validation — before
+        // any vector is resized (this must return, not abort).
+        let err = scratch
+            .apply_edits(
+                &h,
+                &[LeafEdit {
+                    leaf: a,
+                    size: u64::MAX,
+                    delta: 1,
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConsistencyError::GroupSizeTooLarge {
+                size: u64::MAX,
+                max: MAX_EDIT_SIZE,
+            }
+        );
+        // Overflowing a cell.
+        let err = scratch
+            .apply_edits(
+                &h,
+                &[
+                    LeafEdit {
+                        leaf: a,
+                        size: 1,
+                        delta: i64::MAX,
+                    },
+                    LeafEdit {
+                        leaf: a,
+                        size: 1,
+                        delta: i64::MAX,
+                    },
+                    LeafEdit {
+                        leaf: a,
+                        size: 1,
+                        delta: i64::MAX,
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ConsistencyError::EditOverflow { .. }),
+            "{err}"
+        );
+        // Every rejection left the counts untouched.
+        assert_eq!(scratch, data);
+
+        // An add can fund a later removal of the same cell.
+        let mut scratch = data.clone();
+        scratch
+            .apply_edits(
+                &h,
+                &[
+                    LeafEdit {
+                        leaf: a,
+                        size: 2,
+                        delta: 3,
+                    },
+                    LeafEdit {
+                        leaf: a,
+                        size: 2,
+                        delta: -4,
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(scratch.node(a).count_of(2), 0);
+        scratch.assert_desiderata(&h);
     }
 }

@@ -41,7 +41,7 @@ pub mod private_counts;
 pub mod topdown;
 
 pub use bottom_up::bottom_up_release;
-pub use counts::{ConsistencyError, HierarchicalCounts};
+pub use counts::{ConsistencyError, HierarchicalCounts, LeafEdit, MAX_EDIT_SIZE};
 pub use export::{from_csv, to_csv, ExportError};
 pub use matching::{match_groups, MatchSegment};
 pub use matching_dense::{match_groups_dense, DensePair};

@@ -49,8 +49,12 @@ pub struct MatchSegment {
 impl MatchSegment {
     /// The matching cost contributed by this segment:
     /// `count · |parent_size − child_size|`.
-    pub fn cost(&self) -> u64 {
-        self.count * self.parent_size.abs_diff(self.child_size)
+    ///
+    /// Returned as `u128`: `count` and the size gap are both u64s from
+    /// untrusted estimates, so the product can exceed `u64::MAX` at
+    /// census scale (it used to wrap — or panic in debug — there).
+    pub fn cost(&self) -> u128 {
+        u128::from(self.count) * u128::from(self.parent_size.abs_diff(self.child_size))
     }
 }
 
@@ -199,7 +203,7 @@ pub fn match_groups(
 /// order. For absolute-difference weights this is the classical
 /// optimal transport on the line, so it lower-bounds (and Lemma 5:
 /// equals) any matching cost. Used to cross-check [`match_groups`].
-pub fn sorted_order_cost(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> u64 {
+pub fn sorted_order_cost(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> u128 {
     let expand = |runs: &[VarianceRun]| -> Vec<u64> {
         let mut v = Vec::new();
         for r in runs {
@@ -213,7 +217,10 @@ pub fn sorted_order_cost(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) 
     let mut c: Vec<u64> = children.iter().flat_map(|ch| expand(ch)).collect();
     c.sort_unstable();
     // `parent` arrives sorted by construction.
-    p.iter().zip(c.iter()).map(|(&a, &b)| a.abs_diff(b)).sum()
+    p.iter()
+        .zip(c.iter())
+        .map(|(&a, &b)| u128::from(a.abs_diff(b)))
+        .sum()
 }
 
 #[cfg(test)]
@@ -232,7 +239,7 @@ mod tests {
             .collect()
     }
 
-    fn total_cost(segs: &[MatchSegment]) -> u64 {
+    fn total_cost(segs: &[MatchSegment]) -> u128 {
         segs.iter().map(|s| s.cost()).sum()
     }
 
@@ -328,8 +335,29 @@ mod tests {
         assert_eq!(matched, vec![u128::from(u64::MAX), 1]);
         // Exactly one leftover child group matches the size-6 parent
         // group: total cost 1.
-        let cost: u128 = segs.iter().map(|s| u128::from(s.cost())).sum();
-        assert_eq!(cost, 1);
+        assert_eq!(total_cost(&segs), 1);
+    }
+
+    #[test]
+    fn segment_cost_does_not_overflow_u64() {
+        // Regression: `cost` used to multiply count × |Δsize| in u64,
+        // which wraps (debug: panics) for census-scale counts against
+        // an adversarial size estimate. u64::MAX groups that each
+        // moved 3 sizes must report the exact u128 cost.
+        let seg = MatchSegment {
+            child: 0,
+            count: u64::MAX,
+            parent_size: 1,
+            parent_variance: 1.0,
+            child_size: 4,
+            child_variance: 1.0,
+        };
+        assert_eq!(seg.cost(), 3 * u128::from(u64::MAX));
+        // The summation sites accumulate in u128 too: two such
+        // segments together exceed any u64.
+        let total = total_cost(&[seg, seg]);
+        assert_eq!(total, 6 * u128::from(u64::MAX));
+        assert!(total > u128::from(u64::MAX));
     }
 
     #[test]

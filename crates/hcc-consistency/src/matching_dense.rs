@@ -129,16 +129,18 @@ pub fn match_groups_dense(parent: &[u64], children: &[Vec<u64>]) -> Vec<DensePai
 }
 
 /// Total |parent size − child size| cost of a dense matching.
-pub fn dense_cost(pairs: &[DensePair], parent: &[u64], children: &[Vec<u64>]) -> u64 {
+/// Accumulated in u128 for the same overflow-safety reason as
+/// [`MatchSegment::cost`].
+pub fn dense_cost(pairs: &[DensePair], parent: &[u64], children: &[Vec<u64>]) -> u128 {
     pairs
         .iter()
-        .map(|p| parent[p.parent_index].abs_diff(children[p.child][p.child_index]))
+        .map(|p| u128::from(parent[p.parent_index].abs_diff(children[p.child][p.child_index])))
         .sum()
 }
 
 /// Expands run-length [`MatchSegment`]s into their total cost, for
 /// equivalence checks against [`dense_cost`].
-pub fn segments_cost(segments: &[MatchSegment]) -> u64 {
+pub fn segments_cost(segments: &[MatchSegment]) -> u128 {
     segments.iter().map(|s| s.cost()).sum()
 }
 
@@ -147,7 +149,7 @@ pub fn segments_cost(segments: &[MatchSegment]) -> u64 {
 pub fn match_groups_dense_from_runs(
     parent: &[VarianceRun],
     children: &[Vec<VarianceRun>],
-) -> (Vec<DensePair>, u64) {
+) -> (Vec<DensePair>, u128) {
     let p = expand(parent);
     let cs: Vec<Vec<u64>> = children.iter().map(|c| expand(c)).collect();
     let pairs = match_groups_dense(&p, &cs);

@@ -129,6 +129,38 @@ impl CountOfCounts {
         Self::from_counts(v)
     }
 
+    /// Adds `count` groups of size `size`.
+    pub fn add_groups(&mut self, size: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let s = usize::try_from(size).expect("group size exceeds addressable memory");
+        if s >= self.counts.len() {
+            self.counts.resize(s + 1, 0);
+        }
+        self.counts[s] += count;
+    }
+
+    /// Removes `count` groups of size `size`, or returns the number of
+    /// groups actually present when there are fewer than `count` (the
+    /// histogram is left untouched in that case). The trimmed-tail
+    /// invariant is restored after removal.
+    pub fn remove_groups(&mut self, size: u64, count: u64) -> Result<(), u64> {
+        if count == 0 {
+            return Ok(());
+        }
+        let have = self.count_of(size);
+        if have < count {
+            return Err(have);
+        }
+        let s = usize::try_from(size).expect("group size exceeds addressable memory");
+        self.counts[s] -= count;
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+        Ok(())
+    }
+
     /// Adds the counts of `other` into `self` (histogram of the union
     /// of the two group collections).
     pub fn add_assign(&mut self, other: &Self) {
@@ -247,6 +279,32 @@ mod tests {
     fn padded_panics_when_exceeding_bound() {
         let h = CountOfCounts::from_group_sizes([10]);
         let _ = h.padded(4);
+    }
+
+    #[test]
+    fn add_and_remove_groups_keep_the_trimmed_invariant() {
+        let mut h = CountOfCounts::from_group_sizes([1, 1, 4]);
+        h.add_groups(6, 2);
+        assert_eq!(h.count_of(6), 2);
+        assert_eq!(h.max_size(), Some(6));
+        h.add_groups(2, 0); // no-op, must not grow the vector
+        assert_eq!(h.count_of(2), 0);
+        assert_eq!(h.len(), 7);
+
+        // Removing the tail groups re-trims down to the next size.
+        h.remove_groups(6, 2).unwrap();
+        assert_eq!(h.max_size(), Some(4));
+        h.remove_groups(4, 1).unwrap();
+        assert_eq!(h.max_size(), Some(1));
+
+        // Removing more than present reports what *is* present and
+        // leaves the histogram untouched.
+        assert_eq!(h.remove_groups(1, 3), Err(2));
+        assert_eq!(h.remove_groups(9, 1), Err(0));
+        assert_eq!(h, CountOfCounts::from_group_sizes([1, 1]));
+        h.remove_groups(1, 2).unwrap();
+        assert!(h.is_empty());
+        h.remove_groups(5, 0).unwrap(); // zero removal from empty is fine
     }
 
     #[test]

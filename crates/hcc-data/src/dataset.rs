@@ -4,6 +4,7 @@
 use hcc_consistency::HierarchicalCounts;
 use hcc_hierarchy::{hierarchy_to_csv, Hierarchy};
 
+use crate::delta::{DatasetDelta, DeltaError};
 use crate::housing::{housing, HousingConfig};
 use crate::race::{race, RaceConfig, RaceProfile};
 use crate::stats::DatasetStats;
@@ -110,6 +111,23 @@ impl Dataset {
         (hierarchy_csv, groups, entities)
     }
 
+    /// Returns the dataset moved forward by `delta`: same name and
+    /// hierarchy, histograms updated in O(delta · depth) by
+    /// re-aggregating only the root-to-leaf paths the delta touches
+    /// (see [`DatasetDelta::apply_to`]). The result is byte-for-byte
+    /// the dataset a full regeneration from the post-delta leaf
+    /// tables would produce — the engine's `DERIVE` property test
+    /// rests on that equivalence.
+    pub fn apply_delta(&self, delta: &DatasetDelta) -> Result<Dataset, DeltaError> {
+        let mut data = self.data.clone();
+        delta.apply_to(&self.hierarchy, &mut data)?;
+        Ok(Dataset {
+            name: self.name.clone(),
+            hierarchy: self.hierarchy.clone(),
+            data,
+        })
+    }
+
     /// Summary statistics (the paper's §6.1 table row).
     pub fn stats(&self) -> DatasetStats {
         let root = self.data.node(Hierarchy::ROOT);
@@ -137,6 +155,41 @@ mod tests {
             assert!(stats.groups > 0, "{kind:?} generated no groups");
             ds.data.assert_desiderata(&ds.hierarchy);
         }
+    }
+
+    #[test]
+    fn apply_delta_on_a_generated_dataset() {
+        use crate::delta::DeltaOp;
+
+        let ds = Dataset::generate(DatasetKind::Housing, 0.05, 7);
+        // Pick a real leaf and a real group size from the data so the
+        // removal is valid at any scale.
+        let leaf = ds
+            .hierarchy
+            .leaves()
+            .find(|&l| !ds.data.node(l).is_empty())
+            .expect("generated data has an occupied leaf");
+        let size = ds.data.node(leaf).max_size().unwrap();
+        let delta = DatasetDelta {
+            ops: vec![
+                DeltaOp::Remove {
+                    region: ds.hierarchy.name(leaf).to_string(),
+                    size,
+                    count: 1,
+                },
+                DeltaOp::Add {
+                    region: ds.hierarchy.name(leaf).to_string(),
+                    size: size + 3,
+                    count: 2,
+                },
+            ],
+        };
+        let next = ds.apply_delta(&delta).unwrap();
+        assert_eq!(next.name, ds.name);
+        next.data.assert_desiderata(&next.hierarchy);
+        let (before, after) = (ds.stats(), next.stats());
+        assert_eq!(after.groups, before.groups + 1);
+        assert_eq!(after.entities, before.entities - size + 2 * (size + 3));
     }
 
     #[test]

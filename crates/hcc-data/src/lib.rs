@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod delta;
 pub mod housing;
 pub mod race;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod taxi;
 pub mod util;
 
 pub use dataset::{Dataset, DatasetKind};
+pub use delta::{DatasetDelta, DeltaError, DeltaOp};
 pub use housing::{housing, HousingConfig};
 pub use race::{race, RaceConfig, RaceProfile};
 pub use stats::DatasetStats;

@@ -106,6 +106,45 @@ impl Client {
         Ok(parse_reply(&reply, |handle| handle.parse()))
     }
 
+    /// Derives a new prepared dataset on the server by applying
+    /// `delta` to the prepared dataset `parent`, returning the derived
+    /// content-addressed handle. No table is re-shipped or re-parsed —
+    /// only the delta CSV travels, and the server re-aggregates just
+    /// the touched root-to-leaf paths (see [`crate::Engine::derive`]).
+    /// The parent stays registered with its references intact.
+    pub fn derive(
+        &mut self,
+        parent: DatasetHandle,
+        delta: &hcc_data::DatasetDelta,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        self.derive_with(parent, delta, "DERIVE")
+    }
+
+    /// Rolling-update variant of [`Client::derive`]: the server also
+    /// drops one reference on `parent`, so repeatedly appending
+    /// deltas holds one registry slot rather than a growing chain.
+    pub fn append(
+        &mut self,
+        parent: DatasetHandle,
+        delta: &hcc_data::DatasetDelta,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        self.derive_with(parent, delta, "APPEND")
+    }
+
+    fn derive_with(
+        &mut self,
+        parent: DatasetHandle,
+        delta: &hcc_data::DatasetDelta,
+        cmd: &str,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        writeln!(self.writer, "{cmd} {parent}")?;
+        write_section(&mut self.writer, "DELTA", &delta.to_csv())?;
+        writeln!(self.writer, "END")?;
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        Ok(parse_reply(&reply, |handle| handle.parse()))
+    }
+
     /// Drops one reference to a prepared dataset; returns how many
     /// references the server still holds.
     pub fn unprepare(&mut self, handle: DatasetHandle) -> io::Result<Result<u64, String>> {

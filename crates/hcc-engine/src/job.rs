@@ -135,6 +135,10 @@ pub enum EngineError {
     /// The engine was started with a zero-capacity prepared-dataset
     /// registry, so `PREPARE` is unavailable.
     RegistryDisabled,
+    /// A `DERIVE`/`APPEND` delta failed validation against the parent
+    /// dataset (unknown region, non-leaf region, removing groups that
+    /// are not there, malformed delta CSV).
+    BadDelta(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -166,6 +170,7 @@ impl std::fmt::Display for EngineError {
             EngineError::RegistryDisabled => {
                 write!(f, "the prepared-dataset registry is disabled (capacity 0)")
             }
+            EngineError::BadDelta(msg) => write!(f, "bad delta: {msg}"),
         }
     }
 }

@@ -31,10 +31,19 @@
 //!   handle and skip parsing/aggregation entirely, with the cache
 //!   key collapsing to a cheap (handle, config, seed) digest.
 //!   Entries are ref-counted under an LRU bound (`UNPREPARE` drops a
-//!   reference).
+//!   reference). `DERIVE`/`APPEND` move a prepared dataset forward by
+//!   a [`hcc_data::DatasetDelta`] — re-aggregation limited to the
+//!   touched root-to-leaf paths, no re-parse, no full bottom-up
+//!   pass — with the derived handle chaining content fingerprints so
+//!   it is identical to a cold `PREPARE` of the post-delta tables
+//!   (see [`Engine::derive`]).
 //! * **[`serve`]/[`Client`]** — a `std::net` TCP server speaking a
 //!   line-delimited protocol ([`protocol`]), wired into the CLI as
-//!   `hcc serve`, `hcc submit`, `hcc prepare`, and `hcc sweep`.
+//!   `hcc serve`, `hcc submit`, `hcc prepare`, `hcc derive`, and
+//!   `hcc sweep`. [`serve_with`] exposes transport knobs
+//!   ([`ServeConfig`]): a per-connection read timeout so idle or
+//!   slowloris clients cannot pin the bounded connection slots, and
+//!   the connection bound itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,4 +65,4 @@ pub use fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fin
 pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 pub use protocol::level_method;
 pub use registry::{DatasetHandle, DatasetRegistry};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServeConfig, ServerHandle};

@@ -20,6 +20,13 @@
 //!                             (no sections: the dataset was loaded
 //!                              and aggregated once at PREPARE time)
 //! UNPREPARE ds-<32 hex>     → OK refs=<still held> | ERR <message>
+//! DERIVE ds-<32 hex>        (then one DELTA section + END)
+//! DELTA <n>                 (n delta CSV lines:
+//!                            op,region,size,new_size,count)
+//! END                       → OK ds-<32 hex of derived> | ERR <message>
+//! APPEND ds-<32 hex>        like DERIVE, but also drops one
+//!                           reference on the parent handle — the
+//!                           rolling-update flow
 //! STATUS job-0              → QUEUED | RUNNING | DONE rows=17 cached=0
 //!                             | FAILED <message> | ERR <message>
 //! WAIT job-0                → (blocks) RELEASE <n> cached=0|1,
@@ -35,6 +42,14 @@
 //! `PREPARE` registers the dataset under a content-addressed handle
 //! (see [`crate::registry`]); an ε-sweep then submits by handle on
 //! one connection and the server never re-parses the tables.
+//!
+//! `DERIVE` moves a prepared dataset forward by a
+//! [`hcc_data::DatasetDelta`] without re-shipping or re-parsing any
+//! table: the server applies the delta to the in-memory parent in
+//! O(delta · depth) and registers the result under its own
+//! content-addressed handle (equal, by fingerprint chaining, to what
+//! a cold `PREPARE` of the post-delta tables would return). `APPEND`
+//! is `DERIVE` plus dropping one reference on the parent.
 
 use std::io::{self, BufRead, Write};
 

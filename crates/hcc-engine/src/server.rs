@@ -11,8 +11,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use hcc_consistency::{HierarchicalCounts, TopDownConfig};
+use hcc_data::DatasetDelta;
 use hcc_hierarchy::{hierarchy_from_csv, Hierarchy};
 use hcc_tables::CsvLoader;
 
@@ -28,10 +30,48 @@ const MAX_SECTION_LINES: usize = 50_000_000;
 /// Most bytes one `SUBMIT` section may occupy once reassembled.
 const MAX_SECTION_BYTES: usize = 1 << 30;
 
-/// Most concurrent connections; beyond this, new clients get one
-/// `ERR server busy` line and are dropped (handler threads are
-/// per-connection and can block in `WAIT`, so they must be bounded).
-const MAX_CONNECTIONS: usize = 1024;
+/// Transport knobs of [`serve_with`]; [`serve`] uses the defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// How long one blocking read on a connection may wait for client
+    /// bytes before the server hangs up. Connection slots are a
+    /// bounded resource (`max_connections`), so idle or slowloris
+    /// clients must not pin them forever — a timed-out connection
+    /// gets one `ERR idle timeout` line and is closed. `None`
+    /// disables the timeout (the pre-PR-4 behaviour). The timer only
+    /// covers waiting for *client* bytes; a long server-side `WAIT`
+    /// on a slow job never trips it.
+    pub read_timeout: Option<Duration>,
+    /// Most concurrent connections; beyond this, new clients get one
+    /// `ERR server busy` line and are dropped (handler threads are
+    /// per-connection and can block in `WAIT`, so they must be
+    /// bounded).
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            max_connections: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the per-connection read timeout (`None` disables it).
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the concurrent-connection bound.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        assert!(max >= 1, "need at least one connection slot");
+        self.max_connections = max;
+        self
+    }
+}
 
 /// Decrements the live-connection count when a handler thread exits,
 /// however it exits.
@@ -78,8 +118,19 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves the engine until the handle is shut down.
+/// Binds `addr` and serves the engine with the default
+/// [`ServeConfig`] until the handle is shut down.
 pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_with(engine, addr, ServeConfig::default())
+}
+
+/// Binds `addr` and serves the engine until the handle is shut down,
+/// with explicit transport configuration.
+pub fn serve_with(
+    engine: Arc<Engine>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -88,6 +139,7 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
         .name("hcc-engine-accept".to_string())
         .spawn(move || {
             let live = Arc::new(AtomicUsize::new(0));
+            let max_connections = config.max_connections;
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
@@ -99,12 +151,15 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
                     std::thread::sleep(std::time::Duration::from_millis(50));
                     continue;
                 };
-                if live.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                if live.fetch_add(1, Ordering::SeqCst) >= max_connections {
                     live.fetch_sub(1, Ordering::SeqCst);
                     let mut stream = stream;
-                    let _ = writeln!(stream, "ERR server busy ({MAX_CONNECTIONS} connections)");
+                    let _ = writeln!(stream, "ERR server busy ({max_connections} connections)");
                     continue;
                 }
+                // An unresponsive peer must not pin this bounded
+                // connection slot forever.
+                let _ = stream.set_read_timeout(config.read_timeout);
                 let guard = ConnectionGuard(Arc::clone(&live));
                 let engine = Arc::clone(&engine);
                 // On spawn failure the closure (and with it the
@@ -124,10 +179,32 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
     })
 }
 
+/// Whether a read error is the connection's read timeout firing
+/// (`SO_RCVTIMEO` surfaces as `WouldBlock` on Unix, `TimedOut` on
+/// Windows).
+fn is_read_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(line) = read_line(&mut reader)? {
+    loop {
+        let line = match read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            // Idle past the read timeout: free the connection slot,
+            // telling the (possibly still-listening) client why.
+            Err(e) if is_read_timeout(&e) => {
+                let _ = writeln!(writer, "ERR idle timeout; closing connection");
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let (cmd, tail) = match line.split_once(' ') {
             Some((c, t)) => (c, t.trim()),
             None => (line.as_str(), ""),
@@ -145,7 +222,8 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                 writeln!(
                     writer,
                     "STATS workers={} queued={} submitted={} completed={} failed={} \
-                     cache_hits={} cache_misses={} prepared={} prepared_datasets={}",
+                     cache_hits={} cache_misses={} prepared={} derived={} \
+                     prepared_datasets={}",
                     engine.config().workers,
                     engine.queue_len(),
                     s.submitted,
@@ -154,6 +232,7 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                     s.cache_hits,
                     s.cache_misses,
                     s.prepared,
+                    s.derived,
                     engine.prepared_len()
                 )?;
             }
@@ -185,6 +264,16 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                     Ok(refs) => writeln!(writer, "OK refs={refs}")?,
                     Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
                 },
+            },
+            "DERIVE" | "APPEND" => match read_derive(engine, &mut reader, tail, cmd == "APPEND") {
+                Ok(handle) => writeln!(writer, "OK {handle}")?,
+                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
+                Err(SubmitFailure::Fatal(e)) => {
+                    writeln!(writer, "ERR {}", one_line(&e))?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                Err(SubmitFailure::Io(e)) => return Err(e),
             },
             "STATUS" => match tail.parse::<crate::JobId>() {
                 Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
@@ -237,7 +326,6 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
         }
         writer.flush()?;
     }
-    Ok(())
 }
 
 enum SubmitFailure {
@@ -258,16 +346,18 @@ impl From<io::Error> for SubmitFailure {
     }
 }
 
-/// Reads the `HIERARCHY`/`GROUPS`/`ENTITIES` sections of a `SUBMIT`
-/// or `PREPARE` through the terminating `END`. Every slot may be
-/// `None`: a handle submission legitimately carries no sections, and
-/// a malformed request must still be drained so the connection stays
-/// in sync.
-fn read_table_sections(
+/// Reads the labelled sections of a sectioned command (`SUBMIT`,
+/// `PREPARE`, `DERIVE`, `APPEND`) through the terminating `END`,
+/// filling `sections[i]` with the body of the section labelled
+/// `labels[i]`. Every slot may be `None`: a handle submission
+/// legitimately carries no sections, and a malformed request must
+/// still be drained so the connection stays in sync.
+fn read_sections(
     reader: &mut impl io::BufRead,
-) -> Result<[Option<String>; 3], SubmitFailure> {
+    labels: &[&str],
+) -> Result<Vec<Option<String>>, SubmitFailure> {
     let mut bad_section: Option<String> = None;
-    let mut sections: [Option<String>; 3] = [None, None, None];
+    let mut sections: Vec<Option<String>> = vec![None; labels.len()];
     loop {
         let Some(line) = read_line(reader)? else {
             return Err(SubmitFailure::Io(io::Error::new(
@@ -301,12 +391,10 @@ fn read_table_sections(
                 SubmitFailure::Io(e)
             }
         })?;
-        match label {
-            "HIERARCHY" => sections[0] = Some(body),
-            "GROUPS" => sections[1] = Some(body),
-            "ENTITIES" => sections[2] = Some(body),
-            other => {
-                bad_section.get_or_insert_with(|| format!("unknown section {other:?}"));
+        match labels.iter().position(|&l| l == label) {
+            Some(i) => sections[i] = Some(body),
+            None => {
+                bad_section.get_or_insert_with(|| format!("unknown section {label:?}"));
             }
         }
     }
@@ -314,6 +402,19 @@ fn read_table_sections(
         return Err(SubmitFailure::Protocol(e));
     }
     Ok(sections)
+}
+
+/// The three base tables of a `SUBMIT`/`PREPARE`.
+fn read_table_sections(
+    reader: &mut impl io::BufRead,
+) -> Result<[Option<String>; 3], SubmitFailure> {
+    let sections = read_sections(reader, &["HIERARCHY", "GROUPS", "ENTITIES"])?;
+    let mut it = sections.into_iter();
+    Ok([
+        it.next().flatten(),
+        it.next().flatten(),
+        it.next().flatten(),
+    ])
 }
 
 /// Parses the three CSV tables and aggregates the per-node true
@@ -408,4 +509,32 @@ fn read_prepare(
     engine
         .prepare(hierarchy, data)
         .map_err(|e| SubmitFailure::Protocol(e.to_string()))
+}
+
+/// Reads the `DELTA` section of a `DERIVE`/`APPEND`, parses it, and
+/// derives a new prepared dataset from the parent handle on the
+/// command line. The section is drained through `END` even when the
+/// handle is malformed, so the connection stays in sync.
+fn read_derive(
+    engine: &Engine,
+    reader: &mut impl io::BufRead,
+    params_tail: &str,
+    append: bool,
+) -> Result<DatasetHandle, SubmitFailure> {
+    let parent = params_tail.parse::<DatasetHandle>();
+    let sections = read_sections(reader, &["DELTA"])?;
+    let parent = parent.map_err(SubmitFailure::Protocol)?;
+    let Some(delta_csv) = sections.into_iter().next().flatten() else {
+        return Err(SubmitFailure::Protocol(
+            "DERIVE/APPEND needs a DELTA section".to_string(),
+        ));
+    };
+    let delta =
+        DatasetDelta::from_csv(&delta_csv).map_err(|e| SubmitFailure::Protocol(e.to_string()))?;
+    let derived = if append {
+        engine.append(parent, &delta)
+    } else {
+        engine.derive(parent, &delta)
+    };
+    derived.map_err(|e| SubmitFailure::Protocol(e.to_string()))
 }

@@ -38,6 +38,13 @@
 //!     batch-submits an ε grid over one prepared handle on one
 //!     connection, streaming per-ε results as they complete
 //!
+//! hcc derive   --addr 127.0.0.1:7878 --handle ds-... --delta delta.csv \
+//!              [--append]
+//!     applies a delta table (op,region,size,new_size,count) to a
+//!     prepared dataset server-side and prints the derived handle;
+//!     --append also drops one reference on the parent (rolling
+//!     update)
+//!
 //! hcc unprepare --addr 127.0.0.1:7878 --handle ds-...
 //!     drops one reference to a prepared dataset
 //! ```
@@ -54,7 +61,8 @@ use hccount::consistency::{
 use hccount::core::{emd, size_stats};
 use hccount::data::{Dataset, DatasetKind};
 use hccount::engine::{
-    level_method, protocol::SubmitParams, serve, Client, DatasetHandle, Engine, EngineConfig,
+    level_method, protocol::SubmitParams, serve_with, Client, DatasetHandle, Engine, EngineConfig,
+    ServeConfig,
 };
 use hccount::hierarchy::{hierarchy_from_csv, Hierarchy};
 use hccount::tables::CsvLoader;
@@ -83,6 +91,7 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&opts),
         "prepare" => cmd_prepare(&opts),
         "sweep" => cmd_sweep(&opts),
+        "derive" => cmd_derive(&opts),
         "unprepare" => cmd_unprepare(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -106,12 +115,13 @@ const USAGE: &str = "usage:
   hcc stats    --hierarchy F --release F [--region NAME]
   hcc evaluate --hierarchy F --release F --truth F
   hcc serve    --addr HOST:PORT [--threads N] [--job-threads N] [--queue N] [--cache N]
-               [--prepared N]
+               [--prepared N] [--read-timeout SECS (0 disables, default 30)]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
   hcc prepare  --addr HOST:PORT --hierarchy F --groups F --entities F
   hcc sweep    --addr HOST:PORT --eps F,F,... (--handle ds-HEX | --hierarchy F --groups F --entities F)
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out-dir DIR]
+  hcc derive   --addr HOST:PORT --handle ds-HEX --delta F [--append]
   hcc unprepare --addr HOST:PORT --handle ds-HEX
 
 environment:
@@ -123,6 +133,10 @@ environment:
 
 type Opts = HashMap<String, String>;
 
+/// Options that are bare flags (present/absent) rather than
+/// `--key value` pairs.
+const FLAGS: &[&str] = &["append"];
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
@@ -130,6 +144,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {key:?}"))?;
+        if FLAGS.contains(&key) {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -311,6 +329,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let queue: usize = parsed(opts, "queue", 64)?;
     let cache: usize = parsed(opts, "cache", 32)?;
     let prepared: usize = parsed(opts, "prepared", 16)?;
+    let read_timeout_secs: u64 = parsed(opts, "read-timeout", 30)?;
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
@@ -319,11 +338,21 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .with_cache_capacity(cache)
             .with_prepared_capacity(prepared),
     );
-    let handle = serve(Arc::new(engine), addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // `--read-timeout 0` disables the idle disconnect.
+    let serve_cfg = ServeConfig::default().with_read_timeout(
+        (read_timeout_secs > 0).then(|| std::time::Duration::from_secs(read_timeout_secs)),
+    );
+    let handle = serve_with(Arc::new(engine), addr, serve_cfg)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache}, \
-         prepared {prepared})",
-        handle.addr()
+         prepared {prepared}, read timeout {})",
+        handle.addr(),
+        if read_timeout_secs > 0 {
+            format!("{read_timeout_secs}s")
+        } else {
+            "off".to_string()
+        }
     );
     // Serve until the process is killed.
     loop {
@@ -394,6 +423,37 @@ fn cmd_prepare(opts: &Opts) -> Result<(), String> {
         .map_err(|e| format!("talking to {addr}: {e}"))?
         .map_err(|e| format!("server rejected the tables: {e}"))?;
     println!("prepared {handle}");
+    let _ = client.quit();
+    Ok(())
+}
+
+/// Applies a delta CSV to a prepared dataset server-side (`DERIVE`,
+/// or `APPEND` with `--append`) and prints the derived handle.
+fn cmd_derive(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let parent: DatasetHandle = required(opts, "handle")?.parse()?;
+    let delta_path = required(opts, "delta")?;
+    let delta = hccount::data::DatasetDelta::from_csv(&read(delta_path)?)
+        .map_err(|e| format!("{delta_path}: {e}"))?;
+    let append = opts.contains_key("append");
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let io_err = |e: std::io::Error| format!("talking to {addr}: {e}");
+    let derived = if append {
+        client.append(parent, &delta)
+    } else {
+        client.derive(parent, &delta)
+    }
+    .map_err(io_err)?
+    .map_err(|e| format!("server rejected the delta: {e}"))?;
+    println!(
+        "derived {derived} from {parent} ({} delta op(s){})",
+        delta.len(),
+        if append {
+            ", parent reference dropped"
+        } else {
+            ""
+        }
+    );
     let _ = client.quit();
     Ok(())
 }

@@ -53,6 +53,7 @@ pub mod prelude {
         TopDownConfig,
     };
     pub use hcc_core::{emd, CountOfCounts, Cumulative, Run, Unattributed};
+    pub use hcc_data::{Dataset, DatasetDelta, DatasetKind, DeltaOp};
     pub use hcc_engine::{DatasetHandle, Engine, EngineConfig, JobStatus, ReleaseRequest};
     pub use hcc_estimators::{
         CumulativeEstimator, Estimator, NaiveEstimator, UnattributedEstimator,

@@ -296,6 +296,106 @@ fn prepare_and_sweep_roundtrip() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("0 references remain"));
 }
 
+/// Boots `hcc serve`, prepares the tables, then moves the dataset
+/// forward with `hcc derive`: the derived handle is printed, deriving
+/// the same delta twice returns the same handle (fingerprint
+/// chaining), and `--append` reports the dropped parent reference.
+#[test]
+fn derive_roundtrip_over_the_cli() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("derive");
+    let out = hcc()
+        .args([
+            "generate", "--kind", "housing", "--scale", "0.001", "--seed", "9",
+        ])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut server = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let mut c = hcc();
+    c.args(["prepare", "--addr", &addr]);
+    c.args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()]);
+    c.args(["--groups", dir.join("groups.csv").to_str().unwrap()]);
+    c.args(["--entities", dir.join("entities.csv").to_str().unwrap()]);
+    let out = c.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let parent = stdout
+        .split_whitespace()
+        .find(|w| w.starts_with("ds-"))
+        .unwrap_or_else(|| panic!("no handle in {stdout:?}"))
+        .to_string();
+
+    // A delta against a region that really exists (second line of the
+    // groups table names one).
+    let groups = std::fs::read_to_string(dir.join("groups.csv")).unwrap();
+    let region = groups
+        .lines()
+        .nth(1)
+        .and_then(|l| l.split(',').nth(1))
+        .expect("groups table has a data row");
+    let delta_path = dir.join("delta.csv");
+    std::fs::write(
+        &delta_path,
+        format!("op,region,size,new_size,count\nadd,{region},4,,3\n"),
+    )
+    .unwrap();
+
+    let derive = |extra: &[&str]| {
+        let mut c = hcc();
+        c.args(["derive", "--addr", &addr, "--handle", &parent]);
+        c.args(["--delta", delta_path.to_str().unwrap()]);
+        c.args(extra);
+        let out = c.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let first = derive(&[]);
+    let derived = first
+        .split_whitespace()
+        .find(|w| w.starts_with("ds-"))
+        .unwrap_or_else(|| panic!("no derived handle in {first:?}"))
+        .to_string();
+    assert_ne!(derived, parent);
+    assert!(first.contains("1 delta op(s)"), "{first}");
+
+    // Content addressing: the same delta derives the same handle.
+    let second = derive(&[]);
+    assert!(second.contains(&derived), "{second}");
+
+    // APPEND drops one reference on the parent and says so.
+    let appended = derive(&["--append"]);
+    assert!(appended.contains("parent reference dropped"), "{appended}");
+
+    let _ = server.kill();
+    let _ = server.wait();
+}
+
 #[test]
 fn helpful_errors() {
     // Unknown subcommand.

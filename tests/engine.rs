@@ -3,11 +3,14 @@
 //! driven end-to-end over a loopback connection.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use hccount::consistency::{to_csv, top_down_release, LevelMethod, TopDownConfig};
 use hccount::data::{Dataset, DatasetKind};
+use hccount::data::{DatasetDelta, DeltaOp};
 use hccount::engine::{
-    protocol::SubmitParams, serve, Client, DatasetHandle, Engine, EngineConfig, ReleaseRequest,
+    protocol::SubmitParams, serve, serve_with, Client, DatasetHandle, Engine, EngineConfig,
+    ReleaseRequest, ServeConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -319,6 +322,371 @@ fn unknown_and_evicted_handles_over_loopback() {
 
     client.quit().unwrap();
     handle.shutdown();
+}
+
+/// Acceptance criterion: `DERIVE`/`APPEND` over loopback TCP. The
+/// derived handle chains content fingerprints (equal to a cold
+/// `PREPARE` of the post-delta tables), releases from it are
+/// byte-identical to a direct library release of the post-delta
+/// dataset, and `APPEND` drops one reference on the parent.
+#[test]
+fn derive_and_append_over_loopback() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    // A delta built from real data so it is valid at any scale: one
+    // group resized, two added, one removed.
+    let leaf = ds
+        .hierarchy
+        .leaves()
+        .find(|&l| !ds.data.node(l).is_empty())
+        .expect("generated data has an occupied leaf");
+    let size = ds.data.node(leaf).max_size().unwrap();
+    let region = ds.hierarchy.name(leaf).to_string();
+    let delta = DatasetDelta {
+        ops: vec![
+            DeltaOp::Resize {
+                region: region.clone(),
+                old_size: size,
+                new_size: size + 2,
+                count: 1,
+            },
+            DeltaOp::Add {
+                region: region.clone(),
+                size: 1,
+                count: 2,
+            },
+        ],
+    };
+    let post = ds.apply_delta(&delta).unwrap();
+
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let parent = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+
+    let derived = client.derive(parent, &delta).unwrap().unwrap();
+    assert_ne!(derived, parent);
+
+    // Fingerprint chaining: a cold PREPARE of the post-delta tables
+    // must return the *same* handle as the server-side derivation.
+    let (h2, g2, e2) = post.to_csv_tables();
+    let cold = client.prepare(&h2, &g2, &e2).unwrap().unwrap();
+    assert_eq!(cold, derived);
+
+    // Releases from the derived handle equal a direct library release
+    // of the post-delta dataset.
+    let params = SubmitParams {
+        epsilon: 1.25,
+        method: "hc".into(),
+        bound: 500,
+        seed: 17,
+        handle: None,
+    };
+    let id = client.submit_prepared(&params, derived).unwrap().unwrap();
+    let release = client.wait(id).unwrap().unwrap();
+    let direct = {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg = TopDownConfig::new(1.25).with_method(LevelMethod::Cumulative { bound: 500 });
+        to_csv(
+            &post.hierarchy,
+            &top_down_release(&post.hierarchy, &post.data, &cfg, &mut rng).unwrap(),
+        )
+    };
+    assert_eq!(release.csv, direct);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("derived=1"), "{stats}");
+
+    // APPEND: derives and drops one reference on the parent. The
+    // parent held one reference, so it disappears.
+    let append_delta = DatasetDelta {
+        ops: vec![DeltaOp::Add {
+            region,
+            size: 2,
+            count: 1,
+        }],
+    };
+    let chained = client.append(derived, &append_delta).unwrap().unwrap();
+    assert_ne!(chained, derived);
+    // `derived` had two references (DERIVE + cold PREPARE); APPEND
+    // dropped one, so it is still registered.
+    assert_eq!(client.unprepare(derived).unwrap().unwrap(), 0);
+    assert!(client.submit_prepared(&params, chained).unwrap().is_ok());
+
+    // Bad deltas are one-line rejections that keep the connection:
+    // removing groups that are not there, then a malformed parent
+    // handle (its DELTA section must still be drained).
+    let bad = DatasetDelta {
+        ops: vec![DeltaOp::Remove {
+            region: "nowhere".into(),
+            size: 1,
+            count: 1,
+        }],
+    };
+    let err = client.derive(chained, &bad).unwrap().unwrap_err();
+    assert!(err.contains("unknown region"), "{err}");
+    // `derived` was fully unprepared above, so deriving from it is a
+    // distinguishable unknown-handle rejection.
+    let err = client.derive(derived, &append_delta).unwrap().unwrap_err();
+    assert!(err.contains("unknown dataset handle"), "{err}");
+    {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        write!(
+            stream,
+            "DERIVE nope\nDELTA 1\nop,region,size,new_size,count\nEND\nPING\n"
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("malformed dataset handle"), "{line:?}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "PONG");
+    }
+    assert!(client.ping().unwrap());
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Acceptance smoke for the O(delta) win (the full measurement is the
+/// `engine_derive` criterion bench, which shows ~29×): deriving a
+/// 1%-changed dataset over the wire must beat a cold `PREPARE` of the
+/// post-delta tables by a conservative 4× — the derive ships a
+/// few-line delta and re-aggregates touched paths, the cold prepare
+/// re-ships and re-parses one CSV row per entity.
+#[test]
+fn derive_beats_cold_prepare_by_a_wide_margin() {
+    let ds = Dataset::generate(DatasetKind::Housing, 0.3, 6);
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+    // Resize ~1% of all groups (same delta shape as the
+    // `engine_derive` bench, via the shared builder).
+    let delta = DatasetDelta::resize_sample(&ds, 100);
+    let post = ds.apply_delta(&delta).unwrap();
+    let (post_h, post_g, post_e) = post.to_csv_tables();
+
+    let engine = Engine::start(EngineConfig::default().with_workers(2));
+    let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let parent = client
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+
+    // Min-of-3 on both sides keeps the comparison robust to load
+    // spikes on shared CI machines.
+    let mut derive_time = Duration::MAX;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        client.derive(parent, &delta).unwrap().unwrap();
+        derive_time = derive_time.min(t.elapsed());
+    }
+    let mut prepare_time = Duration::MAX;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        client.prepare(&post_h, &post_g, &post_e).unwrap().unwrap();
+        prepare_time = prepare_time.min(t.elapsed());
+    }
+    assert!(
+        derive_time * 4 < prepare_time,
+        "derive {derive_time:?} must be at least 4x faster than cold prepare {prepare_time:?}"
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Satellite regression: an idle connection must not pin one of the
+/// bounded connection slots forever. With a one-slot server and a
+/// short read timeout, an idle client is disconnected and a
+/// subsequent client's submit goes through.
+#[test]
+fn idle_client_no_longer_blocks_a_subsequent_submit() {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = tables(&ds);
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let handle = serve_with(
+        Arc::new(engine),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_max_connections(1)
+            .with_read_timeout(Some(Duration::from_millis(150))),
+    )
+    .unwrap();
+
+    // The idle client takes the only slot and sends nothing.
+    let idle = TcpStream::connect(handle.addr()).unwrap();
+    let mut idle_reader = BufReader::new(idle.try_clone().unwrap());
+
+    // While the slot is held, new clients are turned away with the
+    // busy line (this also proves the slot really was pinned).
+    let mut probe = BufReader::new(TcpStream::connect(handle.addr()).unwrap());
+    let mut line = String::new();
+    probe.read_line(&mut line).unwrap();
+    assert!(line.contains("server busy"), "{line:?}");
+
+    // The idle client is disconnected once the read timeout fires...
+    line.clear();
+    idle_reader.read_line(&mut line).unwrap();
+    assert!(line.contains("idle timeout"), "{line:?}");
+    line.clear();
+    assert_eq!(idle_reader.read_line(&mut line).unwrap(), 0, "closed");
+
+    // ...freeing the slot: a real client now connects and submits.
+    // The accept loop may need a beat to recycle the slot, so retry
+    // connecting briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let submitted = loop {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        if client.ping().unwrap_or(false) {
+            let id = client
+                .submit(
+                    &SubmitParams {
+                        bound: 500,
+                        ..SubmitParams::default()
+                    },
+                    &hierarchy_csv,
+                    &groups_csv,
+                    &entities_csv,
+                )
+                .unwrap()
+                .unwrap();
+            let release = client.wait(id).unwrap().unwrap();
+            client.quit().unwrap();
+            break release;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after the idle timeout"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(submitted.csv.starts_with("region,level,size,count"));
+    handle.shutdown();
+}
+
+/// Satellite regression: unpreparing (or evicting) a handle while a
+/// sweep streams against it must surface the distinguishable
+/// re-prepare error on the remaining points — never a hang and never
+/// a wrong result. In-flight points that were accepted before the
+/// unprepare still complete (jobs hold their own `Arc`s).
+#[test]
+fn unprepare_and_eviction_mid_sweep_fail_cleanly() {
+    // Slow-ish releases (large isotonic bound) so the single worker
+    // is still busy when the third point arrives: the sweep hits the
+    // bounded queue, drains its first point, and our callback pulls
+    // the dataset out from under the rest of the grid.
+    let ds = Dataset::generate(DatasetKind::Housing, 0.001, 5);
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+    let params = SubmitParams {
+        bound: 20_000,
+        ..SubmitParams::default()
+    };
+    let epsilons = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+
+    // Scenario 1: UNPREPARE to zero references mid-sweep.
+    {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0),
+        );
+        let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+        let mut sweeper = Client::connect(handle.addr()).unwrap();
+        let mut saboteur = Client::connect(handle.addr()).unwrap();
+        let ds_handle = sweeper
+            .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+            .unwrap()
+            .unwrap();
+        let mut outcomes: Vec<(f64, Result<usize, String>)> = Vec::new();
+        let mut sabotaged = false;
+        sweeper
+            .sweep(&params, ds_handle, &epsilons, |eps, result| {
+                if !sabotaged {
+                    sabotaged = true;
+                    assert_eq!(saboteur.unprepare(ds_handle).unwrap().unwrap(), 0);
+                }
+                outcomes.push((eps, result.map(|r| r.csv.len())));
+            })
+            .unwrap();
+        // Grid order and length are preserved even through failures.
+        let seen: Vec<f64> = outcomes.iter().map(|(e, _)| *e).collect();
+        assert_eq!(seen, epsilons);
+        let failures: Vec<&String> = outcomes
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().err())
+            .collect();
+        assert!(
+            !failures.is_empty(),
+            "queue pressure must have forced at least one post-unprepare submit"
+        );
+        for f in &failures {
+            assert!(f.contains("unknown dataset handle"), "{f}");
+        }
+        // Points accepted before the unprepare still completed.
+        assert!(outcomes.iter().any(|(_, r)| r.is_ok()));
+        sweeper.quit().unwrap();
+        saboteur.quit().unwrap();
+        handle.shutdown();
+    }
+
+    // Scenario 2: LRU eviction mid-sweep (capacity-1 registry, the
+    // saboteur prepares a different dataset) — the distinguishable
+    // "re-prepare" error, not "unknown".
+    {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0)
+                .with_prepared_capacity(1),
+        );
+        let handle = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+        let mut sweeper = Client::connect(handle.addr()).unwrap();
+        let mut saboteur = Client::connect(handle.addr()).unwrap();
+        let ds_handle = sweeper
+            .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+            .unwrap()
+            .unwrap();
+        let other = Dataset::generate(DatasetKind::Housing, 0.001, 6);
+        let (h2, g2, e2) = other.to_csv_tables();
+        let mut failures: Vec<String> = Vec::new();
+        let mut successes = 0usize;
+        let mut sabotaged = false;
+        sweeper
+            .sweep(&params, ds_handle, &epsilons, |_, result| {
+                if !sabotaged {
+                    sabotaged = true;
+                    saboteur.prepare(&h2, &g2, &e2).unwrap().unwrap();
+                }
+                match result {
+                    Ok(_) => successes += 1,
+                    Err(e) => failures.push(e),
+                }
+            })
+            .unwrap();
+        assert!(successes >= 1);
+        assert!(!failures.is_empty());
+        for f in &failures {
+            assert!(
+                f.contains("evicted") && f.contains("PREPARE it again"),
+                "{f}"
+            );
+        }
+        sweeper.quit().unwrap();
+        saboteur.quit().unwrap();
+        handle.shutdown();
+    }
 }
 
 /// Malformed wire requests get one-line errors and keep the
