@@ -21,5 +21,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod hotpath;
 
 pub use harness::ExpConfig;

@@ -203,24 +203,45 @@ pub fn match_groups(
 /// order. For absolute-difference weights this is the classical
 /// optimal transport on the line, so it lower-bounds (and Lemma 5:
 /// equals) any matching cost. Used to cross-check [`match_groups`].
+///
+/// Runs entirely on run-length encodings — `O(R log R)` in the number
+/// of runs `R` and `O(R)` memory. The seed implementation expanded
+/// every run into a dense per-group `Vec<u64>`, which made this
+/// *diagnostic* allocate `O(G)` — gigabytes at census scale; the
+/// dense form survives only as the regression oracle in the tests.
+/// As before, `parent` must arrive sorted by size (it does by
+/// construction); extra groups on the longer side are ignored, like
+/// the dense zip truncating at the shorter sequence.
 pub fn sorted_order_cost(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> u128 {
-    let expand = |runs: &[VarianceRun]| -> Vec<u64> {
-        let mut v = Vec::new();
-        for r in runs {
-            for _ in 0..r.count {
-                v.push(r.size);
+    // Pool the children's runs and sort by size; equal sizes need no
+    // merging — the pairing below just consumes them consecutively.
+    let mut pooled: Vec<(u64, u64)> = children
+        .iter()
+        .flat_map(|ch| ch.iter().map(|r| (r.size, r.count)))
+        .collect();
+    pooled.sort_unstable_by_key(|&(size, _)| size);
+
+    let mut cost = 0u128;
+    let mut ci = 0usize;
+    let mut c_rem = pooled.first().map(|&(_, count)| count).unwrap_or(0);
+    for prun in parent {
+        let mut p_rem = prun.count;
+        while p_rem > 0 {
+            if c_rem == 0 {
+                ci += 1;
+                match pooled.get(ci) {
+                    Some(&(_, count)) => c_rem = count,
+                    None => return cost, // children exhausted
+                }
+                continue;
             }
+            let take = p_rem.min(c_rem);
+            cost += u128::from(take) * u128::from(prun.size.abs_diff(pooled[ci].0));
+            p_rem -= take;
+            c_rem -= take;
         }
-        v
-    };
-    let p = expand(parent);
-    let mut c: Vec<u64> = children.iter().flat_map(|ch| expand(ch)).collect();
-    c.sort_unstable();
-    // `parent` arrives sorted by construction.
-    p.iter()
-        .zip(c.iter())
-        .map(|(&a, &b)| u128::from(a.abs_diff(b)))
-        .sum()
+    }
+    cost
 }
 
 #[cfg(test)]
@@ -249,6 +270,66 @@ mod tests {
             out[s.child] += s.count;
         }
         out
+    }
+
+    /// The seed `sorted_order_cost`: expands every run into dense
+    /// per-group vectors. Kept only as the regression oracle for the
+    /// run-length rewrite (it allocates O(G)).
+    fn dense_sorted_order_cost(parent: &[VarianceRun], children: &[Vec<VarianceRun>]) -> u128 {
+        let expand = |runs: &[VarianceRun]| -> Vec<u64> {
+            let mut v = Vec::new();
+            for r in runs {
+                for _ in 0..r.count {
+                    v.push(r.size);
+                }
+            }
+            v
+        };
+        let p = expand(parent);
+        let mut c: Vec<u64> = children.iter().flat_map(|ch| expand(ch)).collect();
+        c.sort_unstable();
+        p.iter()
+            .zip(c.iter())
+            .map(|(&a, &b)| u128::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    #[test]
+    fn run_length_cost_matches_dense_on_edge_shapes() {
+        let cases: Vec<(Vec<VarianceRun>, Vec<Vec<VarianceRun>>)> = vec![
+            // Empty everything.
+            (runs(&[]), vec![]),
+            (runs(&[]), vec![runs(&[]), runs(&[])]),
+            // Parent longer than the pooled children (zip truncates).
+            (runs(&[(1, 5), (9, 2)]), vec![runs(&[(3, 4)])]),
+            // Children longer than the parent.
+            (runs(&[(4, 1)]), vec![runs(&[(1, 3)]), runs(&[(2, 3)])]),
+            // Duplicate sizes across children, zero-count runs mixed in.
+            (
+                runs(&[(2, 6), (7, 3)]),
+                vec![runs(&[(2, 2), (5, 0), (9, 3)]), runs(&[(2, 4)])],
+            ),
+        ];
+        for (parent, children) in cases {
+            assert_eq!(
+                sorted_order_cost(&parent, &children),
+                dense_sorted_order_cost(&parent, &children),
+                "parent {parent:?} children {children:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_length_cost_handles_census_scale_counts() {
+        // The dense oracle would need u64::MAX expansions here; the
+        // run-length form must answer exactly in O(runs).
+        let parent = runs(&[(10, u64::MAX), (20, 3)]);
+        let children = vec![runs(&[(12, u64::MAX)]), runs(&[(27, 3)])];
+        // u64::MAX pairs move |10-12| = 2, three pairs move |20-27| = 7.
+        assert_eq!(
+            sorted_order_cost(&parent, &children),
+            2 * u128::from(u64::MAX) + 21
+        );
     }
 
     #[test]
@@ -390,6 +471,36 @@ mod tests {
     // child must have all its groups matched, and the number of
     // segments stays run-polynomial.
     proptest! {
+        /// The run-length sorted-order cost equals the dense expansion
+        /// it replaced, including mismatched totals (zip truncation)
+        /// and duplicate sizes scattered across children.
+        #[test]
+        fn run_length_cost_matches_dense(
+            parent_runs in prop::collection::vec((0u64..40, 0u64..6), 0..12),
+            child_runs in prop::collection::vec((0u64..40, 0u64..6), 0..20),
+            nchild in 1usize..4,
+        ) {
+            // Parent must be sorted by size (as produced by
+            // variance_runs); children need no order.
+            let mut sorted = parent_runs.clone();
+            sorted.sort_unstable_by_key(|&(size, _)| size);
+            let parent: Vec<VarianceRun> = sorted
+                .into_iter()
+                .map(|(size, count)| VarianceRun { size, count, variance: 1.0 })
+                .collect();
+            let mut children: Vec<Vec<VarianceRun>> = vec![Vec::new(); nchild];
+            for (k, &(size, count)) in child_runs.iter().enumerate() {
+                children[k % nchild].push(VarianceRun { size, count, variance: 1.0 });
+            }
+            for c in &mut children {
+                c.sort_unstable_by_key(|r| r.size);
+            }
+            prop_assert_eq!(
+                sorted_order_cost(&parent, &children),
+                dense_sorted_order_cost(&parent, &children)
+            );
+        }
+
         #[test]
         fn greedy_matching_is_optimal(
             sizes in prop::collection::vec((0u64..30, 1u64..5), 1..20),

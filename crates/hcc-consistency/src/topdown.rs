@@ -2,8 +2,8 @@
 
 use hcc_core::CountOfCounts;
 use hcc_estimators::{
-    AdaptiveEstimator, CumulativeEstimator, Estimator, NaiveEstimator, NodeEstimate,
-    UnattributedEstimator,
+    AdaptiveEstimator, CumulativeEstimator, Estimator, EstimatorWorkspace, NaiveEstimator,
+    NodeEstimate, UnattributedEstimator,
 };
 use hcc_hierarchy::{Hierarchy, NodeId};
 use hcc_isotonic::CumulativeLoss;
@@ -57,7 +57,9 @@ impl LevelMethod {
         }
     }
 
-    /// Runs the corresponding estimator on one node.
+    /// Runs the corresponding estimator on one node with a throwaway
+    /// workspace. Convenience for one-shot callers; hot loops use
+    /// [`LevelMethod::estimate_in`] (bit-identical results).
     pub fn estimate<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
@@ -65,23 +67,36 @@ impl LevelMethod {
         epsilon: f64,
         rng: &mut R,
     ) -> NodeEstimate {
+        self.estimate_in(hist, g, epsilon, rng, &mut EstimatorWorkspace::new())
+    }
+
+    /// Runs the corresponding estimator on one node, reusing the
+    /// caller's scratch buffers.
+    pub fn estimate_in<R: Rng + ?Sized>(
+        &self,
+        hist: &CountOfCounts,
+        g: u64,
+        epsilon: f64,
+        rng: &mut R,
+        ws: &mut EstimatorWorkspace,
+    ) -> NodeEstimate {
         match *self {
             LevelMethod::Cumulative { bound } => {
                 CumulativeEstimator::with_loss(bound, CumulativeLoss::L1)
-                    .estimate(hist, g, epsilon, rng)
+                    .estimate_in(hist, g, epsilon, rng, ws)
             }
             LevelMethod::CumulativeL2 { bound } => {
                 CumulativeEstimator::with_loss(bound, CumulativeLoss::L2)
-                    .estimate(hist, g, epsilon, rng)
+                    .estimate_in(hist, g, epsilon, rng, ws)
             }
             LevelMethod::Unattributed => {
-                UnattributedEstimator::new().estimate(hist, g, epsilon, rng)
+                UnattributedEstimator::new().estimate_in(hist, g, epsilon, rng, ws)
             }
             LevelMethod::Naive { bound } => {
-                NaiveEstimator::new(bound).estimate(hist, g, epsilon, rng)
+                NaiveEstimator::new(bound).estimate_in(hist, g, epsilon, rng, ws)
             }
             LevelMethod::Adaptive { bound } => {
-                AdaptiveEstimator::new(bound).estimate(hist, g, epsilon, rng)
+                AdaptiveEstimator::new(bound).estimate_in(hist, g, epsilon, rng, ws)
             }
         }
     }
@@ -192,7 +207,9 @@ pub fn node_seeds<R: Rng + ?Sized>(hierarchy: &Hierarchy, rng: &mut R) -> Vec<u6
     (0..hierarchy.num_nodes()).map(|_| rng.gen()).collect()
 }
 
-/// Estimates one node with its own seeded RNG stream.
+/// Estimates one node with its own seeded RNG stream, reusing the
+/// worker's scratch buffers. The per-node RNG makes the estimate
+/// independent of which worker (and hence which workspace) runs it.
 fn estimate_node(
     hierarchy: &Hierarchy,
     data: &HierarchicalCounts,
@@ -200,18 +217,20 @@ fn estimate_node(
     eps_level: f64,
     node: NodeId,
     seed: u64,
+    ws: &mut EstimatorWorkspace,
 ) -> NodeEstimate {
     use rand::SeedableRng;
     let method = cfg.method_for_level(hierarchy.level_of(node));
     let h = data.node(node);
     let mut local = rand::rngs::StdRng::seed_from_u64(seed);
-    method.estimate(h, h.num_groups(), eps_level, &mut local)
+    method.estimate_in(h, h.num_groups(), eps_level, &mut local, ws)
 }
 
 /// Estimates every node on `cfg.parallelism()` threads. Seeds one
 /// `StdRng` per node via [`node_seeds`] and strides nodes across
 /// workers; with one thread the loop runs inline, producing the same
-/// estimates without spawning.
+/// estimates without spawning. Each worker thread owns one
+/// [`EstimatorWorkspace`] reused across all its nodes.
 fn parallel_estimates(
     hierarchy: &Hierarchy,
     data: &HierarchicalCounts,
@@ -224,10 +243,13 @@ fn parallel_estimates(
     let seeds = node_seeds(hierarchy, rng);
     let threads = cfg.parallelism.min(n.max(1));
     if threads <= 1 {
+        let mut ws = EstimatorWorkspace::new();
         return nodes
             .iter()
             .zip(&seeds)
-            .map(|(&node, &seed)| estimate_node(hierarchy, data, cfg, eps_level, node, seed))
+            .map(|(&node, &seed)| {
+                estimate_node(hierarchy, data, cfg, eps_level, node, seed, &mut ws)
+            })
             .collect();
     }
     let mut out: Vec<Option<NodeEstimate>> = vec![None; n];
@@ -252,10 +274,11 @@ fn parallel_estimates(
             let seeds = &seeds;
             let nodes = &nodes;
             scope.spawn(move || {
+                let mut ws = EstimatorWorkspace::new();
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let idx = start + off;
                     *slot = Some(estimate_node(
-                        hierarchy, data, cfg, eps_level, nodes[idx], seeds[idx],
+                        hierarchy, data, cfg, eps_level, nodes[idx], seeds[idx], &mut ws,
                     ));
                 }
             });
@@ -617,10 +640,11 @@ mod parallel_tests {
         let eps_level = cfg.level_epsilon(h.num_levels());
         let mut rng = StdRng::seed_from_u64(83);
         let seeds = node_seeds(&h, &mut rng);
+        let mut ws = EstimatorWorkspace::new();
         let estimates: Vec<NodeEstimate> = h
             .iter()
             .zip(&seeds)
-            .map(|(node, &seed)| estimate_node(&h, &d, &cfg, eps_level, node, seed))
+            .map(|(node, &seed)| estimate_node(&h, &d, &cfg, eps_level, node, seed, &mut ws))
             .collect();
         let via_estimates = top_down_from_estimates(&h, &cfg, estimates).unwrap();
         let mut rng = StdRng::seed_from_u64(83);

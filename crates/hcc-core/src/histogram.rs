@@ -187,6 +187,47 @@ impl CountOfCounts {
         Cumulative::from_hist(self, k)
     }
 
+    /// Writes the truncated cumulative representation (sizes `0..=k`)
+    /// directly into `out`, replacing its contents.
+    ///
+    /// Equivalent to `self.truncated(k).to_cumulative(k).as_slice()`
+    /// but without materialising the truncated histogram or an
+    /// intermediate padded vector: the step function is written
+    /// run-length — cells past `max_size()` are one `resize` with the
+    /// running total, and mass above the bound folds into cell `k` in
+    /// place. This is the `Hc` hot path's true view; at the paper's
+    /// `K = 100 000` the two intermediate clones it removes dominate
+    /// the per-node setup cost.
+    ///
+    /// Panics (like [`Cumulative::from_hist`]) if the running total
+    /// overflows `u64`.
+    pub fn to_cumulative_into(&self, k: u64, out: &mut Vec<u64>) {
+        let klen = usize::try_from(k).expect("bound too large");
+        out.clear();
+        out.reserve(klen + 1);
+        let mut acc = 0u64;
+        let in_bound = self.counts.len().min(klen + 1);
+        for &c in &self.counts[..in_bound] {
+            acc = acc
+                .checked_add(c)
+                .expect("cumulative histogram total overflows u64");
+            out.push(acc);
+        }
+        if self.counts.len() > klen + 1 {
+            // Sizes above the bound truncate onto cell k (§4.1).
+            for &c in &self.counts[klen + 1..] {
+                acc = acc
+                    .checked_add(c)
+                    .expect("cumulative histogram total overflows u64");
+            }
+            out[klen] = acc;
+        } else {
+            // The cumulative sum is constant past max_size(): pad the
+            // whole tail run in one resize.
+            out.resize(klen + 1, acc);
+        }
+    }
+
     /// Converts to the run-length encoded unattributed representation.
     pub fn to_unattributed(&self) -> Unattributed {
         Unattributed::from_hist(self)
@@ -305,6 +346,46 @@ mod tests {
         h.remove_groups(1, 2).unwrap();
         assert!(h.is_empty());
         h.remove_groups(5, 0).unwrap(); // zero removal from empty is fine
+    }
+
+    #[test]
+    fn to_cumulative_into_matches_truncate_then_cumulative() {
+        let hists = [
+            CountOfCounts::new(),
+            CountOfCounts::from_group_sizes([0, 0, 3]),
+            CountOfCounts::from_group_sizes([1, 5, 9, 12]),
+            CountOfCounts::from_counts(vec![0, 2, 1, 2]),
+            CountOfCounts::from_group_sizes((0..200).map(|i| i % 37)),
+        ];
+        let mut out = Vec::new();
+        for h in &hists {
+            for k in [0u64, 1, 3, 6, 40, 100] {
+                h.to_cumulative_into(k, &mut out);
+                let reference = h.truncated(k).to_cumulative(k);
+                assert_eq!(out.as_slice(), reference.as_slice(), "hist {h:?} bound {k}");
+            }
+        }
+        // Reuse with a previously longer buffer must fully replace it.
+        let h = CountOfCounts::from_group_sizes([2, 2]);
+        h.to_cumulative_into(5, &mut out);
+        assert_eq!(out, vec![0, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn to_cumulative_into_rejects_wrapping_totals() {
+        let h = CountOfCounts::from_counts(vec![u64::MAX, 0, 2]);
+        let mut out = Vec::new();
+        h.to_cumulative_into(2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn to_cumulative_into_rejects_wrapping_overflow_mass() {
+        // The wrap happens while folding above-bound mass into cell k.
+        let h = CountOfCounts::from_counts(vec![u64::MAX, 0, 0, 2]);
+        let mut out = Vec::new();
+        h.to_cumulative_into(1, &mut out);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! fingerprint first, so hits complete at submission without touching
 //! the queue. Workers pop the misses FIFO, re-check the cache (an
 //! identical job may have finished in the meantime), and run the
-//! subtree-parallel release ([`parallel_release`]). Waiters block on
+//! subtree-parallel release ([`parallel_release_pooled`], drawing warm
+//! estimation workspaces from the engine's pool). Waiters block on
 //! a condvar rather than polling. Dropping the engine finishes every
 //! queued job, then joins the pool.
 
@@ -27,8 +28,10 @@ use std::time::Instant;
 use hcc_consistency::{to_csv, HierarchicalCounts, TopDownConfig};
 use hcc_hierarchy::Hierarchy;
 
+use hcc_estimators::WorkspacePool;
+
 use crate::cache::ResultCache;
-use crate::exec::parallel_release;
+use crate::exec::parallel_release_pooled;
 use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint};
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 use crate::registry::{DatasetHandle, DatasetRegistry};
@@ -39,7 +42,7 @@ pub struct EngineConfig {
     /// Worker threads draining the job queue (jobs run concurrently).
     pub workers: usize,
     /// Scoped threads each worker uses *inside* one release for
-    /// subtree-level parallelism (see [`parallel_release`]).
+    /// subtree-level parallelism (see [`crate::parallel_release`]).
     pub threads_per_job: usize,
     /// Bounded queue capacity; [`Engine::submit`] returns
     /// [`EngineError::QueueFull`] beyond it.
@@ -186,6 +189,12 @@ struct Shared {
     done: Condvar,
     counters: Counters,
     config: EngineConfig,
+    /// Warm estimation workspaces shared across jobs: each release
+    /// checks out one workspace per intra-job thread and restores it,
+    /// so the pool tops out at `workers × threads_per_job` and the
+    /// per-node scratch buffers stop hitting the allocator once the
+    /// engine has served its first few jobs.
+    workspaces: WorkspacePool,
 }
 
 /// A long-running release service: submit jobs, poll or block on
@@ -235,6 +244,7 @@ impl Engine {
             done: Condvar::new(),
             counters: Counters::default(),
             config: config.clone(),
+            workspaces: WorkspacePool::new(),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -576,12 +586,13 @@ fn worker_loop(shared: &Shared) {
                     // The CSV serialisation stays inside the guard
                     // too — any panic past this point must become a
                     // Failed job, never a dead worker.
-                    parallel_release(
+                    parallel_release_pooled(
                         &request.hierarchy,
                         &request.data,
                         &request.config,
                         request.seed,
                         shared.config.threads_per_job,
+                        &shared.workspaces,
                     )
                     .map(|release| {
                         let csv = to_csv(&request.hierarchy, &release);

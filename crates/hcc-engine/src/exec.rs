@@ -35,7 +35,7 @@ use std::sync::Mutex;
 use hcc_consistency::{
     node_seeds, top_down_from_estimates, ConsistencyError, HierarchicalCounts, TopDownConfig,
 };
-use hcc_estimators::NodeEstimate;
+use hcc_estimators::{EstimatorWorkspace, NodeEstimate, WorkspacePool};
 use hcc_hierarchy::{Hierarchy, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,13 +77,34 @@ fn subtree_tasks(hierarchy: &Hierarchy, threads: usize) -> Vec<Vec<NodeId>> {
 /// Bit-identical to
 /// `top_down_release(hierarchy, data, cfg, &mut StdRng::seed_from_u64(seed))`
 /// for every `threads >= 1`; with one thread the estimates are
-/// computed inline without spawning.
+/// computed inline without spawning. Scratch buffers come from a
+/// release-local [`WorkspacePool`]; a long-running engine shares one
+/// pool across jobs via [`parallel_release_pooled`].
 pub fn parallel_release(
     hierarchy: &Hierarchy,
     data: &HierarchicalCounts,
     cfg: &TopDownConfig,
     seed: u64,
     threads: usize,
+) -> Result<HierarchicalCounts, ConsistencyError> {
+    parallel_release_pooled(hierarchy, data, cfg, seed, threads, &WorkspacePool::new())
+}
+
+/// [`parallel_release`] drawing estimation workspaces from a shared
+/// pool. Each worker thread checks out one [`EstimatorWorkspace`] for
+/// the whole release — reused across every node of every subtree task
+/// it runs — and restores it afterwards, so an engine serving many
+/// jobs keeps its buffers warm across jobs too. Which workspace
+/// estimates which node never matters: buffers are fully overwritten
+/// per node and each node draws from its own seeded RNG stream, so
+/// the release stays bit-identical for every pool state.
+pub fn parallel_release_pooled(
+    hierarchy: &Hierarchy,
+    data: &HierarchicalCounts,
+    cfg: &TopDownConfig,
+    seed: u64,
+    threads: usize,
+    pool: &WorkspacePool,
 ) -> Result<HierarchicalCounts, ConsistencyError> {
     if !hierarchy.is_uniform_depth() {
         return Err(ConsistencyError::NotUniformDepth);
@@ -93,32 +114,42 @@ pub fn parallel_release(
     let eps_level = cfg.level_epsilon(hierarchy.num_levels());
     let n = hierarchy.num_nodes();
 
-    let estimate = |node: NodeId| -> NodeEstimate {
+    let estimate = |node: NodeId, ws: &mut EstimatorWorkspace| -> NodeEstimate {
         let method = cfg.method_for_level(hierarchy.level_of(node));
         let h = data.node(node);
         let mut rng = StdRng::seed_from_u64(seeds[node.index()]);
-        method.estimate(h, h.num_groups(), eps_level, &mut rng)
+        method.estimate_in(h, h.num_groups(), eps_level, &mut rng, ws)
     };
 
     let estimates: Vec<NodeEstimate> = if threads <= 1 {
-        hierarchy.iter().map(estimate).collect()
+        let mut ws = pool.checkout();
+        let out = hierarchy
+            .iter()
+            .map(|node| estimate(node, &mut ws))
+            .collect();
+        pool.restore(ws);
+        out
     } else {
         let tasks = subtree_tasks(hierarchy, threads);
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<NodeEstimate>>> = Mutex::new(vec![None; n]);
         std::thread::scope(|scope| {
             for _ in 0..threads.min(tasks.len()) {
-                scope.spawn(|| loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = tasks.get(t) else { break };
-                    let done: Vec<(usize, NodeEstimate)> = task
-                        .iter()
-                        .map(|&node| (node.index(), estimate(node)))
-                        .collect();
-                    let mut slots = slots.lock().expect("no worker panicked holding the lock");
-                    for (i, e) in done {
-                        slots[i] = Some(e);
+                scope.spawn(|| {
+                    let mut ws = pool.checkout();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(t) else { break };
+                        let done: Vec<(usize, NodeEstimate)> = task
+                            .iter()
+                            .map(|&node| (node.index(), estimate(node, &mut ws)))
+                            .collect();
+                        let mut slots = slots.lock().expect("no worker panicked holding the lock");
+                        for (i, e) in done {
+                            slots[i] = Some(e);
+                        }
                     }
+                    pool.restore(ws);
                 });
             }
         });
@@ -202,6 +233,22 @@ mod tests {
                 assert_eq!(parallel, direct, "{} threads={threads}", method.name());
             }
         }
+    }
+
+    #[test]
+    fn warm_pool_releases_are_bit_identical_across_jobs() {
+        let (h, d) = deep_data();
+        let cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 64 });
+        let cold = parallel_release(&h, &d, &cfg, 9, 2).unwrap();
+        let pool = WorkspacePool::new();
+        for job in 0..3 {
+            let warm = parallel_release_pooled(&h, &d, &cfg, 9, 2, &pool).unwrap();
+            assert_eq!(warm, cold, "job {job} diverged with warm workspaces");
+        }
+        assert!(
+            pool.idle_len() >= 1,
+            "workspaces must return to the pool between jobs"
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod server;
 
 pub use client::{Client, FetchedRelease};
 pub use engine::{Engine, EngineConfig, EngineStats};
-pub use exec::parallel_release;
+pub use exec::{parallel_release, parallel_release_pooled};
 pub use fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
 pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 pub use protocol::level_method;

@@ -1,0 +1,133 @@
+//! Golden bit-identity suite for the estimation hot path.
+//!
+//! The PR-5 workspace/flat-PAV/batched-noise optimizations must not
+//! change a single released byte: for three fixed seeds × {Hc, Hg} ×
+//! {1, 4} threads, the release CSV must hash to the value captured
+//! from `top_down_release` **before** the refactor (the seed-style
+//! per-node-allocation pipeline). A changed hash here means an
+//! optimization altered the RNG draw order or the post-processing
+//! arithmetic — a correctness bug, not a perf regression.
+
+use std::sync::Arc;
+
+use hcc_consistency::{to_csv, top_down_release, HierarchicalCounts, LevelMethod, TopDownConfig};
+use hcc_core::CountOfCounts;
+use hcc_engine::parallel_release;
+use hcc_hierarchy::{Hierarchy, HierarchyBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a 64-bit; dependency-free and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic 3-level dataset (nation → 3 states → 3 counties
+/// each) with mixed dense/sparse leaf histograms, including size-0
+/// groups and sizes near the truncation bound.
+fn dataset() -> (Arc<Hierarchy>, Arc<HierarchicalCounts>) {
+    let mut b = HierarchyBuilder::new("nation");
+    let mut leaves = Vec::new();
+    for s in 0..3 {
+        let state = b.add_child(Hierarchy::ROOT, format!("s{s}"));
+        for c in 0..3 {
+            leaves.push(b.add_child(state, format!("s{s}c{c}")));
+        }
+    }
+    let h = b.build();
+    let data = HierarchicalCounts::from_leaves(
+        &h,
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    l,
+                    CountOfCounts::from_group_sizes(
+                        (0..40u64).map(|k| (k * (i as u64 + 2) * 7) % 90),
+                    ),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (Arc::new(h), Arc::new(data))
+}
+
+/// Golden FNV-1a hashes of the release CSV, captured from
+/// `top_down_release` on the pre-refactor pipeline (per-node
+/// allocations, per-element median heaps, per-draw `ln` noise setup).
+/// One entry per (seed, method); the release is thread-count
+/// invariant, so every thread count must reproduce the same hash.
+const GOLDEN: &[(u64, &str, u64)] = &[
+    (101, "hc", 0x4ca65581ed11bfd7),
+    (202, "hc", 0x2388c65e4b3addce),
+    (303, "hc", 0x4b1a5ca14795755e),
+    (101, "hg", 0x4d8bf2b488a2e686),
+    (202, "hg", 0x2e8d5082358b256b),
+    (303, "hg", 0x150c11768652f808),
+];
+
+fn method_for(name: &str) -> LevelMethod {
+    match name {
+        "hc" => LevelMethod::Cumulative { bound: 128 },
+        "hg" => LevelMethod::Unattributed,
+        other => panic!("unknown method {other}"),
+    }
+}
+
+#[test]
+fn release_csv_hashes_match_pre_refactor_goldens() {
+    let (h, d) = dataset();
+    for &(seed, method, want) in GOLDEN {
+        let cfg = TopDownConfig::new(1.0).with_method(method_for(method));
+        // Reference path: the direct single-threaded release.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let direct = top_down_release(&h, &d, &cfg, &mut rng).unwrap();
+        let csv = to_csv(&h, &direct);
+        let got = fnv1a64(csv.as_bytes());
+        assert_eq!(
+            got, want,
+            "seed {seed} method {method}: top_down_release CSV hash \
+             {got:#018x} != golden {want:#018x} — an optimization changed \
+             released bytes"
+        );
+        // The engine executor at 1 and 4 threads (one workspace per
+        // worker) must release the very same bytes.
+        for threads in [1usize, 4] {
+            let rel = parallel_release(&h, &d, &cfg, seed, threads).unwrap();
+            let csv = to_csv(&h, &rel);
+            let got = fnv1a64(csv.as_bytes());
+            assert_eq!(
+                got, want,
+                "seed {seed} method {method} threads {threads}: \
+                 parallel_release diverged from the golden hash"
+            );
+        }
+    }
+}
+
+/// Regenerates the golden table: `cargo test -p hcc-engine --test
+/// golden_release -- --ignored --nocapture print_golden_hashes`.
+/// Only legitimate after a PR that *intends* to change released bytes
+/// (e.g. a new noise distribution) — never to paper over an
+/// optimization diff.
+#[test]
+#[ignore]
+fn print_golden_hashes() {
+    let (h, d) = dataset();
+    for method in ["hc", "hg"] {
+        for seed in [101u64, 202, 303] {
+            let cfg = TopDownConfig::new(1.0).with_method(method_for(method));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rel = top_down_release(&h, &d, &cfg, &mut rng).unwrap();
+            let hash = fnv1a64(to_csv(&h, &rel).as_bytes());
+            println!("    ({seed}, {method:?}, {hash:#018x}),");
+        }
+    }
+}

@@ -28,7 +28,7 @@ use rand::Rng;
 use crate::hc::CumulativeEstimator;
 use crate::hg::UnattributedEstimator;
 use crate::k_bound::estimate_size_bound;
-use crate::{Estimator, NodeEstimate};
+use crate::{Estimator, EstimatorWorkspace, NodeEstimate};
 
 /// Chooses between [`CumulativeEstimator`] and
 /// [`UnattributedEstimator`] per node using a private sparsity probe.
@@ -95,12 +95,13 @@ impl Estimator for AdaptiveEstimator {
         "adaptive"
     }
 
-    fn estimate<R: Rng + ?Sized>(
+    fn estimate_in<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
         g: u64,
         epsilon: f64,
         rng: &mut R,
+        ws: &mut EstimatorWorkspace,
     ) -> NodeEstimate {
         if g == 0 {
             return NodeEstimate::new(CountOfCounts::new(), Vec::new());
@@ -108,10 +109,10 @@ impl Estimator for AdaptiveEstimator {
         let eps_probe = epsilon * self.selector_fraction;
         let eps_rest = epsilon - eps_probe;
         if self.probe_prefers_hg(hist, eps_probe, rng) {
-            UnattributedEstimator::new().estimate(hist, g, eps_rest, rng)
+            UnattributedEstimator::new().estimate_in(hist, g, eps_rest, rng, ws)
         } else {
             CumulativeEstimator::with_loss(self.bound, CumulativeLoss::L1)
-                .estimate(hist, g, eps_rest, rng)
+                .estimate_in(hist, g, eps_rest, rng, ws)
         }
     }
 }

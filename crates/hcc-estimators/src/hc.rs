@@ -1,12 +1,12 @@
 //! The cumulative-histogram method (`Hc`, Section 4.3).
 
-use hcc_core::{CountOfCounts, Cumulative};
-use hcc_isotonic::{anchored_cumulative, CumulativeLoss};
+use hcc_core::CountOfCounts;
+use hcc_isotonic::{anchored_cumulative_into, CumulativeLoss};
 use hcc_noise::GeometricMechanism;
 use rand::Rng;
 
 use crate::estimate::VarianceRun;
-use crate::{Estimator, NodeEstimate};
+use crate::{Estimator, EstimatorWorkspace, NodeEstimate};
 
 /// Privatizes via the cumulative representation: add double-geometric
 /// noise with scale `1/ε` to every cell of `Hc` (sensitivity 1,
@@ -54,31 +54,53 @@ impl Estimator for CumulativeEstimator {
         }
     }
 
-    fn estimate<R: Rng + ?Sized>(
+    fn estimate_in<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
         g: u64,
         epsilon: f64,
         rng: &mut R,
+        ws: &mut EstimatorWorkspace,
     ) -> NodeEstimate {
         debug_assert_eq!(hist.num_groups(), g, "public G must match the data");
-        let cum: Cumulative = hist.truncated(self.bound).to_cumulative(self.bound);
+        // Every dense step runs in workspace buffers: true cumulative
+        // view (no truncated-histogram clone), noise (same per-cell
+        // draw order as `privatize_vec`), anchored isotonic fit. Only
+        // the run-length outputs below allocate, and those are
+        // O(distinct sizes), not O(bound).
+        hist.to_cumulative_into(self.bound, &mut ws.cum);
         let mech = GeometricMechanism::new(epsilon, Self::SENSITIVITY);
-        let noisy = mech.privatize_vec(cum.as_slice(), rng);
-        let fitted = anchored_cumulative(&noisy, g, self.loss);
-        let est = Cumulative::from_vec(fitted)
-            .expect("anchored_cumulative returns a valid cumulative vector")
-            .to_hist();
-        let runs: Vec<VarianceRun> = est
-            .to_unattributed()
-            .runs()
-            .iter()
-            .map(|r| VarianceRun {
-                size: r.size,
-                count: r.count,
-                variance: 4.0 / (epsilon * epsilon * r.count as f64),
-            })
-            .collect();
+        mech.privatize_into(&ws.cum, &mut ws.noisy, rng);
+        anchored_cumulative_into(
+            &ws.noisy,
+            g,
+            self.loss,
+            &mut ws.pav,
+            &mut ws.values,
+            &mut ws.fitted,
+        );
+        // Differencing the fitted cumulative yields the estimated
+        // histogram's non-zero cells in increasing size order —
+        // exactly `est.to_unattributed().runs()` of the seed path.
+        let mut runs: Vec<VarianceRun> = Vec::new();
+        let mut prev = 0u64;
+        for (size, &cell) in ws.fitted.iter().enumerate() {
+            // Checked: the fit is non-decreasing by construction, but
+            // the seed path validated this at runtime
+            // (`Cumulative::from_vec`) and a wrap here would flow a
+            // garbage count silently into the release.
+            let count = cell
+                .checked_sub(prev)
+                .expect("anchored cumulative fit must be non-decreasing");
+            prev = cell;
+            if count > 0 {
+                runs.push(VarianceRun {
+                    size: size as u64,
+                    count,
+                    variance: 4.0 / (epsilon * epsilon * count as f64),
+                });
+            }
+        }
         NodeEstimate::from_variance_runs(runs)
     }
 }
@@ -154,6 +176,33 @@ mod tests {
         for r in est.variance_runs() {
             let expected = 4.0 / (eps * eps * r.count as f64);
             assert!((r.variance - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn warm_workspace_is_bit_identical_to_fresh() {
+        // One deliberately dirty workspace across nodes of different
+        // bounds: every estimate must match the throwaway-workspace
+        // wrapper draw for draw.
+        let mut ws = EstimatorWorkspace::new();
+        let hists = [
+            CountOfCounts::from_group_sizes([0, 1, 2, 2, 7, 30]),
+            CountOfCounts::from_group_sizes([5, 5, 5]),
+            CountOfCounts::new(),
+            CountOfCounts::from_group_sizes((0..100).map(|i| i % 13)),
+        ];
+        for (i, h) in hists.iter().enumerate() {
+            for loss in [CumulativeLoss::L1, CumulativeLoss::L2] {
+                for bound in [8u64, 64, 1000] {
+                    let est = CumulativeEstimator::with_loss(bound, loss);
+                    let g = h.num_groups();
+                    let mut a = StdRng::seed_from_u64(900 + i as u64);
+                    let mut b = StdRng::seed_from_u64(900 + i as u64);
+                    let fresh = est.estimate(h, g, 0.4, &mut a);
+                    let warm = est.estimate_in(h, g, 0.4, &mut b, &mut ws);
+                    assert_eq!(fresh, warm, "hist {i} {loss:?} bound {bound}");
+                }
+            }
         }
     }
 

@@ -6,7 +6,7 @@ use hcc_noise::GeometricMechanism;
 use rand::Rng;
 
 use crate::estimate::VarianceRun;
-use crate::{Estimator, NodeEstimate};
+use crate::{Estimator, EstimatorWorkspace, NodeEstimate};
 
 /// Privatizes via the unattributed representation: add
 /// double-geometric noise with scale `1/ε` to every entry of the
@@ -40,27 +40,32 @@ impl Estimator for UnattributedEstimator {
         "Hg"
     }
 
-    fn estimate<R: Rng + ?Sized>(
+    fn estimate_in<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
         g: u64,
         epsilon: f64,
         rng: &mut R,
+        ws: &mut EstimatorWorkspace,
     ) -> NodeEstimate {
         debug_assert_eq!(hist.num_groups(), g, "public G must match the data");
         if g == 0 {
             return NodeEstimate::new(CountOfCounts::new(), Vec::new());
         }
         let mech = GeometricMechanism::new(epsilon, Self::SENSITIVITY);
-        // Expand to the dense Hg, privatize every coordinate.
-        let ua = hist.to_unattributed();
-        let mut noisy: Vec<f64> = Vec::with_capacity(usize::try_from(g).expect("G exceeds memory"));
-        for run in ua.runs() {
-            for _ in 0..run.count {
-                noisy.push(mech.privatize(run.size, rng) as f64);
+        // Expand to the dense Hg in the reusable f64 buffer,
+        // privatizing every coordinate. Iterating the non-zero cells
+        // directly draws noise in exactly the run order the seed
+        // path's materialised `to_unattributed()` walk used.
+        let noisy = &mut ws.values;
+        noisy.clear();
+        noisy.reserve(usize::try_from(g).expect("G exceeds memory"));
+        for (size, &count) in hist.as_slice().iter().enumerate() {
+            for _ in 0..count {
+                noisy.push(mech.privatize(size as u64, rng) as f64);
             }
         }
-        let fit = isotonic_l2(&noisy).clamped(0.0, f64::INFINITY);
+        let fit = isotonic_l2(noisy).clamped(0.0, f64::INFINITY);
         // Round block-wise; pool variance where rounding merges
         // adjacent blocks to the same size.
         let per_cell_var = 2.0 / (epsilon * epsilon);
@@ -145,6 +150,24 @@ mod tests {
         // 500 groups with sizes 1..5; the Hg method's error should be
         // far below total mass (~1500).
         assert!(e < 500, "emd {e} too large");
+    }
+
+    #[test]
+    fn warm_workspace_is_bit_identical_to_fresh() {
+        let mut ws = EstimatorWorkspace::new();
+        let hists = [
+            CountOfCounts::from_group_sizes([1, 2, 2, 9, 100]),
+            CountOfCounts::from_counts(vec![0, 50]),
+            CountOfCounts::new(),
+        ];
+        for (i, h) in hists.iter().enumerate() {
+            let g = h.num_groups();
+            let mut a = StdRng::seed_from_u64(700 + i as u64);
+            let mut b = StdRng::seed_from_u64(700 + i as u64);
+            let fresh = UnattributedEstimator::new().estimate(h, g, 0.8, &mut a);
+            let warm = UnattributedEstimator::new().estimate_in(h, g, 0.8, &mut b, &mut ws);
+            assert_eq!(fresh, warm, "hist {i}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod hc;
 pub mod hg;
 pub mod k_bound;
 pub mod naive;
+pub mod workspace;
 
 pub use adaptive::AdaptiveEstimator;
 pub use estimate::{NodeEstimate, VarianceRun};
@@ -36,6 +37,7 @@ pub use hc::CumulativeEstimator;
 pub use hg::UnattributedEstimator;
 pub use k_bound::estimate_size_bound;
 pub use naive::NaiveEstimator;
+pub use workspace::{EstimatorWorkspace, WorkspacePool};
 
 use hcc_core::CountOfCounts;
 use rand::Rng;
@@ -53,11 +55,39 @@ pub trait Estimator {
 
     /// Produces the private estimate. The output satisfies
     /// integrality, nonnegativity, and `Σ Ĥ[i] = g`.
+    ///
+    /// Convenience wrapper over [`Estimator::estimate_in`] with a
+    /// throwaway workspace; results are **bit-identical** between the
+    /// two entry points — a workspace only recycles buffers, never
+    /// changes the RNG draw order or the arithmetic.
     fn estimate<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
         g: u64,
         epsilon: f64,
         rng: &mut R,
+    ) -> NodeEstimate {
+        self.estimate_in(
+            hist,
+            g,
+            epsilon,
+            rng,
+            &mut workspace::EstimatorWorkspace::new(),
+        )
+    }
+
+    /// [`Estimator::estimate`] reusing caller-owned scratch buffers —
+    /// the hot-path entry point. Callers estimating many nodes (a
+    /// hierarchy walk, an ε-sweep) hold one warm
+    /// [`EstimatorWorkspace`] per worker thread and pass it to every
+    /// call, eliminating the per-node dense allocations of the seed
+    /// pipeline.
+    fn estimate_in<R: Rng + ?Sized>(
+        &self,
+        hist: &CountOfCounts,
+        g: u64,
+        epsilon: f64,
+        rng: &mut R,
+        ws: &mut workspace::EstimatorWorkspace,
     ) -> NodeEstimate;
 }

@@ -5,7 +5,7 @@ use hcc_isotonic::{project_simplex, round_preserving_sum};
 use hcc_noise::GeometricMechanism;
 use rand::Rng;
 
-use crate::{Estimator, NodeEstimate};
+use crate::{Estimator, EstimatorWorkspace, NodeEstimate};
 
 /// Adds double-geometric noise with scale `2/ε` to every cell of the
 /// (truncated, zero-padded) histogram `H'`, then projects onto
@@ -41,19 +41,24 @@ impl Estimator for NaiveEstimator {
         "naive"
     }
 
-    fn estimate<R: Rng + ?Sized>(
+    fn estimate_in<R: Rng + ?Sized>(
         &self,
         hist: &CountOfCounts,
         g: u64,
         epsilon: f64,
         rng: &mut R,
+        ws: &mut EstimatorWorkspace,
     ) -> NodeEstimate {
         debug_assert_eq!(hist.num_groups(), g, "public G must match the data");
+        // The strawman stays off the hot path (the paper rules it
+        // out), but the noise and f64 staging reuse workspace buffers
+        // anyway; the simplex projection keeps its own output vector.
         let dense = hist.truncated(self.bound).padded(self.bound);
         let mech = GeometricMechanism::new(epsilon, Self::SENSITIVITY);
-        let noisy = mech.privatize_vec(&dense, rng);
-        let noisy_f: Vec<f64> = noisy.iter().map(|&v| v as f64).collect();
-        let projected = project_simplex(&noisy_f, g as f64);
+        mech.privatize_into(&dense, &mut ws.noisy, rng);
+        ws.values.clear();
+        ws.values.extend(ws.noisy.iter().map(|&v| v as f64));
+        let projected = project_simplex(&ws.values, g as f64);
         let rounded = round_preserving_sum(&projected, g);
         let est = CountOfCounts::from_counts(rounded);
         // The naive method plays no role in the hierarchy, but the

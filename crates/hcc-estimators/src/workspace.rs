@@ -1,0 +1,132 @@
+//! Reusable per-worker scratch buffers for the estimation hot path.
+//!
+//! The `Hc` pipeline privatizes a `bound`-length cumulative histogram
+//! at every hierarchy node: true cumulative view → noisy copy →
+//! isotonic fit → fitted cells. The seed implementation allocated all
+//! four dense vectors afresh per node, so a release over a deep
+//! hierarchy (and even more so an ε-sweep) spent its time in the
+//! allocator rather than in arithmetic. An [`EstimatorWorkspace`]
+//! owns those buffers; one workspace per worker thread, reused across
+//! every node of a subtree task and — through a [`WorkspacePool`] —
+//! across jobs, keeps the hot loop in cache-resident storage with no
+//! steady-state allocations.
+//!
+//! **Determinism.** Buffer reuse never changes results: every buffer
+//! is fully overwritten (cleared, then written for exactly the
+//! current node's length) before it is read, and the RNG draw order
+//! is untouched — the slice-filling noise entry points draw in
+//! exactly the per-cell order. The golden bit-identity suite in
+//! `hcc-engine` pins this: releases through warm workspaces hash
+//! identically to the seed pipeline's.
+
+use std::sync::Mutex;
+
+use hcc_isotonic::PavL1Workspace;
+
+/// Scratch buffers for one estimation worker. Create once per thread
+/// (or check out of a [`WorkspacePool`]) and pass to
+/// [`Estimator::estimate_in`](crate::Estimator::estimate_in) for
+/// every node.
+#[derive(Default)]
+pub struct EstimatorWorkspace {
+    /// True cumulative view of the node (`Hc`), `bound + 1` cells.
+    pub(crate) cum: Vec<u64>,
+    /// Noisy integer view (`Hc`).
+    pub(crate) noisy: Vec<i64>,
+    /// Dense f64 scratch: the `Hg` method's noisy unattributed
+    /// vector, and the `Hc`-L2 branch's fitted expansion.
+    pub(crate) values: Vec<f64>,
+    /// Fitted cumulative cells (`Hc`).
+    pub(crate) fitted: Vec<u64>,
+    /// L1 PAV solver state (block stack + recycled heap storage).
+    pub(crate) pav: PavL1Workspace,
+}
+
+impl EstimatorWorkspace {
+    /// An empty workspace. No buffer allocates until first use, so
+    /// constructing one ad hoc (as the convenience
+    /// [`Estimator::estimate`](crate::Estimator::estimate) wrapper
+    /// does) costs nothing beyond what the seed pipeline paid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A small shared pool of [`EstimatorWorkspace`]s, used by a serving
+/// engine to carry warmed-up buffers **across jobs**: a worker checks
+/// one out at the start of a release, reuses it for every node it
+/// estimates, and restores it afterwards.
+///
+/// The pool never grows beyond the peak number of concurrent
+/// checkouts (one per engine worker × intra-job thread), because
+/// [`WorkspacePool::restore`] only returns what
+/// [`WorkspacePool::checkout`] handed out.
+#[derive(Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<EstimatorWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an idle workspace, or creates a fresh one when all are
+    /// in use (the buffers warm up on first release).
+    pub fn checkout(&self) -> EstimatorWorkspace {
+        self.idle
+            .lock()
+            .expect("workspace pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace for later reuse, buffers kept warm.
+    pub fn restore(&self, ws: EstimatorWorkspace) {
+        self.idle
+            .lock()
+            .expect("workspace pool lock poisoned")
+            .push(ws);
+    }
+
+    /// Number of idle workspaces currently held.
+    pub fn idle_len(&self) -> usize {
+        self.idle
+            .lock()
+            .expect("workspace pool lock poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_restore_recycles_buffers() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle_len(), 0);
+        let mut ws = pool.checkout();
+        ws.cum.reserve(1024);
+        let warmed = ws.cum.capacity();
+        pool.restore(ws);
+        assert_eq!(pool.idle_len(), 1);
+        let ws = pool.checkout();
+        assert!(
+            ws.cum.capacity() >= warmed,
+            "restored workspace must keep its warm buffers"
+        );
+        assert_eq!(pool.idle_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_workspaces() {
+        let pool = WorkspacePool::new();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        pool.restore(a);
+        pool.restore(b);
+        assert_eq!(pool.idle_len(), 2);
+    }
+}

@@ -12,8 +12,7 @@
 //! constant box, clamping the unconstrained isotonic solution is
 //! exact for any separable convex loss.
 
-use crate::fit::IsotonicFit;
-use crate::pav_l1::isotonic_l1;
+use crate::pav_l1::PavL1Workspace;
 use crate::pav_l2::isotonic_l2;
 
 /// Which norm the `Hc` post-processing minimises. The paper found L1
@@ -35,31 +34,65 @@ pub enum CumulativeLoss {
 /// `noisy` must be non-empty (the caller always has at least the cell
 /// for size 0, and `K ≥ 0`).
 pub fn anchored_cumulative(noisy: &[i64], g: u64, loss: CumulativeLoss) -> Vec<u64> {
+    let mut out = Vec::new();
+    anchored_cumulative_into(
+        noisy,
+        g,
+        loss,
+        &mut PavL1Workspace::new(),
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`anchored_cumulative`] with every buffer caller-owned: `pav`
+/// holds the L1 solver state, `scratch` the dense f64 expansion the
+/// L2 loss needs, and `out` receives the fitted cells (cleared
+/// first). A warm workspace makes the `Hc` hot path allocation-free;
+/// the produced cells are bit-identical to the allocating wrapper —
+/// the clamp/round arithmetic is the same f64 operation sequence.
+pub fn anchored_cumulative_into(
+    noisy: &[i64],
+    g: u64,
+    loss: CumulativeLoss,
+    pav: &mut PavL1Workspace,
+    scratch: &mut Vec<f64>,
+    out: &mut Vec<u64>,
+) {
     assert!(
         !noisy.is_empty(),
         "a cumulative histogram has at least one cell"
     );
     let prefix = &noisy[..noisy.len() - 1];
-    let fit: IsotonicFit = match loss {
-        CumulativeLoss::L1 => isotonic_l1(prefix),
-        CumulativeLoss::L2 => {
-            let as_f64: Vec<f64> = prefix.iter().map(|&v| v as f64).collect();
-            isotonic_l2(&as_f64)
+    let gf = g as f64;
+    out.clear();
+    out.reserve(noisy.len());
+    match loss {
+        CumulativeLoss::L1 => {
+            pav.solve(prefix);
+            for b in pav.fitted_blocks() {
+                // Same operation order as the seed path (clamp to
+                // [0, G], then round cell-wise — which preserves
+                // monotonicity), in f64 so results stay bit-identical
+                // even for bounds beyond 2^53.
+                let v = (b.median as f64).clamp(0.0, gf);
+                let v = v.round().max(0.0).min(gf) as u64;
+                out.resize(out.len() + b.len, v);
+            }
         }
-    };
-    let clamped = fit.clamped(0.0, g as f64);
-    let mut out: Vec<u64> = Vec::with_capacity(noisy.len());
-    for b in clamped.blocks() {
-        // Rounding a non-decreasing sequence cell-wise preserves
-        // monotonicity; values are already within [0, G].
-        let v = b.value.round().max(0.0).min(g as f64) as u64;
-        for _ in 0..b.len {
-            out.push(v);
+        CumulativeLoss::L2 => {
+            scratch.clear();
+            scratch.extend(prefix.iter().map(|&v| v as f64));
+            let fit = isotonic_l2(scratch).clamped(0.0, gf);
+            fit.values_into(scratch);
+            for &v in scratch.iter() {
+                out.push(v.round().max(0.0).min(gf) as u64);
+            }
         }
     }
     out.push(g);
     debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
-    out
 }
 
 #[cfg(test)]
@@ -117,6 +150,25 @@ mod tests {
     }
 
     proptest! {
+        /// The buffer-reusing variant is byte-identical to the
+        /// allocating wrapper for both losses, across reuses of one
+        /// (deliberately stale) workspace.
+        #[test]
+        fn into_variant_matches_wrapper(
+            inputs in prop::collection::vec(
+                (prop::collection::vec(-100i64..100, 1..40), 0u64..60), 1..4),
+            use_l1 in any::<bool>(),
+        ) {
+            let loss = if use_l1 { CumulativeLoss::L1 } else { CumulativeLoss::L2 };
+            let mut pav = crate::pav_l1::PavL1Workspace::new();
+            let mut scratch = vec![3.5; 7];
+            let mut out = vec![9u64; 3];
+            for (noisy, g) in &inputs {
+                anchored_cumulative_into(noisy, *g, loss, &mut pav, &mut scratch, &mut out);
+                prop_assert_eq!(&out, &anchored_cumulative(noisy, *g, loss));
+            }
+        }
+
         /// Output is always a valid cumulative histogram regardless of
         /// noise.
         #[test]

@@ -67,13 +67,22 @@ impl IsotonicFit {
 
     /// Expands to the dense fitted vector.
     pub fn values(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(self.len());
-        for b in &self.blocks {
-            for _ in 0..b.len {
-                v.push(b.value);
-            }
-        }
+        let mut v = Vec::new();
+        self.values_into(&mut v);
         v
+    }
+
+    /// Expands the dense fitted vector into a caller-owned buffer
+    /// (cleared first). The estimators call this once per node with a
+    /// per-worker scratch buffer, so the expansion costs a run-length
+    /// `resize` per block instead of a fresh `len()`-sized allocation
+    /// per call.
+    pub fn values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        for b in &self.blocks {
+            out.resize(out.len() + b.len, b.value);
+        }
     }
 
     /// Clamps every value into `[lo, hi]` and merges blocks that the
@@ -140,6 +149,16 @@ mod tests {
         assert_eq!(f.values(), vec![1.0, 1.0, 3.0]);
         assert_eq!(f.len(), 3);
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn values_into_replaces_stale_contents() {
+        let f = fit(&[(2, 1.0), (1, 3.0)]);
+        let mut out = vec![9.0; 10];
+        f.values_into(&mut out);
+        assert_eq!(out, f.values());
+        fit(&[(1, 5.0)]).values_into(&mut out);
+        assert_eq!(out, vec![5.0]);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   `min ‖x − y‖₁ s.t. x non-decreasing`, `O(n log² n)`. Returns the
 //!   lower median so integer inputs produce integer fits, matching the
 //!   paper's observation that "the L1 version mostly returns
-//!   integers". Preferred variant for the `Hc` method.
+//!   integers". Preferred variant for the `Hc` method. The hot-path
+//!   entry point is [`PavL1Workspace`], whose recycled block storage
+//!   makes repeated solves allocation-free; [`isotonic_l1_heap`] is
+//!   the seed implementation, kept as oracle and perf baseline.
 //! * [`project_simplex`] — exact Euclidean projection onto
 //!   `{x ≥ 0, Σx = s}` (the quadratic program of the naive method).
 //!
@@ -32,9 +35,9 @@ pub mod pav_l2;
 pub mod rounding;
 pub mod simplex;
 
-pub use anchored::{anchored_cumulative, CumulativeLoss};
+pub use anchored::{anchored_cumulative, anchored_cumulative_into, CumulativeLoss};
 pub use fit::{Block, IsotonicFit};
-pub use pav_l1::isotonic_l1;
+pub use pav_l1::{isotonic_l1, isotonic_l1_heap, isotonic_l1_with, FittedBlock, PavL1Workspace};
 pub use pav_l1_weighted::isotonic_l1_weighted;
 pub use pav_l2::{isotonic_l2, isotonic_l2_weighted};
 pub use rounding::{apportion, round_preserving_sum};

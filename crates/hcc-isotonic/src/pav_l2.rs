@@ -5,9 +5,55 @@ use crate::fit::{Block, IsotonicFit};
 /// Solves `min Σ (x_i − y_i)² s.t. x_0 ≤ x_1 ≤ … ≤ x_{n−1}` in `O(n)`
 /// with the classic stack-based PAV algorithm. Each output block's
 /// value is the mean of its pooled inputs.
+///
+/// Runs the unit-weight recurrence directly rather than delegating to
+/// [`isotonic_l2_weighted`] with a materialised all-ones vector: the
+/// `Hg` method calls this once per hierarchy node on a `G`-length
+/// input, and the weights allocation was pure overhead. The result is
+/// bit-identical to unit weights — summing `1.0`s is exact, so the
+/// weight sum *is* `len as f64` and every mean divides the same
+/// numerator by the same denominator.
 pub fn isotonic_l2(y: &[f64]) -> IsotonicFit {
-    let w = vec![1.0; y.len()];
-    isotonic_l2_weighted(y, &w)
+    struct Pool {
+        start: usize,
+        len: usize,
+        ysum: f64,
+    }
+    impl Pool {
+        fn value(&self) -> f64 {
+            self.ysum / self.len as f64
+        }
+    }
+    let mut stack: Vec<Pool> = Vec::with_capacity(y.len().min(1024));
+    for (i, &yi) in y.iter().enumerate() {
+        stack.push(Pool {
+            start: i,
+            len: 1,
+            ysum: yi,
+        });
+        while stack.len() >= 2 {
+            let last = &stack[stack.len() - 1];
+            let prev = &stack[stack.len() - 2];
+            if prev.value() > last.value() {
+                let last = stack.pop().expect("len >= 2");
+                let prev = stack.last_mut().expect("len >= 1");
+                prev.len += last.len;
+                prev.ysum += last.ysum;
+            } else {
+                break;
+            }
+        }
+    }
+    IsotonicFit::from_blocks(
+        stack
+            .into_iter()
+            .map(|p| Block {
+                start: p.start,
+                len: p.len,
+                value: p.value(),
+            })
+            .collect(),
+    )
 }
 
 /// Weighted L2 isotonic regression:
@@ -73,6 +119,22 @@ pub fn isotonic_l2_weighted(y: &[f64], w: &[f64]) -> IsotonicFit {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    proptest! {
+        /// The dedicated unit-weight loop is bit-identical to the
+        /// weighted solver with an all-ones weight vector (what
+        /// `isotonic_l2` used to allocate per call).
+        #[test]
+        fn unweighted_matches_unit_weighted(
+            y in prop::collection::vec(-50.0f64..50.0, 0..80)
+        ) {
+            let w = vec![1.0; y.len()];
+            prop_assert_eq!(
+                isotonic_l2(&y).blocks(),
+                isotonic_l2_weighted(&y, &w).blocks()
+            );
+        }
+    }
 
     #[test]
     fn already_sorted_is_identity() {

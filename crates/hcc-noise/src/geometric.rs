@@ -16,6 +16,11 @@ use rand::Rng;
 #[derive(Clone, Copy, Debug)]
 pub struct DoubleGeometric {
     alpha: f64,
+    /// `ln α`, precomputed at construction: the inversion sampler
+    /// divides by it on **every** one-sided draw, and recomputing the
+    /// transcendental per draw dominated slice-sized sampling (the
+    /// `Hc` method draws `bound + 1` values per hierarchy node).
+    ln_alpha: f64,
 }
 
 impl DoubleGeometric {
@@ -48,7 +53,10 @@ impl DoubleGeometric {
              double-geometric becomes improper (draws would overflow i64)",
             epsilon / sensitivity
         );
-        Self { alpha }
+        Self {
+            alpha,
+            ln_alpha: alpha.ln(),
+        }
     }
 
     /// The distribution parameter `α = e^(−ε/Δ)`.
@@ -66,15 +74,33 @@ impl DoubleGeometric {
         self.sample_one_sided(rng) - self.sample_one_sided(rng)
     }
 
+    /// Fills `out` with i.i.d. noise values, in exactly the order
+    /// repeated [`DoubleGeometric::sample`] calls would draw them —
+    /// slice-filling is a hot-loop convenience, never a different
+    /// noise stream, so releases stay bit-identical whichever entry
+    /// point the caller uses. All per-draw setup (the `ln α`
+    /// transcendental) is hoisted to construction.
+    pub fn fill<R: Rng + ?Sized>(&self, out: &mut [i64], rng: &mut R) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
     /// Geometric on {0, 1, 2, …} with `P(g) = (1 − α) α^g`, via
     /// inversion: `g = floor(ln U / ln α)`.
+    ///
+    /// The division by the precomputed `ln α` is kept a *division*
+    /// (not a multiply by a reciprocal): `x / ln_alpha` is bit-exact
+    /// with the historical per-draw `x / alpha.ln()`, while
+    /// `x * (1.0 / ln_alpha)` rounds differently and would silently
+    /// change every release.
     fn sample_one_sided<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
         if self.alpha == 0.0 {
             return 0;
         }
         // U ∈ (0, 1]; `1 - gen::<f64>()` avoids ln(0).
         let u: f64 = 1.0 - rng.gen::<f64>();
-        let g = (u.ln() / self.alpha.ln()).floor();
+        let g = (u.ln() / self.ln_alpha).floor();
         // Clamp the extreme tail to i64::MAX instead of casting raw: a
         // raw `as i64` of an out-of-range or non-finite quotient would
         // saturate to i64::MIN for the -inf/NaN artifacts of α ≈ 1,
@@ -142,6 +168,18 @@ impl GeometricMechanism {
     /// Adds i.i.d. noise to every coordinate of a counts vector.
     pub fn privatize_vec<R: Rng + ?Sized>(&self, values: &[u64], rng: &mut R) -> Vec<i64> {
         values.iter().map(|&v| self.privatize(v, rng)).collect()
+    }
+
+    /// [`GeometricMechanism::privatize_vec`] into a caller-owned
+    /// buffer (cleared first): same draws in the same order, but the
+    /// hot loop reuses one allocation across nodes instead of
+    /// allocating a `bound`-length vector per hierarchy node.
+    pub fn privatize_into<R: Rng + ?Sized>(&self, values: &[u64], out: &mut Vec<i64>, rng: &mut R) {
+        out.clear();
+        out.reserve(values.len());
+        for &v in values {
+            out.push(self.privatize(v, rng));
+        }
     }
 }
 
@@ -270,6 +308,32 @@ mod tests {
         // at this scale.
         assert!((out[0] - 10).abs() < 1000);
         assert!(out[2] > 900_000);
+    }
+
+    #[test]
+    fn fill_matches_repeated_sample_bit_for_bit() {
+        let d = DoubleGeometric::new(0.7, 1.0);
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        let mut filled = vec![0i64; 4096];
+        d.fill(&mut filled, &mut a);
+        let singles: Vec<i64> = (0..4096).map(|_| d.sample(&mut b)).collect();
+        assert_eq!(filled, singles, "fill must preserve the draw order");
+    }
+
+    #[test]
+    fn privatize_into_matches_privatize_vec_and_reuses_buffer() {
+        let m = GeometricMechanism::new(0.5, 1.0);
+        let values: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let mut a = StdRng::seed_from_u64(22);
+        let mut b = StdRng::seed_from_u64(22);
+        let reference = m.privatize_vec(&values, &mut a);
+        let mut out = vec![7i64; 5]; // stale shorter buffer must be replaced
+        m.privatize_into(&values, &mut out, &mut b);
+        assert_eq!(out, reference);
+        // A second use with fewer values shrinks, not appends.
+        m.privatize_into(&values[..10], &mut out, &mut b);
+        assert_eq!(out.len(), 10);
     }
 
     #[test]

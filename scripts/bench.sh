@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the criterion benches with a pinned noise seed and emits
+# BENCH_<n>.json — one "median ns/iter" entry per bench label — so
+# the perf trajectory across PRs is machine-readable.
+#
+# Usage:
+#   scripts/bench.sh              # run benches, write BENCH_5.json
+#   scripts/bench.sh --smoke      # CI mode: compile the benches only
+#   PR=6 scripts/bench.sh         # write BENCH_6.json instead
+#   REPS=5 scripts/bench.sh       # more release_hot_path repetitions
+#
+# The cheap release_hot_path bench runs REPS times (median per label);
+# the broader micro suite runs once. HCC_SEED pins the RNG stream the
+# release_hot_path bench draws from (default 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export HCC_SEED="${HCC_SEED:-0}"
+PR="${PR:-5}"
+OUT="BENCH_${PR}.json"
+REPS="${REPS:-3}"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  cargo bench -p hcc-bench --no-run
+  echo "bench smoke OK (benches compile; none run)"
+  exit 0
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+for _ in $(seq "$REPS"); do
+  cargo bench -p hcc-bench --bench release_hot_path | tee -a "$RAW"
+done
+cargo bench -p hcc-bench --bench micro | tee -a "$RAW"
+
+python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" <<'EOF'
+import json
+import re
+import statistics
+import sys
+
+samples = {}
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        m = re.match(r"^(\S+)\s+(\d+)\s+ns/iter\s*$", line)
+        if m:
+            samples.setdefault(m.group(1), []).append(int(m.group(2)))
+if not samples:
+    sys.exit("no bench output parsed — did the harness format change?")
+doc = {
+    "seed": int(sys.argv[3]),
+    "reps_release_hot_path": int(sys.argv[4]),
+    "unit": "ns/iter",
+    "stat": "median",
+    "benches": {k: int(statistics.median(v)) for k, v in sorted(samples.items())},
+}
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {sys.argv[2]} with {len(doc['benches'])} benches")
+EOF
