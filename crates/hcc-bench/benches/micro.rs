@@ -240,8 +240,8 @@ fn bench_end_to_end(c: &mut Criterion) {
 }
 
 /// Engine throughput: released jobs/sec through the full job API
-/// (bounded queue → worker pool → subtree executor) at 1, 2, and 4
-/// workers, plus the cache-hit fast path.
+/// (bounded queue → work-stealing pool → subtree tasks) at 1, 2, 4,
+/// and 8 workers, plus the cache-hit fast path.
 fn bench_engine(c: &mut Criterion) {
     use std::sync::Arc;
 
@@ -262,7 +262,7 @@ fn bench_engine(c: &mut Criterion) {
     };
 
     const BATCH: u64 = 8;
-    for &workers in &[1usize, 2, 4] {
+    for &workers in &[1usize, 2, 4, 8] {
         // Distinct seeds defeat the cache, so every job computes; one
         // iteration = one BATCH-job release burst, drained to empty.
         let engine = Engine::start(

@@ -1,0 +1,37 @@
+//! Emits the engine scaling curve — 8-job batch wall time at
+//! 1/2/4/8 workers — in the `<label> <ns> ns/iter` format
+//! `scripts/bench.sh` parses into BENCH_N.json.
+//!
+//! Knobs (environment):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `HCC_SCALING_SCALE` | housing dataset scale | `2e-5` |
+//! | `HCC_SCALING_BOUND` | public size bound `K` | `20000` |
+//! | `HCC_SCALING_REPS` | timed bursts per point (best-of) | `2` |
+//! | `HCC_SCALING_WORKERS` | comma-separated worker counts | `1,2,4,8` |
+
+use hcc_bench::scaling::ScalingWorkload;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale: f64 = env_or("HCC_SCALING_SCALE", 2e-5);
+    let bound: u64 = env_or("HCC_SCALING_BOUND", 20_000);
+    let reps: usize = env_or("HCC_SCALING_REPS", 2);
+    let workers: Vec<usize> = std::env::var("HCC_SCALING_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+
+    let mut workload = ScalingWorkload::census(scale, bound);
+    for (w, dt) in workload.curve(&workers, reps) {
+        println!("engine_scaling/jobs_batch8/{w} {} ns/iter", dt.as_nanos());
+    }
+}

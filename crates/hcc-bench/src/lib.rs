@@ -22,5 +22,6 @@
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
+pub mod scaling;
 
 pub use harness::ExpConfig;

@@ -50,5 +50,6 @@ pub use merge::MergeStrategy;
 pub use omniscient::{omniscient_expected_error, omniscient_release};
 pub use private_counts::private_group_counts;
 pub use topdown::{
-    node_seeds, top_down_from_estimates, top_down_release, LevelMethod, TopDownConfig,
+    estimate_node, node_seeds, subtree_tasks, top_down_from_estimates, top_down_release,
+    LevelMethod, TopDownConfig,
 };

@@ -207,10 +207,50 @@ pub fn node_seeds<R: Rng + ?Sized>(hierarchy: &Hierarchy, rng: &mut R) -> Vec<u6
     (0..hierarchy.num_nodes()).map(|_| rng.gen()).collect()
 }
 
+/// Partitions the hierarchy into estimation tasks: one task per node
+/// at the chosen split level (that node plus all its descendants), and
+/// one task for everything above the split level. The split level is
+/// the shallowest level with at least `min_tasks` nodes (when the tree
+/// allows it), so an executor wanting `t` concurrent lanes passes
+/// `min_tasks = 2 * t` and gets enough slack for load balancing.
+///
+/// Tasks only *group* nodes — every node appears in exactly one task,
+/// and estimating a task's nodes with their own [`node_seeds`]-derived
+/// RNG streams stays bit-identical to the serial release no matter
+/// which executor runs which task, in whatever order.
+pub fn subtree_tasks(hierarchy: &Hierarchy, min_tasks: usize) -> Vec<Vec<NodeId>> {
+    let levels = hierarchy.num_levels();
+    let want = min_tasks.max(1);
+    let split = (0..levels)
+        .find(|&l| hierarchy.level(l).len() >= want)
+        .unwrap_or(levels - 1);
+    let mut tasks: Vec<Vec<NodeId>> = Vec::new();
+    for &root in hierarchy.level(split) {
+        // The subtree rooted at `root`, depth-first.
+        let mut nodes = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            nodes.push(n);
+            stack.extend_from_slice(hierarchy.children(n));
+        }
+        tasks.push(nodes);
+    }
+    if split > 0 {
+        let above: Vec<NodeId> = (0..split)
+            .flat_map(|l| hierarchy.level(l).to_vec())
+            .collect();
+        tasks.push(above);
+    }
+    tasks
+}
+
 /// Estimates one node with its own seeded RNG stream, reusing the
 /// worker's scratch buffers. The per-node RNG makes the estimate
-/// independent of which worker (and hence which workspace) runs it.
-fn estimate_node(
+/// independent of which worker (and hence which workspace) runs it —
+/// this is the single node-estimation entry point shared by
+/// [`top_down_release`] and external executors like the `hcc-engine`
+/// work-stealing scheduler.
+pub fn estimate_node(
     hierarchy: &Hierarchy,
     data: &HierarchicalCounts,
     cfg: &TopDownConfig,
@@ -653,6 +693,24 @@ mod parallel_tests {
 
         let err = top_down_from_estimates(&h, &cfg, Vec::new()).unwrap_err();
         assert!(matches!(err, ConsistencyError::WrongNodeCount { .. }));
+    }
+
+    #[test]
+    fn subtree_tasks_cover_every_node_exactly_once() {
+        let (h, _) = data();
+        for min_tasks in [1, 2, 8, 64] {
+            let tasks = subtree_tasks(&h, min_tasks);
+            let mut seen = vec![0usize; h.num_nodes()];
+            for task in &tasks {
+                for &n in task {
+                    seen[n.index()] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "min_tasks={min_tasks}: {seen:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The release engine: a bounded job queue drained by a hand-rolled
-//! `std::thread` worker pool, fronted by the result cache.
+//! The release engine: a bounded job queue drained by one engine-wide
+//! work-stealing worker pool, fronted by the result cache.
 //!
 //! Lifecycle of a job:
 //!
@@ -12,38 +12,56 @@
 //!
 //! [`Engine::submit`] consults the [`ResultCache`] by request
 //! fingerprint first, so hits complete at submission without touching
-//! the queue. Workers pop the misses FIFO, re-check the cache (an
-//! identical job may have finished in the meantime), and run the
-//! subtree-parallel release ([`parallel_release_pooled`], drawing warm
-//! estimation workspaces from the engine's pool). Waiters block on
-//! a condvar rather than polling. Dropping the engine finishes every
-//! queued job, then joins the pool.
+//! the queue. Execution is a single level of parallelism: a worker
+//! with nothing to run pops the next queued job, re-checks the cache
+//! (an identical job may have finished in the meantime), and *expands*
+//! it into node-level subtree tasks pushed onto its own deque
+//! ([`crate::scheduler`]); all workers pop their own deque LIFO and
+//! steal FIFO from the others, interleaving tasks from every in-flight
+//! job. Each worker permanently owns one [`EstimatorWorkspace`], so
+//! the node-task hot path takes no pool lock — and neither the result
+//! cache nor the prepared-dataset registry sits on it (each lives
+//! behind its own mutex, touched only at job granularity). Jobs are
+//! only expanded when the task pool is dry, which keeps the number of
+//! concurrently-active working sets near the core count instead of
+//! the queue depth. Waiters block on a condvar rather than polling.
+//! Dropping the engine finishes every queued job, then joins the pool.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
-use hcc_consistency::{to_csv, HierarchicalCounts, TopDownConfig};
+use hcc_consistency::{
+    estimate_node, to_csv, top_down_from_estimates, ConsistencyError, HierarchicalCounts,
+    TopDownConfig,
+};
+use hcc_estimators::EstimatorWorkspace;
 use hcc_hierarchy::Hierarchy;
 
-use hcc_estimators::WorkspacePool;
-
 use crate::cache::ResultCache;
-use crate::exec::parallel_release_pooled;
-use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint};
+use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 use crate::registry::{DatasetHandle, DatasetRegistry};
+use crate::scheduler::{ActiveJob, ComputeGate, NodeTask, TaskDeques};
 
 /// Sizing knobs for [`Engine::start`].
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Worker threads draining the job queue (jobs run concurrently).
+    /// Worker threads in the engine-wide work-stealing pool. This is
+    /// the engine's *only* parallelism: releases decompose into node
+    /// tasks drained by these workers, with no per-job thread spawns.
     pub workers: usize,
-    /// Scoped threads each worker uses *inside* one release for
-    /// subtree-level parallelism (see [`crate::parallel_release`]).
-    pub threads_per_job: usize,
+    /// How many workers may run node tasks *simultaneously* —
+    /// `None` (the default) means `min(workers, available
+    /// parallelism)`. Worker threads beyond this limit still pop,
+    /// steal, and expand jobs; they just wait their turn at the
+    /// compute gate, so oversubscribed worker counts add scheduling
+    /// diversity without time-slicing more estimation working sets
+    /// through the caches than the cores can hold. Tests force full
+    /// oversubscription contention with
+    /// [`EngineConfig::with_active_limit`]`(workers)`.
+    pub active_limit: Option<usize>,
     /// Bounded queue capacity; [`Engine::submit`] returns
     /// [`EngineError::QueueFull`] beyond it.
     pub queue_capacity: usize,
@@ -65,7 +83,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             workers: 2,
-            threads_per_job: 1,
+            active_limit: None,
             queue_capacity: 64,
             cache_capacity: 32,
             retained_jobs: 1024,
@@ -82,11 +100,22 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the intra-release subtree parallelism.
-    pub fn with_threads_per_job(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one thread per job");
-        self.threads_per_job = threads;
+    /// Caps how many workers compute simultaneously (see
+    /// [`EngineConfig::active_limit`]).
+    pub fn with_active_limit(mut self, limit: usize) -> Self {
+        assert!(limit >= 1, "active limit must be at least 1");
+        self.active_limit = Some(limit);
         self
+    }
+
+    /// The effective compute-gate width: the configured
+    /// [`EngineConfig::active_limit`], or `min(workers, available
+    /// parallelism)` when unset.
+    pub fn effective_active_limit(&self) -> usize {
+        self.active_limit.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map_or(self.workers, |n| n.get());
+            self.workers.min(cores).max(1)
+        })
     }
 
     /// Sets the bounded queue capacity.
@@ -135,6 +164,11 @@ pub struct EngineStats {
     pub prepared: u64,
     /// `DERIVE`/`APPEND` calls accepted.
     pub derived: u64,
+    /// Node-level subtree tasks executed by the work-stealing pool.
+    pub tasks_executed: u64,
+    /// Tasks a worker stole from another worker's deque (a subset of
+    /// `tasks_executed`; high ratios mean the pool is load-balancing).
+    pub tasks_stolen: u64,
 }
 
 struct QueuedJob {
@@ -142,7 +176,7 @@ struct QueuedJob {
     request: ReleaseRequest,
     /// Precomputed at submission (None when caching is disabled) so
     /// workers never re-hash the request.
-    key: Option<crate::fingerprint::Fingerprint>,
+    key: Option<Fingerprint>,
 }
 
 #[derive(Default)]
@@ -154,6 +188,8 @@ struct Counters {
     cache_misses: AtomicU64,
     prepared: AtomicU64,
     derived: AtomicU64,
+    tasks_executed: AtomicU64,
+    tasks_stolen: AtomicU64,
 }
 
 struct State {
@@ -161,10 +197,7 @@ struct State {
     jobs: HashMap<JobId, JobStatus>,
     /// Finished job ids, oldest first; bounds `jobs` growth.
     finished: VecDeque<JobId>,
-    cache: ResultCache,
-    registry: DatasetRegistry,
     next_id: u64,
-    shutting_down: bool,
 }
 
 impl State {
@@ -183,18 +216,33 @@ impl State {
 
 struct Shared {
     state: Mutex<State>,
-    /// Signalled when a job is queued or the engine shuts down.
+    /// Signalled when a job is queued, a job's tasks enter the pool,
+    /// or the engine shuts down.
+    ///
+    /// Lost-wakeup protocol: a worker only sleeps after observing, in
+    /// one critical section of `state`, that the queue is empty *and*
+    /// [`TaskDeques::pending`] is zero; every pusher makes its work
+    /// visible first, then passes through the `state` lock before
+    /// notifying. A pusher racing a would-be sleeper therefore either
+    /// publishes before the sleeper's check, or notifies after the
+    /// sleeper is parked on the condvar.
     work: Condvar,
     /// Signalled when any job reaches Done/Failed.
     done: Condvar,
+    /// Completed releases by request fingerprint. Its own lock, off
+    /// the node-task path: touched once per job at expansion (hit
+    /// re-check) and once at finalisation (insert), never per task.
+    cache: Mutex<ResultCache>,
+    /// Prepared datasets. Its own lock for the same reason — handle
+    /// resolution at submission never contends with running tasks.
+    registry: Mutex<DatasetRegistry>,
+    /// The engine-wide work-stealing task pool.
+    deques: TaskDeques,
+    /// Caps simultaneous compute (see [`EngineConfig::active_limit`]).
+    gate: ComputeGate,
+    shutting_down: AtomicBool,
     counters: Counters,
     config: EngineConfig,
-    /// Warm estimation workspaces shared across jobs: each release
-    /// checks out one workspace per intra-job thread and restores it,
-    /// so the pool tops out at `workers × threads_per_job` and the
-    /// per-node scratch buffers stop hitting the allocator once the
-    /// engine has served its first few jobs.
-    workspaces: WorkspacePool,
 }
 
 /// A long-running release service: submit jobs, poll or block on
@@ -235,23 +283,24 @@ impl Engine {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 finished: VecDeque::new(),
-                cache: ResultCache::new(config.cache_capacity),
-                registry: DatasetRegistry::new(config.prepared_capacity),
                 next_id: 0,
-                shutting_down: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            registry: Mutex::new(DatasetRegistry::new(config.prepared_capacity)),
+            deques: TaskDeques::new(config.workers),
+            gate: ComputeGate::new(config.effective_active_limit()),
+            shutting_down: AtomicBool::new(false),
             counters: Counters::default(),
             config: config.clone(),
-            workspaces: WorkspacePool::new(),
         });
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("hcc-engine-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawning engine worker")
             })
             .collect();
@@ -275,8 +324,7 @@ impl Engine {
                 request.seed,
             )
         });
-        let state = self.lock();
-        self.enqueue(state, request, key)
+        self.admit(request, key)
     }
 
     /// Registers a dataset in the prepared registry, returning its
@@ -293,11 +341,10 @@ impl Engine {
         // The content digest is the expensive part; compute it before
         // taking the lock.
         let handle = DatasetHandle(dataset_fingerprint(&hierarchy, &data));
-        let mut state = self.lock();
-        if state.shutting_down {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        state.registry.insert(handle, hierarchy, data)?;
+        self.registry().insert(handle, hierarchy, data)?;
         self.shared
             .counters
             .prepared
@@ -310,7 +357,7 @@ impl Engine {
     /// held. In-flight jobs keep their `Arc`s, so unpreparing never
     /// invalidates running work.
     pub fn unprepare(&self, handle: DatasetHandle) -> Result<u64, EngineError> {
-        self.lock().registry.release(handle)
+        self.registry().release(handle)
     }
 
     /// Registers the dataset obtained by applying `delta` to the
@@ -345,26 +392,20 @@ impl Engine {
         // Resolve under the lock; clone, apply, and re-digest outside
         // it (the clone is the only O(dataset) step and must not
         // stall every submitter).
-        let (hierarchy, data) = {
-            let mut state = self.lock();
-            if state.shutting_down {
-                return Err(EngineError::ShuttingDown);
-            }
-            state.registry.get(parent)?
-        };
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(EngineError::ShuttingDown);
+        }
+        let (hierarchy, data) = self.registry().get(parent)?;
         let mut derived = (*data).clone();
         delta
             .apply_to(&hierarchy, &mut derived)
             .map_err(|e| EngineError::BadDelta(e.to_string()))?;
         let handle = DatasetHandle(dataset_fingerprint(&hierarchy, &derived));
-        let mut state = self.lock();
-        if state.shutting_down {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        state
-            .registry
+        self.registry()
             .insert(handle, hierarchy, Arc::new(derived))?;
-        drop(state);
         self.shared.counters.derived.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
@@ -391,7 +432,7 @@ impl Engine {
 
     /// Number of datasets currently held by the prepared registry.
     pub fn prepared_len(&self) -> usize {
-        self.lock().registry.len()
+        self.registry().len()
     }
 
     /// Enqueues a release of a prepared dataset. Equivalent to
@@ -406,27 +447,32 @@ impl Engine {
         config: TopDownConfig,
         seed: u64,
     ) -> Result<JobId, EngineError> {
-        let mut state = self.lock();
-        let (hierarchy, data) = state.registry.get(handle)?;
+        // Resolution holds only the registry lock; the job keeps its
+        // `Arc`s from here on, so a concurrent unprepare/eviction
+        // can't invalidate the submission being admitted.
+        let (hierarchy, data) = self.registry().get(handle)?;
         let key = (self.shared.config.cache_capacity > 0)
             .then(|| request_fingerprint(handle.0, hierarchy.num_levels(), &config, seed));
-        let request = ReleaseRequest::new(hierarchy, data, config, seed);
-        self.enqueue(state, request, key)
+        self.admit(ReleaseRequest::new(hierarchy, data, config, seed), key)
     }
 
     /// The shared back half of submission: consult the cache, then
-    /// enqueue. Takes the already-held state lock so handle
-    /// resolution and enqueueing are atomic.
-    fn enqueue(
+    /// enqueue.
+    fn admit(
         &self,
-        mut state: std::sync::MutexGuard<'_, State>,
         request: ReleaseRequest,
-        key: Option<crate::fingerprint::Fingerprint>,
+        key: Option<Fingerprint>,
     ) -> Result<JobId, EngineError> {
-        if state.shutting_down {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        if let Some(result) = key.and_then(|k| state.cache.get(k)) {
+        // Cache consultation takes only the cache lock; a racing
+        // identical submission at worst enqueues twice, and the
+        // worker-side re-check at expansion serves the second from
+        // the cache anyway.
+        let cached = key.and_then(|k| self.cache().get(k));
+        let mut state = self.lock();
+        if let Some(result) = cached {
             let id = JobId(state.next_id);
             state.next_id += 1;
             state.finish(
@@ -458,6 +504,7 @@ impl Engine {
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        drop(state);
         self.shared.work.notify_one();
         Ok(id)
     }
@@ -500,6 +547,8 @@ impl Engine {
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             prepared: c.prepared.load(Ordering::Relaxed),
             derived: c.derived.load(Ordering::Relaxed),
+            tasks_executed: c.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: c.tasks_stolen.load(Ordering::Relaxed),
         }
     }
 
@@ -522,18 +571,35 @@ impl Engine {
     }
 
     fn shutdown_inner(&mut self) {
-        self.lock().shutting_down = true;
+        self.shared.shutting_down.store(true, Ordering::Release);
+        // Pass through the state lock before notifying so a worker
+        // between its sleep-check and its wait can't miss the signal.
+        drop(self.lock());
         self.shared.work.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+    fn lock(&self) -> MutexGuard<'_, State> {
         self.shared
             .state
             .lock()
             .expect("engine state lock poisoned")
+    }
+
+    fn cache(&self) -> MutexGuard<'_, ResultCache> {
+        self.shared
+            .cache
+            .lock()
+            .expect("result cache lock poisoned")
+    }
+
+    fn registry(&self) -> MutexGuard<'_, DatasetRegistry> {
+        self.shared
+            .registry
+            .lock()
+            .expect("dataset registry lock poisoned")
     }
 }
 
@@ -543,100 +609,202 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, me: usize) {
+    // Permanently owned workspace: scratch buffers stay warm across
+    // every task this worker ever runs, with no pool lock on the hot
+    // path. Which workspace estimates which node never matters —
+    // buffers are fully overwritten per node and each node draws from
+    // its own seeded RNG stream.
+    let mut ws = EstimatorWorkspace::new();
     loop {
-        let QueuedJob { id, request, key } = {
+        // Hot path: own deque first (LIFO), then steal (FIFO). The
+        // compute gate is taken *after* claiming a task: claiming is
+        // cheap, and a claimed task is guaranteed to run, so waiting
+        // at the gate can't strand work.
+        if let Some(task) = shared.deques.pop(me) {
+            shared.gate.acquire();
+            run_task(shared, &task, &mut ws);
+            shared.gate.release();
+            continue;
+        }
+        if let Some(task) = shared.deques.steal(me) {
+            shared.counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+            shared.gate.acquire();
+            run_task(shared, &task, &mut ws);
+            shared.gate.release();
+            continue;
+        }
+        // No runnable task anywhere: expand the next queued job, or
+        // sleep until there is something to do. Expanding lazily —
+        // only when the task pool is dry — keeps jobs flowing
+        // depth-first: workers help finish in-flight releases before
+        // admitting new working sets.
+        let next = {
             let mut state = shared.state.lock().expect("engine state lock poisoned");
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.jobs.insert(job.id, JobStatus::Running);
-                    break job;
+                    break Some(job);
                 }
-                if state.shutting_down {
+                if shared.deques.pending() > 0 {
+                    // Tasks appeared while we were taking the lock.
+                    break None;
+                }
+                if shared.shutting_down.load(Ordering::Acquire) {
                     return;
                 }
                 state = shared.work.wait(state).expect("engine state lock poisoned");
             }
         };
+        if let Some(job) = next {
+            expand_job(shared, me, job);
+        }
+    }
+}
 
-        // Submission missed the cache, but an identical job may have
-        // completed while this one sat in the queue — re-check.
-        let cached = key.and_then(|k| {
-            shared
-                .state
-                .lock()
-                .expect("engine state lock poisoned")
-                .cache
-                .get(k)
-        });
+/// Turns a queued job into node tasks on `me`'s deque (or finishes it
+/// straight away on a late cache hit / invalid hierarchy).
+fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
+    let QueuedJob { id, request, key } = job;
+    // Submission missed the cache, but an identical job may have
+    // completed while this one sat in the queue — re-check before
+    // paying for a release.
+    let cached = key.and_then(|k| {
+        shared
+            .cache
+            .lock()
+            .expect("result cache lock poisoned")
+            .get(k)
+    });
+    if let Some(result) = cached {
+        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        finish_job(
+            shared,
+            id,
+            Ok(JobStatus::Done {
+                result,
+                from_cache: true,
+            }),
+        );
+        return;
+    }
+    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    if !request.hierarchy.is_uniform_depth() {
+        finish_job(
+            shared,
+            id,
+            Err(ConsistencyError::NotUniformDepth.to_string()),
+        );
+        return;
+    }
+    let job = Arc::new(ActiveJob::new(id, request, key, shared.config.workers));
+    shared.deques.push_job(me, &job);
+    // Lock-then-notify (see the `work` field docs) so sleepy workers
+    // can't miss these tasks.
+    drop(shared.state.lock().expect("engine state lock poisoned"));
+    shared.work.notify_all();
+}
 
-        let outcome = match cached {
-            Some(result) => {
-                shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                Ok((result, true))
-            }
-            None => {
-                shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let started = Instant::now();
-                // A panicking release (degenerate budget, estimator
-                // assert) must fail the *job*, not kill the worker: an
-                // unwound worker would shrink the pool and strand the
-                // job in Running, hanging every waiter on it.
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    // The CSV serialisation stays inside the guard
-                    // too — any panic past this point must become a
-                    // Failed job, never a dead worker.
-                    parallel_release_pooled(
+/// Runs one node task; the worker finishing a job's last task also
+/// runs the deterministic top-down phase and publishes the result.
+fn run_task(shared: &Shared, task: &NodeTask, ws: &mut EstimatorWorkspace) {
+    let job = &task.job;
+    if !job.is_cancelled() {
+        // A panicking estimator (degenerate budget, internal assert)
+        // must fail its *job*, not kill the worker: an unwound worker
+        // would shrink the pool and strand jobs in Running, hanging
+        // every waiter. Reusing `ws` after an unwind is sound — its
+        // buffers are fully overwritten per node.
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let request = &job.request;
+            job.tasks[task.index]
+                .iter()
+                .map(|&node| {
+                    let estimate = estimate_node(
                         &request.hierarchy,
                         &request.data,
                         &request.config,
-                        request.seed,
-                        shared.config.threads_per_job,
-                        &shared.workspaces,
-                    )
-                    .map(|release| {
-                        let csv = to_csv(&request.hierarchy, &release);
-                        let rows = csv.lines().count().saturating_sub(1);
-                        Arc::new(ReleaseResult {
-                            csv,
-                            rows,
-                            compute_time: started.elapsed(),
-                        })
-                    })
-                }))
-                .map_err(|panic| {
-                    panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                        job.eps_level,
+                        node,
+                        job.seeds[node.index()],
+                        ws,
+                    );
+                    (node.index(), estimate)
                 })
-                .and_then(|computed| computed.map_err(|e| e.to_string()))
-                .map(|result| (result, false))
-            }
-        };
-
-        let mut state = shared.state.lock().expect("engine state lock poisoned");
-        match outcome {
-            Ok((result, from_cache)) => {
-                if let (Some(key), false) = (key, from_cache) {
-                    state.cache.insert(key, Arc::clone(&result));
-                }
-                state.finish(
-                    id,
-                    JobStatus::Done { result, from_cache },
-                    shared.config.retained_jobs,
-                );
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(msg) => {
-                state.finish(id, JobStatus::Failed(msg), shared.config.retained_jobs);
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-            }
+                .collect::<Vec<_>>()
+        }));
+        match computed {
+            Ok(results) => job.store(results),
+            Err(panic) => job.record_failure(panic_message(panic)),
         }
-        drop(state);
-        shared.done.notify_all();
     }
+    shared
+        .counters
+        .tasks_executed
+        .fetch_add(1, Ordering::Relaxed);
+    if job.finish_task() {
+        finalize_job(shared, job);
+    }
+}
+
+/// The post-estimation half of a job: deterministic matching/merging,
+/// CSV serialisation, cache insert, status publication.
+fn finalize_job(shared: &Shared, job: &ActiveJob) {
+    let outcome = job.take_outcome().and_then(|estimates| {
+        // The top-down phase and the CSV serialisation stay inside a
+        // guard too — any panic past this point must become a Failed
+        // job, never a dead worker.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            top_down_from_estimates(&job.request.hierarchy, &job.request.config, estimates)
+                .map(|release| {
+                    let csv = to_csv(&job.request.hierarchy, &release);
+                    let rows = csv.lines().count().saturating_sub(1);
+                    Arc::new(ReleaseResult {
+                        csv,
+                        rows,
+                        compute_time: job.started.elapsed(),
+                    })
+                })
+                .map_err(|e| e.to_string())
+        }))
+        .map_err(panic_message)
+        .and_then(|computed| computed)
+    });
+    let status = outcome.map(|result| {
+        if let Some(key) = job.key {
+            shared
+                .cache
+                .lock()
+                .expect("result cache lock poisoned")
+                .insert(key, Arc::clone(&result));
+        }
+        JobStatus::Done {
+            result,
+            from_cache: false,
+        }
+    });
+    finish_job(shared, job.id, status);
+}
+
+/// Publishes a terminal status and wakes waiters.
+fn finish_job(shared: &Shared, id: JobId, status: Result<JobStatus, String>) {
+    let (status, counter) = match status {
+        Ok(status) => (status, &shared.counters.completed),
+        Err(msg) => (JobStatus::Failed(msg), &shared.counters.failed),
+    };
+    let mut state = shared.state.lock().expect("engine state lock poisoned");
+    state.finish(id, status, shared.config.retained_jobs);
+    counter.fetch_add(1, Ordering::Relaxed);
+    drop(state);
+    shared.done.notify_all();
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -716,7 +884,6 @@ mod tests {
         let engine = Engine::start(
             EngineConfig::default()
                 .with_workers(4)
-                .with_threads_per_job(2)
                 .with_cache_capacity(0),
         );
         let ids: Vec<JobId> = (0..16)
@@ -730,6 +897,16 @@ mod tests {
                 top_down_release(&req.hierarchy, &req.data, &req.config, &mut rng).unwrap();
             assert_eq!(result.csv, to_csv(&req.hierarchy, &direct), "seed {seed}");
         }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 16);
+        assert!(
+            stats.tasks_executed >= 16,
+            "every job decomposes into at least one task: {stats:?}"
+        );
+        assert!(
+            stats.tasks_stolen <= stats.tasks_executed,
+            "steals are a subset of executions: {stats:?}"
+        );
     }
 
     #[test]
@@ -1059,5 +1236,49 @@ mod tests {
             engine.submit(request(0)),
             Err(EngineError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn ragged_hierarchy_fails_the_job_with_a_typed_message() {
+        // A ragged hierarchy can't carry its own HierarchicalCounts,
+        // but a request can (wrongly) pair one with data built from a
+        // *different* uniform hierarchy of equal node count — the
+        // expansion-time guard must fail the job, not panic a worker.
+        let mut b = HierarchyBuilder::new("r");
+        let mid = b.add_child(Hierarchy::ROOT, "mid");
+        let _deep = b.add_child(mid, "deep");
+        let _shallow = b.add_child(Hierarchy::ROOT, "shallow");
+        let ragged = Arc::new(b.build());
+        let mut b = HierarchyBuilder::new("u");
+        let leaves: Vec<_> = (0..3)
+            .map(|i| b.add_child(Hierarchy::ROOT, format!("l{i}")))
+            .collect();
+        let uniform = b.build();
+        assert_eq!(uniform.num_nodes(), ragged.num_nodes());
+        let data = Arc::new(
+            HierarchicalCounts::from_leaves(
+                &uniform,
+                leaves
+                    .iter()
+                    .map(|&l| (l, CountOfCounts::from_group_sizes([1, 2])))
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let engine = Engine::start(EngineConfig::default().with_workers(2));
+        let id = engine
+            .submit(ReleaseRequest::new(
+                ragged,
+                data,
+                TopDownConfig::new(1.0),
+                1,
+            ))
+            .unwrap();
+        match engine.wait(id) {
+            Err(EngineError::JobFailed(msg)) => {
+                assert!(msg.contains("deepest level"), "{msg}");
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
     }
 }

@@ -33,43 +33,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hcc_consistency::{
-    node_seeds, top_down_from_estimates, ConsistencyError, HierarchicalCounts, TopDownConfig,
+    estimate_node, node_seeds, subtree_tasks, top_down_from_estimates, ConsistencyError,
+    HierarchicalCounts, TopDownConfig,
 };
 use hcc_estimators::{EstimatorWorkspace, NodeEstimate, WorkspacePool};
 use hcc_hierarchy::{Hierarchy, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Partitions the hierarchy into estimation tasks: one task per node
-/// at the chosen split level (that node plus all its descendants), and
-/// one task for everything above the split level. The split level is
-/// the shallowest level wide enough to keep `threads` workers busy
-/// (at least two tasks per worker when the tree allows it).
-fn subtree_tasks(hierarchy: &Hierarchy, threads: usize) -> Vec<Vec<NodeId>> {
-    let levels = hierarchy.num_levels();
-    let want = 2 * threads.max(1);
-    let split = (0..levels)
-        .find(|&l| hierarchy.level(l).len() >= want)
-        .unwrap_or(levels - 1);
-    let mut tasks: Vec<Vec<NodeId>> = Vec::new();
-    for &root in hierarchy.level(split) {
-        // The subtree rooted at `root`, depth-first.
-        let mut nodes = Vec::new();
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
-            nodes.push(n);
-            stack.extend_from_slice(hierarchy.children(n));
-        }
-        tasks.push(nodes);
-    }
-    if split > 0 {
-        let above: Vec<NodeId> = (0..split)
-            .flat_map(|l| hierarchy.level(l).to_vec())
-            .collect();
-        tasks.push(above);
-    }
-    tasks
-}
 
 /// Runs the full top-down release with subtree-level parallelism on
 /// `threads` scoped worker threads pulling tasks from a shared queue.
@@ -115,10 +85,15 @@ pub fn parallel_release_pooled(
     let n = hierarchy.num_nodes();
 
     let estimate = |node: NodeId, ws: &mut EstimatorWorkspace| -> NodeEstimate {
-        let method = cfg.method_for_level(hierarchy.level_of(node));
-        let h = data.node(node);
-        let mut rng = StdRng::seed_from_u64(seeds[node.index()]);
-        method.estimate_in(h, h.num_groups(), eps_level, &mut rng, ws)
+        estimate_node(
+            hierarchy,
+            data,
+            cfg,
+            eps_level,
+            node,
+            seeds[node.index()],
+            ws,
+        )
     };
 
     let estimates: Vec<NodeEstimate> = if threads <= 1 {
@@ -130,7 +105,8 @@ pub fn parallel_release_pooled(
         pool.restore(ws);
         out
     } else {
-        let tasks = subtree_tasks(hierarchy, threads);
+        // Twice as many tasks as threads: slack for load balancing.
+        let tasks = subtree_tasks(hierarchy, 2 * threads.max(1));
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<NodeEstimate>>> = Mutex::new(vec![None; n]);
         std::thread::scope(|scope| {
@@ -200,21 +176,6 @@ mod tests {
         )
         .unwrap();
         (h, data)
-    }
-
-    #[test]
-    fn tasks_cover_every_node_exactly_once() {
-        let (h, _) = deep_data();
-        for threads in [1, 2, 4, 16] {
-            let tasks = subtree_tasks(&h, threads);
-            let mut seen = vec![0usize; h.num_nodes()];
-            for task in &tasks {
-                for &n in task {
-                    seen[n.index()] += 1;
-                }
-            }
-            assert!(seen.iter().all(|&c| c == 1), "threads={threads}: {seen:?}");
-        }
     }
 
     #[test]

@@ -8,17 +8,26 @@
 //! repeated requests for the same table. The engine provides the
 //! missing execution layer:
 //!
-//! * **[`exec`]** — subtree-level parallelism: per-node estimates are
-//!   embarrassingly parallel (sibling regions hold disjoint groups),
-//!   so a hand-rolled work queue of subtree tasks drained by scoped
-//!   `std::thread` workers computes them concurrently. Per-node RNG
+//! * **[`Engine`]** — a job API: [`Engine::submit`] enqueues a
+//!   [`ReleaseRequest`] into a bounded queue drained by one
+//!   engine-wide **work-stealing worker pool**. Per-node estimates
+//!   are embarrassingly parallel (sibling regions hold disjoint
+//!   groups), so each job expands into node-level subtree tasks
+//!   ([`hcc_consistency::subtree_tasks`]) interleaved across *all*
+//!   in-flight jobs: workers pop their own deque LIFO and steal FIFO
+//!   from the others, each permanently owning one estimation
+//!   workspace — one level of parallelism, sized once by
+//!   [`EngineConfig::workers`], with no per-job thread spawns and no
+//!   shared-pool lock on the node-task hot path. Per-node RNG
 //!   streams are derived deterministically from the master seed
 //!   ([`hcc_consistency::node_seeds`]), so the released bytes are
 //!   **identical for every worker count** — parallelism is purely an
 //!   execution concern, never a statistical one.
-//! * **[`Engine`]** — a job API: [`Engine::submit`] enqueues a
-//!   [`ReleaseRequest`] into a bounded queue drained by a configurable
-//!   worker pool; [`Engine::status`] polls, [`Engine::wait`] blocks.
+//!   [`Engine::status`] polls, [`Engine::wait`] blocks.
+//! * **[`exec`]** — the same subtree decomposition as a standalone
+//!   one-shot call ([`parallel_release`]) on scoped `std::thread`
+//!   workers, for callers that want parallel releases without booting
+//!   an engine.
 //! * **[`cache`]** — an LRU result cache keyed by a 128-bit
 //!   fingerprint of (hierarchy, data, config, seed), with hit/miss
 //!   counters. A release is a pure function of its fingerprint, so
@@ -56,6 +65,7 @@ pub mod fingerprint;
 mod job;
 pub mod protocol;
 pub mod registry;
+mod scheduler;
 mod server;
 
 pub use client::{Client, FetchedRelease};

@@ -223,7 +223,7 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                     writer,
                     "STATS workers={} queued={} submitted={} completed={} failed={} \
                      cache_hits={} cache_misses={} prepared={} derived={} \
-                     prepared_datasets={}",
+                     prepared_datasets={} tasks_executed={} tasks_stolen={}",
                     engine.config().workers,
                     engine.queue_len(),
                     s.submitted,
@@ -233,7 +233,9 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                     s.cache_misses,
                     s.prepared,
                     s.derived,
-                    engine.prepared_len()
+                    engine.prepared_len(),
+                    s.tasks_executed,
+                    s.tasks_stolen
                 )?;
             }
             "SUBMIT" => match read_submit(engine, &mut reader, tail) {

@@ -1,18 +1,28 @@
-//! Golden bit-identity suite for the estimation hot path.
+//! Golden bit-identity suite for the estimation hot path and the
+//! engine's work-stealing scheduler.
 //!
 //! The PR-5 workspace/flat-PAV/batched-noise optimizations must not
-//! change a single released byte: for three fixed seeds × {Hc, Hg} ×
-//! {1, 4} threads, the release CSV must hash to the value captured
-//! from `top_down_release` **before** the refactor (the seed-style
+//! change a single released byte: for three fixed seeds × {Hc, Hg},
+//! the release CSV must hash to the value captured from
+//! `top_down_release` **before** the refactor (the seed-style
 //! per-node-allocation pipeline). A changed hash here means an
 //! optimization altered the RNG draw order or the post-processing
 //! arithmetic — a correctness bug, not a perf regression.
+//!
+//! The engine layer extends the same pin across scheduling: single
+//! jobs and 8-job batches through [`Engine`] at {1, 2, 4, 8} workers
+//! (full oversubscription contention forced via
+//! `with_active_limit(workers)`) must reproduce the identical hashes,
+//! making "bit-identical under stealing" a checked invariant. CI also
+//! runs the suite pinned to one worker count per lane via
+//! `HCC_SCHED_WORKERS`, so races that only reproduce under a
+//! particular contention level get their own run.
 
 use std::sync::Arc;
 
 use hcc_consistency::{to_csv, top_down_release, HierarchicalCounts, LevelMethod, TopDownConfig};
 use hcc_core::CountOfCounts;
-use hcc_engine::parallel_release;
+use hcc_engine::{parallel_release, Engine, EngineConfig, ReleaseRequest};
 use hcc_hierarchy::{Hierarchy, HierarchyBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,6 +91,31 @@ fn method_for(name: &str) -> LevelMethod {
     }
 }
 
+/// Worker counts under test: all of {1, 2, 4, 8} by default, or the
+/// single count named by `HCC_SCHED_WORKERS` (the CI contention
+/// lanes).
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("HCC_SCHED_WORKERS") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("HCC_SCHED_WORKERS must be a positive integer")],
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// An engine whose scheduler really runs `workers`-way contention:
+/// the result cache is off (every submission must compute) and the
+/// compute gate is widened to `workers` so even a single-core host
+/// time-slices that many interleaved estimation working sets.
+fn contended_engine(workers: usize) -> Engine {
+    Engine::start(
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_active_limit(workers)
+            .with_cache_capacity(0),
+    )
+}
+
 #[test]
 fn release_csv_hashes_match_pre_refactor_goldens() {
     let (h, d) = dataset();
@@ -108,6 +143,93 @@ fn release_csv_hashes_match_pre_refactor_goldens() {
                 "seed {seed} method {method} threads {threads}: \
                  parallel_release diverged from the golden hash"
             );
+        }
+    }
+}
+
+/// Single jobs through the work-stealing engine: every worker count
+/// in {1, 2, 4, 8} must release the exact pre-refactor bytes for all
+/// 3 seeds × {Hc, Hg}. New coverage for this PR: the 2- and 8-worker
+/// columns, and the engine path itself (subtree tasks interleaved
+/// across per-worker deques instead of a per-job thread pool).
+#[test]
+fn engine_single_jobs_match_goldens_at_every_worker_count() {
+    let (h, d) = dataset();
+    for &workers in &worker_counts() {
+        let mut engine = contended_engine(workers);
+        for &(seed, method, want) in GOLDEN {
+            let cfg = TopDownConfig::new(1.0).with_method(method_for(method));
+            let id = engine
+                .submit(ReleaseRequest::new(
+                    Arc::clone(&h),
+                    Arc::clone(&d),
+                    cfg,
+                    seed,
+                ))
+                .unwrap();
+            let (result, _) = engine.wait(id).unwrap();
+            let got = fnv1a64(result.csv.as_bytes());
+            assert_eq!(
+                got, want,
+                "seed {seed} method {method} workers {workers}: engine \
+                 release diverged from the golden hash"
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+/// 8-job batches in flight at once: node tasks from all eight jobs
+/// interleave on the same deques (and get stolen across workers), yet
+/// each job's CSV must still hash to its serial value. Seeds 101-303
+/// are pinned by the golden table; 404-808 are checked against a live
+/// `top_down_release` oracle computed up front.
+#[test]
+fn engine_8_job_batches_match_goldens_at_every_worker_count() {
+    const BATCH_SEEDS: [u64; 8] = [101, 202, 303, 404, 505, 606, 707, 808];
+    let (h, d) = dataset();
+    for method in ["hc", "hg"] {
+        let cfg = TopDownConfig::new(1.0).with_method(method_for(method));
+        let want: Vec<u64> = BATCH_SEEDS
+            .iter()
+            .map(|&seed| {
+                GOLDEN
+                    .iter()
+                    .find(|&&(s, m, _)| s == seed && m == method)
+                    .map(|&(_, _, hash)| hash)
+                    .unwrap_or_else(|| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let rel = top_down_release(&h, &d, &cfg, &mut rng).unwrap();
+                        fnv1a64(to_csv(&h, &rel).as_bytes())
+                    })
+            })
+            .collect();
+        for &workers in &worker_counts() {
+            let mut engine = contended_engine(workers);
+            let ids: Vec<_> = BATCH_SEEDS
+                .iter()
+                .map(|&seed| {
+                    engine
+                        .submit(ReleaseRequest::new(
+                            Arc::clone(&h),
+                            Arc::clone(&d),
+                            cfg.clone(),
+                            seed,
+                        ))
+                        .unwrap()
+                })
+                .collect();
+            for (i, id) in ids.into_iter().enumerate() {
+                let (result, _) = engine.wait(id).unwrap();
+                let got = fnv1a64(result.csv.as_bytes());
+                assert_eq!(
+                    got, want[i],
+                    "seed {} method {method} workers {workers}: batched \
+                     engine release diverged from its serial hash",
+                    BATCH_SEEDS[i]
+                );
+            }
+            engine.shutdown();
         }
     }
 }

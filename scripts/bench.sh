@@ -4,25 +4,32 @@
 # the perf trajectory across PRs is machine-readable.
 #
 # Usage:
-#   scripts/bench.sh              # run benches, write BENCH_5.json
-#   scripts/bench.sh --smoke      # CI mode: compile the benches only
-#   PR=6 scripts/bench.sh         # write BENCH_6.json instead
+#   scripts/bench.sh              # run benches, write BENCH_6.json
+#   scripts/bench.sh --smoke      # CI mode: compile benches, run a
+#                                 # fast scaling curve, write nothing
+#   PR=7 scripts/bench.sh         # write BENCH_7.json instead
 #   REPS=5 scripts/bench.sh       # more release_hot_path repetitions
 #
 # The cheap release_hot_path bench runs REPS times (median per label);
-# the broader micro suite runs once. HCC_SEED pins the RNG stream the
-# release_hot_path bench draws from (default 0).
+# the broader micro suite and the engine scaling curve (8-job batch
+# wall time at 1/2/4/8 workers, `engine_scaling/jobs_batch8/<w>`)
+# run once. HCC_SEED pins the RNG stream the release_hot_path bench
+# draws from (default 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HCC_SEED="${HCC_SEED:-0}"
-PR="${PR:-5}"
+PR="${PR:-6}"
 OUT="BENCH_${PR}.json"
 REPS="${REPS:-3}"
 
 if [[ "${1:-}" == "--smoke" ]]; then
   cargo bench -p hcc-bench --no-run
-  echo "bench smoke OK (benches compile; none run)"
+  # Tiny scaling curve: proves the harness runs end-to-end without
+  # paying for the full measurement workload.
+  HCC_SCALING_SCALE=2e-6 HCC_SCALING_BOUND=500 HCC_SCALING_REPS=1 \
+    cargo run --release -q -p hcc-bench --bin scaling
+  echo "bench smoke OK (benches compile; scaling curve ran)"
   exit 0
 fi
 
@@ -33,6 +40,7 @@ for _ in $(seq "$REPS"); do
   cargo bench -p hcc-bench --bench release_hot_path | tee -a "$RAW"
 done
 cargo bench -p hcc-bench --bench micro | tee -a "$RAW"
+cargo run --release -q -p hcc-bench --bin scaling | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" <<'EOF'
 import json

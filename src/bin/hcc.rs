@@ -114,7 +114,7 @@ const USAGE: &str = "usage:
                [--bound N] [--seed N] [--threads N] --out F
   hcc stats    --hierarchy F --release F [--region NAME]
   hcc evaluate --hierarchy F --release F --truth F
-  hcc serve    --addr HOST:PORT [--threads N] [--job-threads N] [--queue N] [--cache N]
+  hcc serve    --addr HOST:PORT [--threads N] [--queue N] [--cache N]
                [--prepared N] [--read-timeout SECS (0 disables, default 30)]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
@@ -325,7 +325,15 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = required(opts, "addr")?;
     let default_workers = std::thread::available_parallelism().map_or(2, |n| n.get());
     let workers = threads_opt(opts, default_workers)?;
-    let job_threads: usize = parsed(opts, "job-threads", 1)?;
+    if opts.contains_key("job-threads") {
+        // The engine runs one work-stealing pool; there is no hidden
+        // per-job thread spawn left to size.
+        return Err(
+            "--job-threads was removed: the engine runs a single work-stealing pool \
+             sized by --threads/HCC_THREADS"
+                .into(),
+        );
+    }
     let queue: usize = parsed(opts, "queue", 64)?;
     let cache: usize = parsed(opts, "cache", 32)?;
     let prepared: usize = parsed(opts, "prepared", 16)?;
@@ -333,7 +341,6 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
-            .with_threads_per_job(job_threads.max(1))
             .with_queue_capacity(queue.max(1))
             .with_cache_capacity(cache)
             .with_prepared_capacity(prepared),

@@ -457,6 +457,64 @@ fn helpful_errors() {
     assert!(stderr.contains("nope.csv"), "stderr: {stderr}");
 }
 
+/// Worker-count plumbing: `--threads`/`HCC_THREADS` size the one
+/// engine-wide work-stealing pool. Zero is rejected everywhere, and
+/// the removed per-job `--job-threads` knob fails loudly instead of
+/// being silently ignored.
+#[test]
+fn thread_plumbing_rejects_zero_and_removed_job_threads() {
+    // serve: a zero-sized pool can make no progress.
+    let out = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("at least 1"), "stderr: {stderr}");
+
+    // serve: same via the environment fallback.
+    let out = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .env("HCC_THREADS", "0")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("at least 1"), "stderr: {stderr}");
+
+    // serve: --job-threads is gone (the engine runs ONE pool); the
+    // error says what replaced it.
+    let out = hcc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--job-threads", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("--job-threads was removed") && stderr.contains("work-stealing"),
+        "stderr: {stderr}"
+    );
+
+    // release: the estimator-parallelism knob rejects zero too (the
+    // tables must parse first, so give it a minimal valid dataset).
+    let dir = tmp_dir("zero_threads");
+    std::fs::write(dir.join("hierarchy.csv"), "region,parent\nroot,\nva,root\n").unwrap();
+    std::fs::write(dir.join("groups.csv"), "g1,va\n").unwrap();
+    std::fs::write(dir.join("entities.csv"), "e1,g1\n").unwrap();
+    let out = hcc()
+        .args(["release"])
+        .args(["--hierarchy", dir.join("hierarchy.csv").to_str().unwrap()])
+        .args(["--groups", dir.join("groups.csv").to_str().unwrap()])
+        .args(["--entities", dir.join("entities.csv").to_str().unwrap()])
+        .args(["--epsilon", "1", "--threads", "0"])
+        .args(["--out", dir.join("r.csv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("at least 1"), "stderr: {stderr}");
+}
+
 /// `--threads` changes only the execution schedule, never the bytes.
 #[test]
 fn release_is_thread_count_invariant() {

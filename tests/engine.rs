@@ -38,11 +38,7 @@ fn engine_multi_worker_release_is_byte_identical_to_direct_call() {
         )
     };
 
-    let engine = Engine::start(
-        EngineConfig::default()
-            .with_workers(4)
-            .with_threads_per_job(3),
-    );
+    let engine = Engine::start(EngineConfig::default().with_workers(4));
     let hierarchy = Arc::new(ds.hierarchy);
     let data = Arc::new(ds.data);
     for _ in 0..2 {

@@ -87,11 +87,7 @@ proptest! {
         }
 
         // The full engine (queue + pool + cache) on top.
-        let engine = Engine::start(
-            EngineConfig::default()
-                .with_workers(workers)
-                .with_threads_per_job(2),
-        );
+        let engine = Engine::start(EngineConfig::default().with_workers(workers));
         let id = engine
             .submit(ReleaseRequest::new(
                 Arc::new(h),

@@ -1,0 +1,200 @@
+//! Stress and fault-isolation suite for the engine-wide
+//! work-stealing scheduler.
+//!
+//! The engine runs ONE pool: node-level subtree tasks from every
+//! in-flight job share the per-worker deques, so a correctness bug in
+//! task interleaving, stealing, or cancellation shows up here as a
+//! wrong released byte or a poisoned worker. Two scenarios:
+//!
+//! - 32 mixed jobs (inline submissions, prepared-handle submissions,
+//!   and submissions against a handle DERIVE'd while earlier jobs are
+//!   still in flight) race through a 4-worker engine; each must match
+//!   a serial `top_down_release` oracle byte for byte.
+//! - A job whose estimator panics mid-subtree must fail alone:
+//!   concurrently interleaved jobs complete with correct bytes, the
+//!   panic text surfaces in the failed job's status, and the workers
+//!   survive to serve later submissions.
+
+use std::sync::Arc;
+
+use hccount::consistency::{to_csv, top_down_release, LevelMethod, TopDownConfig};
+use hccount::data::{Dataset, DatasetDelta, DatasetKind};
+use hccount::engine::{Engine, EngineConfig, EngineError, ReleaseRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serial single-threaded release of `ds` — the oracle every
+/// scheduled job is compared against.
+fn oracle(ds: &Dataset, cfg: &TopDownConfig, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    to_csv(
+        &ds.hierarchy,
+        &top_down_release(&ds.hierarchy, &ds.data, cfg, &mut rng).unwrap(),
+    )
+}
+
+/// A 4-worker engine with the cache off (every submission computes)
+/// and the compute gate widened to 4, so all four workers interleave
+/// even on a single-core host.
+fn engine() -> Engine {
+    Engine::start(
+        EngineConfig::default()
+            .with_workers(4)
+            .with_active_limit(4)
+            .with_cache_capacity(0),
+    )
+}
+
+fn method_for(i: usize) -> LevelMethod {
+    match i % 3 {
+        0 => LevelMethod::Cumulative { bound: 500 },
+        1 => LevelMethod::Unattributed,
+        _ => LevelMethod::Adaptive { bound: 500 },
+    }
+}
+
+/// Satellite: 32 mixed jobs under 4 workers, every result matching a
+/// serial-execution oracle. Job classes cycle through inline
+/// requests, prepared-handle requests, and (after job 16) requests
+/// against a handle derived mid-stream — so registry traffic, delta
+/// application, and node-task execution all contend at once.
+#[test]
+fn stress_32_mixed_jobs_match_serial_oracles_under_4_workers() {
+    let base = Dataset::generate(DatasetKind::Housing, 0.001, 5);
+    // A real ~1% resize delta, the same shape the derive bench uses.
+    let delta = DatasetDelta::resize_sample(&base, 100);
+    let post = base.apply_delta(&delta).unwrap();
+
+    let engine = engine();
+    let bh = Arc::new(base.hierarchy.clone());
+    let bd = Arc::new(base.data.clone());
+    let base_handle = engine.prepare(Arc::clone(&bh), Arc::clone(&bd)).unwrap();
+
+    let mut ids = Vec::new();
+    let mut expected = Vec::new();
+    let mut derived_handle = None;
+    for i in 0..32usize {
+        if i == 16 {
+            // Mid-stream DERIVE: earlier jobs are still in flight on
+            // the same deques while the registry mutates.
+            derived_handle = Some(engine.derive(base_handle, &delta).unwrap());
+        }
+        let cfg = TopDownConfig::new(0.5 + 0.25 * (i % 6) as f64).with_method(method_for(i));
+        let seed = 1000 + i as u64;
+        let (id, want) = match (i % 3, derived_handle) {
+            (0, _) => (
+                engine
+                    .submit(ReleaseRequest::new(
+                        Arc::clone(&bh),
+                        Arc::clone(&bd),
+                        cfg.clone(),
+                        seed,
+                    ))
+                    .unwrap(),
+                oracle(&base, &cfg, seed),
+            ),
+            (1, _) => (
+                engine
+                    .submit_prepared(base_handle, cfg.clone(), seed)
+                    .unwrap(),
+                oracle(&base, &cfg, seed),
+            ),
+            (_, Some(h)) => (
+                engine.submit_prepared(h, cfg.clone(), seed).unwrap(),
+                oracle(&post, &cfg, seed),
+            ),
+            (_, None) => (
+                // Before the derive exists, the third class submits the
+                // post-delta dataset inline — same oracle either way.
+                engine
+                    .submit(ReleaseRequest::new(
+                        Arc::new(post.hierarchy.clone()),
+                        Arc::new(post.data.clone()),
+                        cfg.clone(),
+                        seed,
+                    ))
+                    .unwrap(),
+                oracle(&post, &cfg, seed),
+            ),
+        };
+        ids.push(id);
+        expected.push(want);
+    }
+
+    for (i, id) in ids.into_iter().enumerate() {
+        let (result, from_cache) = engine.wait(id).unwrap();
+        assert!(!from_cache, "job {i}: cache is disabled");
+        assert_eq!(
+            result.csv, expected[i],
+            "job {i} diverged from its serial oracle"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.completed, stats.failed), (32, 0));
+    assert!(
+        stats.tasks_executed >= 32,
+        "every job expands into at least one node task; got {}",
+        stats.tasks_executed
+    );
+}
+
+/// Satellite: panic isolation. A job whose estimator panics
+/// mid-subtree (ε < 0 passes admission — the engine validates shape,
+/// not budget — and trips the mechanism's `epsilon must be positive`
+/// assertion inside a node task) fails alone. The good jobs
+/// sandwiching it interleave on the same deques and must complete
+/// with oracle-exact bytes, and the pool must survive to serve a
+/// submission made after the failure.
+#[test]
+fn panicking_job_fails_alone_while_interleaved_jobs_complete() {
+    let ds = Dataset::generate(DatasetKind::Housing, 0.001, 5);
+    let h = Arc::new(ds.hierarchy.clone());
+    let d = Arc::new(ds.data.clone());
+    let engine = engine();
+    let good_cfg = TopDownConfig::new(1.0).with_method(LevelMethod::Cumulative { bound: 500 });
+    let submit_good = |seed: u64| {
+        engine
+            .submit(ReleaseRequest::new(
+                Arc::clone(&h),
+                Arc::clone(&d),
+                good_cfg.clone(),
+                seed,
+            ))
+            .unwrap()
+    };
+
+    let before: Vec<_> = (0..4).map(|k| (50 + k, submit_good(50 + k))).collect();
+    let poison = engine
+        .submit(ReleaseRequest::new(
+            Arc::clone(&h),
+            Arc::clone(&d),
+            TopDownConfig::new(-1.0).with_method(LevelMethod::Cumulative { bound: 500 }),
+            99,
+        ))
+        .unwrap();
+    let after: Vec<_> = (0..4).map(|k| (60 + k, submit_good(60 + k))).collect();
+
+    match engine.wait(poison) {
+        Err(EngineError::JobFailed(msg)) => {
+            assert!(
+                msg.contains("positive"),
+                "panic text must reach the job status, got {msg:?}"
+            );
+        }
+        other => panic!("poison job must fail, got {other:?}"),
+    }
+    for (seed, id) in before.into_iter().chain(after) {
+        let (result, _) = engine.wait(id).unwrap();
+        assert_eq!(
+            result.csv,
+            oracle(&ds, &good_cfg, seed),
+            "seed {seed}: job sharing deques with the panicking job diverged"
+        );
+    }
+
+    // The pool is intact: a fresh submission still completes.
+    let (result, _) = engine.wait(submit_good(70)).unwrap();
+    assert_eq!(result.csv, oracle(&ds, &good_cfg, 70));
+    let stats = engine.stats();
+    assert_eq!((stats.completed, stats.failed), (9, 1));
+}
