@@ -10,6 +10,13 @@
 //! | `HCC_SCALING_BOUND` | public size bound `K` | `20000` |
 //! | `HCC_SCALING_REPS` | timed bursts per point (best-of) | `2` |
 //! | `HCC_SCALING_WORKERS` | comma-separated worker counts | `1,2,4,8` |
+//! | `HCC_SCALING_METRICS` | file to write per-point telemetry JSON to | unset |
+//!
+//! With `HCC_SCALING_METRICS=<path>` set, each point's end-of-run
+//! engine telemetry snapshot (stage-level latency quantiles, steal
+//! and gate-wait counters) is written to `<path>` as one JSON object
+//! keyed by worker count — `scripts/bench.sh` embeds it into
+//! BENCH_N.json so scaling regressions come with attribution.
 
 use hcc_bench::scaling::ScalingWorkload;
 
@@ -31,7 +38,18 @@ fn main() {
         .collect();
 
     let mut workload = ScalingWorkload::census(scale, bound);
-    for (w, dt) in workload.curve(&workers, reps) {
+    let points = workload.curve_detailed(&workers, reps);
+    for (w, dt, _) in &points {
         println!("engine_scaling/jobs_batch8/{w} {} ns/iter", dt.as_nanos());
+    }
+    if let Ok(path) = std::env::var("HCC_SCALING_METRICS") {
+        let body: Vec<String> = points
+            .iter()
+            .map(|(w, _, telemetry)| format!("\"{w}\":{telemetry}"))
+            .collect();
+        let doc = format!("{{{}}}\n", body.join(","));
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
     }
 }

@@ -95,6 +95,22 @@ impl ScalingWorkload {
     /// Best-of-`reps` burst wall time at each worker count, each point
     /// on a freshly booted engine with the result cache disabled.
     pub fn curve(&mut self, workers: &[usize], reps: usize) -> Vec<(usize, Duration)> {
+        self.curve_detailed(workers, reps)
+            .into_iter()
+            .map(|(w, dt, _)| (w, dt))
+            .collect()
+    }
+
+    /// Like [`ScalingWorkload::curve`], but also returns each point's
+    /// end-of-run telemetry snapshot as a compact JSON blob
+    /// ([`hcc_engine::TelemetrySnapshot::to_json`]) covering the
+    /// warm-up and all timed bursts — stage-level latency attribution
+    /// for the scaling scoreboard, at zero extra measurement cost.
+    pub fn curve_detailed(
+        &mut self,
+        workers: &[usize],
+        reps: usize,
+    ) -> Vec<(usize, Duration, String)> {
         workers
             .iter()
             .map(|&w| {
@@ -110,7 +126,7 @@ impl ScalingWorkload {
                     .map(|_| self.time_batch(&engine))
                     .min()
                     .expect("reps >= 1");
-                (w, best)
+                (w, best, engine.telemetry().to_json())
             })
             .collect()
     }

@@ -1,0 +1,101 @@
+//! Tier-1 perf smoke for the PR-7 telemetry subsystem: with the span
+//! recorder disabled (the default), the always-on counters and
+//! histograms must be invisible on the release hot path.
+//!
+//! The comparison is a single release of the ISSUE-5 hot-path
+//! workload, run (a) directly through `top_down_release` — no engine,
+//! no telemetry — and (b) through a 1-worker engine, which pays the
+//! full telemetry tax: queue-wait/expand/gate/task/finalize histogram
+//! records plus two `Instant` reads per estimated node. The engine
+//! run must stay within **1.5×** of the direct call (measured slack
+//! is far larger; the margin only has to catch a regression that puts
+//! a lock, an allocation, or an enabled-by-default span recorder on
+//! the per-node path), and must release byte-identical CSV.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcc_bench::hotpath::{three_level_dataset, HOT_PATH_BOUND};
+use hcc_consistency::{to_csv, top_down_release, LevelMethod, TopDownConfig};
+use hcc_engine::{Engine, EngineConfig, ReleaseRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn min_time<T>(reps: usize, mut run: impl FnMut() -> T) -> (Duration, T) {
+    let mut best: Option<Duration> = None;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let value = run();
+        let dt = t.elapsed();
+        if best.is_none_or(|b| dt < b) {
+            best = Some(dt);
+        }
+        out = Some(value);
+    }
+    (best.expect("reps >= 1"), out.expect("reps >= 1"))
+}
+
+#[test]
+fn engine_telemetry_overhead_is_within_noise_of_direct_release() {
+    let (h, data) = three_level_dataset();
+    let cfg = TopDownConfig::new(0.25).with_method(LevelMethod::Cumulative {
+        bound: HOT_PATH_BOUND,
+    });
+
+    let direct_run = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        to_csv(&h, &top_down_release(&h, &data, &cfg, &mut rng).unwrap())
+    };
+
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(0),
+    );
+    let hierarchy = Arc::new(h.clone());
+    let shared = Arc::new(data.clone());
+    let engine_run = || {
+        let id = engine
+            .submit(ReleaseRequest::new(
+                Arc::clone(&hierarchy),
+                Arc::clone(&shared),
+                cfg.clone(),
+                5,
+            ))
+            .unwrap();
+        let (result, from_cache) = engine.wait(id).unwrap();
+        assert!(!from_cache, "cache is disabled");
+        result.csv.clone()
+    };
+
+    // Warm-up: one untimed pass apiece (page faults, workspace
+    // growth, and worker spin-up should not count against either
+    // side).
+    let _ = direct_run();
+    let _ = engine_run();
+
+    let (direct_dt, direct_csv) = min_time(2, direct_run);
+    let (engine_dt, engine_csv) = min_time(2, engine_run);
+
+    // Telemetry never touches the released bytes.
+    assert_eq!(direct_csv, engine_csv);
+
+    // And the span recorder really is off: nothing recorded, nothing
+    // dropped.
+    let snap = engine.telemetry();
+    assert!(!snap.trace_enabled, "tracing must default to off");
+    assert_eq!(snap.spans_dropped, 0);
+    assert!(engine.take_trace().is_empty());
+
+    eprintln!(
+        "telemetry overhead smoke: direct {direct_dt:?}, engine {engine_dt:?} \
+         ({:.2}x)",
+        engine_dt.as_secs_f64() / direct_dt.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        engine_dt <= direct_dt * 3 / 2,
+        "a 1-worker engine with always-on telemetry must stay within 1.5x \
+         of the direct release: direct {direct_dt:?} vs engine {engine_dt:?}"
+    );
+}

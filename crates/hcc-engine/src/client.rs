@@ -6,6 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use crate::job::JobId;
 use crate::protocol::{read_line, read_section_body, write_section, SubmitParams};
 use crate::registry::DatasetHandle;
+use crate::telemetry::SpanEvent;
 
 /// A release fetched over the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,6 +67,60 @@ impl Client {
     /// The server's `STATS` line (workers, queue depth, counters).
     pub fn stats(&mut self) -> io::Result<String> {
         self.request_line("STATS")
+    }
+
+    /// Downloads the server's telemetry snapshot as Prometheus-style
+    /// text exposition (the `METRICS` verb): counters, gauges,
+    /// latency histograms, and derived p50/p95/p99 quantiles.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let reply = self.request_line("METRICS")?;
+        let lines = Self::framed_len(&reply, "METRICS")?;
+        let text = read_section_body(&mut self.reader, lines, 1 << 26)?;
+        self.expect_end()?;
+        Ok(text)
+    }
+
+    /// Drains the server's span recorder (the `TRACE` verb),
+    /// returning the recorded scheduler spans. Empty unless the
+    /// server was started with tracing enabled (`hcc serve
+    /// --trace N`). Draining is destructive: each span is returned
+    /// once.
+    pub fn trace(&mut self) -> io::Result<Vec<SpanEvent>> {
+        let reply = self.request_line("TRACE")?;
+        let count = Self::framed_len(&reply, "TRACE")?;
+        let body = read_section_body(&mut self.reader, count, 1 << 28)?;
+        self.expect_end()?;
+        body.lines()
+            .map(|line| {
+                SpanEvent::from_wire_line(line).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad span line: {e}"))
+                })
+            })
+            .collect()
+    }
+
+    /// Parses the `<verb> <n>` header of a framed reply.
+    fn framed_len(reply: &str, verb: &str) -> io::Result<usize> {
+        reply
+            .strip_prefix(verb)
+            .and_then(|tail| tail.trim().parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected `{verb} <n>`, got {reply:?}"),
+                )
+            })
+    }
+
+    /// Consumes the `END` line closing a framed reply.
+    fn expect_end(&mut self) -> io::Result<()> {
+        match read_line(&mut self.reader)? {
+            Some(end) if end == "END" => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected END, got {other:?}"),
+            )),
+        }
     }
 
     /// Submits a release job from raw CSV tables, returning its id.
@@ -269,15 +324,7 @@ impl Client {
         // The client trusts its own server for release sizes; cap at
         // a level no legitimate release exceeds.
         let csv = read_section_body(&mut self.reader, lines, 1 << 32)?;
-        match read_line(&mut self.reader)? {
-            Some(end) if end == "END" => {}
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("expected END, got {other:?}"),
-                ))
-            }
-        }
+        self.expect_end()?;
         Ok(Ok(FetchedRelease {
             csv,
             from_cache: cached == "1",

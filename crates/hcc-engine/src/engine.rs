@@ -31,6 +31,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hcc_consistency::{
     estimate_node, to_csv, top_down_from_estimates, ConsistencyError, HierarchicalCounts,
@@ -44,6 +45,7 @@ use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, 
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 use crate::registry::{DatasetHandle, DatasetRegistry};
 use crate::scheduler::{ActiveJob, ComputeGate, NodeTask, TaskDeques};
+use crate::telemetry::{MethodKind, SpanEvent, SpanKind, Telemetry, TelemetrySnapshot};
 
 /// Sizing knobs for [`Engine::start`].
 #[derive(Clone, Debug)]
@@ -77,6 +79,11 @@ pub struct EngineConfig {
     /// it, the least-recently-used dataset is evicted. `0` disables
     /// [`Engine::prepare`].
     pub prepared_capacity: usize,
+    /// Per-worker span-ring capacity for the telemetry trace recorder
+    /// (`0`, the default, disables span recording; counters and
+    /// histograms are always on). When full, the oldest spans are
+    /// overwritten and counted as dropped.
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +95,7 @@ impl Default for EngineConfig {
             cache_capacity: 32,
             retained_jobs: 1024,
             prepared_capacity: 16,
+            trace_capacity: 0,
         }
     }
 }
@@ -144,9 +152,19 @@ impl EngineConfig {
         self.prepared_capacity = capacity;
         self
     }
+
+    /// Enables the span recorder with the given per-worker ring
+    /// capacity (`0` disables recording; see
+    /// [`EngineConfig::trace_capacity`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
 }
 
-/// Point-in-time counters, readable without blocking the queue.
+/// Point-in-time counters. The snapshot is internally consistent:
+/// the job counters are copied together under the engine state lock,
+/// so `completed + failed ≤ submitted` always holds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Jobs accepted by [`Engine::submit`].
@@ -177,19 +195,22 @@ struct QueuedJob {
     /// Precomputed at submission (None when caching is disabled) so
     /// workers never re-hash the request.
     key: Option<Fingerprint>,
+    /// When [`Engine::submit`] accepted the job; queue-wait telemetry
+    /// measures from here to expansion.
+    submitted_at: Instant,
 }
 
+/// Counters with no cross-field invariant, updated off the job
+/// lifecycle: relaxed atomics are fine here. The *job* counters
+/// (submitted/completed/failed/cache hits/misses) live in [`State`]
+/// instead, under the state lock, so a [`Engine::stats`] snapshot is
+/// internally consistent — `completed + failed ≤ submitted` and
+/// `cache_hits + cache_misses ≤ submitted` hold mid-flight, which
+/// separate atomics read field-by-field cannot guarantee.
 #[derive(Default)]
 struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
     prepared: AtomicU64,
     derived: AtomicU64,
-    tasks_executed: AtomicU64,
-    tasks_stolen: AtomicU64,
 }
 
 struct State {
@@ -198,6 +219,14 @@ struct State {
     /// Finished job ids, oldest first; bounds `jobs` growth.
     finished: VecDeque<JobId>,
     next_id: u64,
+    /// Job-lifecycle counters (see [`Counters`] for why they live
+    /// under the lock). Every writer already holds the lock at the
+    /// increment site, so this costs nothing extra.
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl State {
@@ -242,6 +271,9 @@ struct Shared {
     gate: ComputeGate,
     shutting_down: AtomicBool,
     counters: Counters,
+    /// Per-worker metrics and the span recorder
+    /// ([`crate::telemetry`]).
+    telemetry: Telemetry,
     config: EngineConfig,
 }
 
@@ -284,6 +316,11 @@ impl Engine {
                 jobs: HashMap::new(),
                 finished: VecDeque::new(),
                 next_id: 0,
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                cache_hits: 0,
+                cache_misses: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -293,6 +330,7 @@ impl Engine {
             gate: ComputeGate::new(config.effective_active_limit()),
             shutting_down: AtomicBool::new(false),
             counters: Counters::default(),
+            telemetry: Telemetry::new(config.workers, config.trace_capacity),
             config: config.clone(),
         });
         let workers = (0..config.workers)
@@ -483,10 +521,9 @@ impl Engine {
                 },
                 self.shared.config.retained_jobs,
             );
-            let c = &self.shared.counters;
-            c.submitted.fetch_add(1, Ordering::Relaxed);
-            c.completed.fetch_add(1, Ordering::Relaxed);
-            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+            state.submitted += 1;
+            state.completed += 1;
+            state.cache_hits += 1;
             drop(state);
             self.shared.done.notify_all();
             return Ok(id);
@@ -499,11 +536,13 @@ impl Engine {
         let id = JobId(state.next_id);
         state.next_id += 1;
         state.jobs.insert(id, JobStatus::Queued);
-        state.queue.push_back(QueuedJob { id, request, key });
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        state.queue.push_back(QueuedJob {
+            id,
+            request,
+            key,
+            submitted_at: Instant::now(),
+        });
+        state.submitted += 1;
         drop(state);
         self.shared.work.notify_one();
         Ok(id)
@@ -536,20 +575,66 @@ impl Engine {
         }
     }
 
-    /// Current counter values.
+    /// Current counter values, as one internally consistent snapshot:
+    /// the job counters are read together under the state lock (held
+    /// only for five copies), so `completed + failed ≤ submitted` and
+    /// `cache_hits + cache_misses ≤ submitted` hold even mid-flight.
     pub fn stats(&self) -> EngineStats {
+        let state = self.lock();
+        self.stats_locked(&state)
+    }
+
+    /// Assembles [`EngineStats`] while the caller holds the state
+    /// lock. Task counters are per-worker relaxed atomics summed here;
+    /// they carry no cross-field invariant with the job counters.
+    fn stats_locked(&self, state: &State) -> EngineStats {
         let c = &self.shared.counters;
+        let (mut tasks_executed, mut tasks_stolen) = (0, 0);
+        for i in 0..self.shared.config.workers {
+            let w = self.shared.telemetry.worker(i);
+            tasks_executed += w.tasks_executed.load(Ordering::Relaxed);
+            tasks_stolen += w.tasks_stolen.load(Ordering::Relaxed);
+        }
         EngineStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            submitted: state.submitted,
+            completed: state.completed,
+            failed: state.failed,
+            cache_hits: state.cache_hits,
+            cache_misses: state.cache_misses,
             prepared: c.prepared.load(Ordering::Relaxed),
             derived: c.derived.load(Ordering::Relaxed),
-            tasks_executed: c.tasks_executed.load(Ordering::Relaxed),
-            tasks_stolen: c.tasks_stolen.load(Ordering::Relaxed),
+            tasks_executed,
+            tasks_stolen,
         }
+    }
+
+    /// A structured telemetry snapshot: [`Engine::stats`] plus queue
+    /// depth, per-worker scheduler counters, and the latency
+    /// histograms (see [`crate::telemetry`]). Aggregation cost is paid
+    /// here by the caller; workers never stop to publish.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let (stats, queued) = {
+            let state = self.lock();
+            (self.stats_locked(&state), state.queue.len())
+        };
+        TelemetrySnapshot {
+            stats,
+            workers: self.shared.config.workers,
+            queued,
+            prepared_datasets: self.registry().len(),
+            uptime: self.shared.telemetry.uptime(),
+            per_worker: self.shared.telemetry.worker_snapshots(),
+            trace_enabled: self.shared.telemetry.tracing(),
+            spans_dropped: self.shared.telemetry.spans_dropped(),
+        }
+    }
+
+    /// Drains the span recorder, returning all recorded spans in
+    /// start order (empty unless the engine was started with
+    /// [`EngineConfig::with_trace_capacity`]). Render with
+    /// [`crate::telemetry::chrome_trace_json`].
+    pub fn take_trace(&self) -> Vec<SpanEvent> {
+        self.shared.telemetry.take_spans()
     }
 
     /// Jobs currently waiting in the queue.
@@ -616,22 +701,39 @@ fn worker_loop(shared: &Shared, me: usize) {
     // buffers are fully overwritten per node and each node draws from
     // its own seeded RNG stream.
     let mut ws = EstimatorWorkspace::new();
+    // Trace-only: when the previous task started handing the compute
+    // gate off, so the claim of the next task is recorded from
+    // *before* the release — on an oversubscribed host the hand-off
+    // notify is exactly where a worker loses the CPU, and that time
+    // must land inside a span for traces to tile wall-clock.
+    let mut handoff: Option<Instant> = None;
     loop {
+        let sched_t0 = handoff
+            .take()
+            .or_else(|| shared.telemetry.tracing().then(Instant::now));
         // Hot path: own deque first (LIFO), then steal (FIFO). The
         // compute gate is taken *after* claiming a task: claiming is
         // cheap, and a claimed task is guaranteed to run, so waiting
         // at the gate can't strand work.
         if let Some(task) = shared.deques.pop(me) {
-            shared.gate.acquire();
-            run_task(shared, &task, &mut ws);
-            shared.gate.release();
+            record_sched(shared, me, &task, sched_t0);
+            handoff = run_task_gated(shared, me, &task, &mut ws);
             continue;
         }
-        if let Some(task) = shared.deques.steal(me) {
-            shared.counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
-            shared.gate.acquire();
-            run_task(shared, &task, &mut ws);
-            shared.gate.release();
+        let (stolen, failed_probes) = shared.deques.steal(me);
+        {
+            let w = shared.telemetry.worker(me);
+            w.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            w.steal_failed_probes
+                .fetch_add(failed_probes as u64, Ordering::Relaxed);
+            if stolen.is_some() {
+                w.steal_successes.fetch_add(1, Ordering::Relaxed);
+                w.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(task) = stolen {
+            record_sched(shared, me, &task, sched_t0);
+            handoff = run_task_gated(shared, me, &task, &mut ws);
             continue;
         }
         // No runnable task anywhere: expand the next queued job, or
@@ -639,8 +741,20 @@ fn worker_loop(shared: &Shared, me: usize) {
         // only when the task pool is dry — keeps jobs flowing
         // depth-first: workers help finish in-flight releases before
         // admitting new working sets.
+        //
+        // Idle telemetry starts at the first condvar wait, not at the
+        // lock: a worker that finds work without sleeping was never
+        // idle. The open-ended park after the *last* job is only
+        // recorded once the worker wakes — live spans have no end.
+        let mut idle_since: Option<Instant> = None;
         let next = {
             let mut state = shared.state.lock().expect("engine state lock poisoned");
+            // The claim came up dry: close its span at the point the
+            // state lock was won, so a contended lock still shows up
+            // as sched time rather than a hole in the trace.
+            if let Some(t0) = sched_t0 {
+                shared.telemetry.span(me, SpanKind::Sched, None, None, t0);
+            }
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.jobs.insert(job.id, JobStatus::Running);
@@ -651,21 +765,81 @@ fn worker_loop(shared: &Shared, me: usize) {
                     break None;
                 }
                 if shared.shutting_down.load(Ordering::Acquire) {
+                    drop(state);
+                    record_idle(shared, me, idle_since);
                     return;
                 }
+                idle_since.get_or_insert_with(Instant::now);
                 state = shared.work.wait(state).expect("engine state lock poisoned");
             }
         };
+        record_idle(shared, me, idle_since);
         if let Some(job) = next {
             expand_job(shared, me, job);
         }
     }
 }
 
+/// Closes out an idle stretch, if one happened.
+fn record_idle(shared: &Shared, me: usize, idle_since: Option<Instant>) {
+    if let Some(t0) = idle_since {
+        shared.telemetry.worker(me).idle.record(t0.elapsed());
+        shared.telemetry.span(me, SpanKind::Idle, None, None, t0);
+    }
+}
+
+/// Closes out the trace-mode claim span for a just-claimed task.
+fn record_sched(shared: &Shared, me: usize, task: &NodeTask, sched_t0: Option<Instant>) {
+    if let Some(t0) = sched_t0 {
+        shared
+            .telemetry
+            .span(me, SpanKind::Sched, Some(task.job.id), Some(task.index), t0);
+    }
+}
+
+/// Takes the compute gate (timing the wait), runs the task, returns
+/// the permit. In trace mode, also returns the instant the gate
+/// release began, opening the next claim span.
+fn run_task_gated(
+    shared: &Shared,
+    me: usize,
+    task: &NodeTask,
+    ws: &mut EstimatorWorkspace,
+) -> Option<Instant> {
+    let gate_t0 = Instant::now();
+    shared.gate.acquire();
+    shared
+        .telemetry
+        .worker(me)
+        .gate_wait
+        .record(gate_t0.elapsed());
+    shared.telemetry.span(
+        me,
+        SpanKind::GateWait,
+        Some(task.job.id),
+        Some(task.index),
+        gate_t0,
+    );
+    run_task(shared, me, task, ws);
+    let handoff = shared.telemetry.tracing().then(Instant::now);
+    shared.gate.release();
+    handoff
+}
+
 /// Turns a queued job into node tasks on `me`'s deque (or finishes it
 /// straight away on a late cache hit / invalid hierarchy).
 fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
-    let QueuedJob { id, request, key } = job;
+    let QueuedJob {
+        id,
+        request,
+        key,
+        submitted_at,
+    } = job;
+    shared
+        .telemetry
+        .worker(me)
+        .queue_wait
+        .record(submitted_at.elapsed());
     // Submission missed the cache, but an identical job may have
     // completed while this one sat in the queue — re-check before
     // paying for a release.
@@ -677,7 +851,11 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
             .get(k)
     });
     if let Some(result) = cached {
-        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .state
+            .lock()
+            .expect("engine state lock poisoned")
+            .cache_hits += 1;
         finish_job(
             shared,
             id,
@@ -688,7 +866,12 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
         );
         return;
     }
-    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let expand_t0 = Instant::now();
+    shared
+        .state
+        .lock()
+        .expect("engine state lock poisoned")
+        .cache_misses += 1;
     if !request.hierarchy.is_uniform_depth() {
         finish_job(
             shared,
@@ -703,12 +886,22 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
     // can't miss these tasks.
     drop(shared.state.lock().expect("engine state lock poisoned"));
     shared.work.notify_all();
+    shared
+        .telemetry
+        .worker(me)
+        .expand
+        .record(expand_t0.elapsed());
+    shared
+        .telemetry
+        .span(me, SpanKind::Expand, Some(id), None, expand_t0);
 }
 
 /// Runs one node task; the worker finishing a job's last task also
 /// runs the deterministic top-down phase and publishes the result.
-fn run_task(shared: &Shared, task: &NodeTask, ws: &mut EstimatorWorkspace) {
+fn run_task(shared: &Shared, me: usize, task: &NodeTask, ws: &mut EstimatorWorkspace) {
     let job = &task.job;
+    let w = shared.telemetry.worker(me);
+    let task_t0 = Instant::now();
     if !job.is_cancelled() {
         // A panicking estimator (degenerate budget, internal assert)
         // must fail its *job*, not kill the worker: an unwound worker
@@ -720,6 +913,17 @@ fn run_task(shared: &Shared, task: &NodeTask, ws: &mut EstimatorWorkspace) {
             job.tasks[task.index]
                 .iter()
                 .map(|&node| {
+                    // Per-node timing, split by the level method that
+                    // will estimate this node (the paper's Hc/Hg cost
+                    // asymmetry): one Instant pair per node, recorded
+                    // with a relaxed fetch_add — noise next to the
+                    // estimation itself.
+                    let kind = MethodKind::of(
+                        request
+                            .config
+                            .method_for_level(request.hierarchy.level_of(node)),
+                    );
+                    let node_t0 = Instant::now();
                     let estimate = estimate_node(
                         &request.hierarchy,
                         &request.data,
@@ -729,6 +933,7 @@ fn run_task(shared: &Shared, task: &NodeTask, ws: &mut EstimatorWorkspace) {
                         job.seeds[node.index()],
                         ws,
                     );
+                    w.estimate_for(kind).record(node_t0.elapsed());
                     (node.index(), estimate)
                 })
                 .collect::<Vec<_>>()
@@ -738,18 +943,30 @@ fn run_task(shared: &Shared, task: &NodeTask, ws: &mut EstimatorWorkspace) {
             Err(panic) => job.record_failure(panic_message(panic)),
         }
     }
+    w.task_run.record(task_t0.elapsed());
+    w.tasks_executed.fetch_add(1, Ordering::Relaxed);
     shared
-        .counters
-        .tasks_executed
-        .fetch_add(1, Ordering::Relaxed);
+        .telemetry
+        .span(me, SpanKind::Task, Some(job.id), Some(task.index), task_t0);
     if job.finish_task() {
-        finalize_job(shared, job);
+        // Telemetry for the finalize phase is recorded *before* the
+        // status is published: once `Engine::wait` returns, every
+        // counter and span belonging to the job is already visible to
+        // `telemetry()` / `take_trace()`.
+        let finalize_t0 = Instant::now();
+        let status = finalize_job(shared, job);
+        w.finalize.record(finalize_t0.elapsed());
+        shared
+            .telemetry
+            .span(me, SpanKind::Finalize, Some(job.id), None, finalize_t0);
+        finish_job(shared, job.id, status);
     }
 }
 
 /// The post-estimation half of a job: deterministic matching/merging,
-/// CSV serialisation, cache insert, status publication.
-fn finalize_job(shared: &Shared, job: &ActiveJob) {
+/// CSV serialisation, cache insert. Returns the terminal status for
+/// `finish_job` to publish.
+fn finalize_job(shared: &Shared, job: &ActiveJob) -> Result<JobStatus, String> {
     let outcome = job.take_outcome().and_then(|estimates| {
         // The top-down phase and the CSV serialisation stay inside a
         // guard too — any panic past this point must become a Failed
@@ -770,7 +987,7 @@ fn finalize_job(shared: &Shared, job: &ActiveJob) {
         .map_err(panic_message)
         .and_then(|computed| computed)
     });
-    let status = outcome.map(|result| {
+    outcome.map(|result| {
         if let Some(key) = job.key {
             shared
                 .cache
@@ -782,19 +999,22 @@ fn finalize_job(shared: &Shared, job: &ActiveJob) {
             result,
             from_cache: false,
         }
-    });
-    finish_job(shared, job.id, status);
+    })
 }
 
 /// Publishes a terminal status and wakes waiters.
 fn finish_job(shared: &Shared, id: JobId, status: Result<JobStatus, String>) {
-    let (status, counter) = match status {
-        Ok(status) => (status, &shared.counters.completed),
-        Err(msg) => (JobStatus::Failed(msg), &shared.counters.failed),
+    let (status, failed) = match status {
+        Ok(status) => (status, false),
+        Err(msg) => (JobStatus::Failed(msg), true),
     };
     let mut state = shared.state.lock().expect("engine state lock poisoned");
     state.finish(id, status, shared.config.retained_jobs);
-    counter.fetch_add(1, Ordering::Relaxed);
+    if failed {
+        state.failed += 1;
+    } else {
+        state.completed += 1;
+    }
     drop(state);
     shared.done.notify_all();
 }

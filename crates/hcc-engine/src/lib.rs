@@ -53,6 +53,16 @@
 //!   ([`ServeConfig`]): a per-connection read timeout so idle or
 //!   slowloris clients cannot pin the bounded connection slots, and
 //!   the connection bound itself.
+//! * **[`telemetry`]** — always-on-cheap observability: per-worker
+//!   relaxed-atomic counters and log-bucketed latency histograms over
+//!   the full job lifecycle (queue wait, expansion, per-node
+//!   estimation split by level method, compute-gate wait, steals,
+//!   idle time), aggregated only when a reader asks
+//!   ([`Engine::telemetry`]), rendered as Prometheus text exposition
+//!   by the `METRICS` wire verb; plus an opt-in bounded span recorder
+//!   ([`EngineConfig::with_trace_capacity`]) whose dumps
+//!   ([`Engine::take_trace`], the `TRACE` verb, `hcc trace`) render
+//!   as Chrome-trace JSON ([`chrome_trace_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +77,7 @@ pub mod protocol;
 pub mod registry;
 mod scheduler;
 mod server;
+pub mod telemetry;
 
 pub use client::{Client, FetchedRelease};
 pub use engine::{Engine, EngineConfig, EngineStats};
@@ -76,3 +87,7 @@ pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 pub use protocol::level_method;
 pub use registry::{DatasetHandle, DatasetRegistry};
 pub use server::{serve, serve_with, ServeConfig, ServerHandle};
+pub use telemetry::{
+    chrome_trace_json, HistogramSnapshot, MethodKind, SpanEvent, SpanKind, TelemetrySnapshot,
+    WorkerSnapshot,
+};

@@ -7,7 +7,17 @@
 //!
 //! ```text
 //! PING                      → PONG
-//! STATS                     → STATS workers=2 queued=0 submitted=3 ...
+//! STATS                     → one STATS key=value line; the exact
+//!                             format is pinned by the doctest of
+//!                             [`format_stats`], the formatter the
+//!                             server itself calls — see there for a
+//!                             field-by-field example
+//! METRICS                   → METRICS <n>, then n lines of
+//!                             Prometheus text exposition, then END
+//! TRACE                     → TRACE <n>, then n span lines
+//!                             (worker,kind,job,task,start_ns,end_ns —
+//!                             the scheduler's span recorder, drained),
+//!                             then END
 //! SUBMIT epsilon=1.0 method=hc bound=100000 seed=42
 //! HIERARCHY <n>             (then n raw CSV lines)
 //! GROUPS <n>                (then n raw CSV lines)
@@ -50,11 +60,21 @@
 //! content-addressed handle (equal, by fingerprint chaining, to what
 //! a cold `PREPARE` of the post-delta tables would return). `APPEND`
 //! is `DERIVE` plus dropping one reference on the parent.
+//!
+//! `METRICS` serves the engine's telemetry snapshot
+//! ([`crate::telemetry`]) as Prometheus-style text exposition —
+//! counters, gauges, latency histograms, and derived p50/p95/p99
+//! quantiles. `TRACE` drains the span recorder (enabled with
+//! `hcc serve --trace N`); each line parses with
+//! [`SpanEvent::from_wire_line`](crate::telemetry::SpanEvent) and the
+//! set renders to Chrome-trace JSON with
+//! [`chrome_trace_json`](crate::telemetry::chrome_trace_json).
 
 use std::io::{self, BufRead, Write};
 
 use hcc_consistency::LevelMethod;
 
+use crate::engine::EngineStats;
 use crate::registry::DatasetHandle;
 
 /// Stable machine-readable marker prefixing *retryable* rejections
@@ -62,6 +82,55 @@ use crate::registry::DatasetHandle;
 /// `ERR busy: <prose>` and clients key their backpressure handling on
 /// this token, never on the human-readable prose after it.
 pub const BUSY: &str = "busy:";
+
+/// Renders the one-line `STATS` reply — the single source of truth
+/// for its format, called by the server and pinned (field by field)
+/// by this doctest, so the module documentation above can never drift
+/// from what the wire actually carries again:
+///
+/// ```
+/// use hcc_engine::protocol::format_stats;
+/// use hcc_engine::EngineStats;
+///
+/// let stats = EngineStats {
+///     submitted: 3,
+///     completed: 2,
+///     failed: 1,
+///     cache_hits: 1,
+///     cache_misses: 2,
+///     prepared: 1,
+///     derived: 1,
+///     tasks_executed: 8,
+///     tasks_stolen: 4,
+/// };
+/// assert_eq!(
+///     format_stats(2, 0, 1, &stats),
+///     "STATS workers=2 queued=0 submitted=3 completed=2 failed=1 \
+///      cache_hits=1 cache_misses=2 prepared=1 derived=1 \
+///      prepared_datasets=1 tasks_executed=8 tasks_stolen=4"
+/// );
+/// ```
+pub fn format_stats(
+    workers: usize,
+    queued: usize,
+    prepared_datasets: usize,
+    stats: &EngineStats,
+) -> String {
+    format!(
+        "STATS workers={workers} queued={queued} submitted={} completed={} failed={} \
+         cache_hits={} cache_misses={} prepared={} derived={} \
+         prepared_datasets={prepared_datasets} tasks_executed={} tasks_stolen={}",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.prepared,
+        stats.derived,
+        stats.tasks_executed,
+        stats.tasks_stolen
+    )
+}
 
 /// Maps a wire method name + bound to the estimator selection — the
 /// single source of truth for which method names the protocol admits.

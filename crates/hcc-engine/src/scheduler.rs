@@ -256,9 +256,14 @@ impl TaskDeques {
     }
 
     /// Steals the oldest task from the first non-empty other lane,
-    /// scanning round-robin from the thief's right neighbour.
-    pub fn steal(&self, thief: usize) -> Option<NodeTask> {
+    /// scanning round-robin from the thief's right neighbour. The
+    /// second element counts empty lanes probed along the way — the
+    /// scheduler telemetry's `steal_failed_probes`, which separates
+    /// "stole on the first try" from "scanned the whole pool for
+    /// nothing" when diagnosing steal-granularity problems.
+    pub fn steal(&self, thief: usize) -> (Option<NodeTask>, usize) {
         let lanes = self.lanes.len();
+        let mut failed_probes = 0;
         for offset in 1..lanes {
             let victim = (thief + offset) % lanes;
             let task = self.lanes[victim]
@@ -267,10 +272,11 @@ impl TaskDeques {
                 .pop_front();
             if let Some(task) = task {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
-                return Some(task);
+                return (Some(task), failed_probes);
             }
+            failed_probes += 1;
         }
-        None
+        (None, failed_probes)
     }
 }
 
@@ -326,16 +332,21 @@ mod tests {
 
         let owned = deques.pop(0).unwrap();
         assert_eq!(owned.index, total - 1, "owner takes the newest task");
-        let stolen = deques.steal(1).unwrap();
-        assert_eq!(stolen.index, 0, "thief takes the oldest task");
+        let (stolen, failed_probes) = deques.steal(1);
+        assert_eq!(stolen.unwrap().index, 0, "thief takes the oldest task");
+        assert_eq!(failed_probes, 0, "lane 0 is non-empty: first probe hits");
         assert_eq!(deques.pending(), total - 2);
 
         // The thief's own lane is empty; it must not steal from itself.
         assert!(deques.pop(1).is_none());
         // Draining the rest empties the pool.
-        while deques.steal(1).is_some() {}
+        while deques.steal(1).0.is_some() {}
         assert_eq!(deques.pending(), 0);
         assert!(deques.pop(0).is_none());
+        // An empty pool: the failed scan probed every other lane.
+        let (none, failed_probes) = deques.steal(1);
+        assert!(none.is_none());
+        assert_eq!(failed_probes, 1, "one victim lane in a 2-lane pool");
     }
 
     #[test]

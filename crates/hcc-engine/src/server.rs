@@ -19,7 +19,9 @@ use hcc_hierarchy::{hierarchy_from_csv, Hierarchy};
 use hcc_tables::CsvLoader;
 
 use crate::job::{EngineError, JobStatus, ReleaseRequest};
-use crate::protocol::{level_method, one_line, read_line, read_section_body, SubmitParams};
+use crate::protocol::{
+    format_stats, level_method, one_line, read_line, read_section_body, SubmitParams,
+};
 use crate::registry::DatasetHandle;
 use crate::Engine;
 
@@ -218,25 +220,31 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                 return Ok(());
             }
             "STATS" => {
-                let s = engine.stats();
-                writeln!(
-                    writer,
-                    "STATS workers={} queued={} submitted={} completed={} failed={} \
-                     cache_hits={} cache_misses={} prepared={} derived={} \
-                     prepared_datasets={} tasks_executed={} tasks_stolen={}",
+                let line = format_stats(
                     engine.config().workers,
                     engine.queue_len(),
-                    s.submitted,
-                    s.completed,
-                    s.failed,
-                    s.cache_hits,
-                    s.cache_misses,
-                    s.prepared,
-                    s.derived,
                     engine.prepared_len(),
-                    s.tasks_executed,
-                    s.tasks_stolen
-                )?;
+                    &engine.stats(),
+                );
+                writeln!(writer, "{line}")?;
+            }
+            "METRICS" => {
+                // Prometheus text exposition, framed like every other
+                // bulk payload: `METRICS <n>` + n lines + END.
+                let text = engine.telemetry().to_prometheus();
+                writeln!(writer, "METRICS {}", text.lines().count())?;
+                writer.write_all(text.as_bytes())?;
+                writeln!(writer, "END")?;
+            }
+            "TRACE" => {
+                // Drains the span recorder (empty unless the engine
+                // was started with a trace capacity).
+                let spans = engine.take_trace();
+                writeln!(writer, "TRACE {}", spans.len())?;
+                for span in &spans {
+                    writeln!(writer, "{}", span.to_wire_line())?;
+                }
+                writeln!(writer, "END")?;
             }
             "SUBMIT" => match read_submit(engine, &mut reader, tail) {
                 Ok(id) => writeln!(writer, "OK {id}")?,

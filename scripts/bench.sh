@@ -4,22 +4,25 @@
 # the perf trajectory across PRs is machine-readable.
 #
 # Usage:
-#   scripts/bench.sh              # run benches, write BENCH_6.json
+#   scripts/bench.sh              # run benches, write BENCH_7.json
 #   scripts/bench.sh --smoke      # CI mode: compile benches, run a
 #                                 # fast scaling curve, write nothing
-#   PR=7 scripts/bench.sh         # write BENCH_7.json instead
+#   PR=8 scripts/bench.sh         # write BENCH_8.json instead
 #   REPS=5 scripts/bench.sh       # more release_hot_path repetitions
 #
 # The cheap release_hot_path bench runs REPS times (median per label);
 # the broader micro suite and the engine scaling curve (8-job batch
 # wall time at 1/2/4/8 workers, `engine_scaling/jobs_batch8/<w>`)
 # run once. HCC_SEED pins the RNG stream the release_hot_path bench
-# draws from (default 0).
+# draws from (default 0). The scaling run also dumps each point's
+# engine telemetry snapshot (stage latency quantiles, steal/gate
+# counters), embedded under a "telemetry" key in BENCH_N.json so a
+# scaling regression names the stage it grew in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HCC_SEED="${HCC_SEED:-0}"
-PR="${PR:-6}"
+PR="${PR:-7}"
 OUT="BENCH_${PR}.json"
 REPS="${REPS:-3}"
 
@@ -34,15 +37,17 @@ if [[ "${1:-}" == "--smoke" ]]; then
 fi
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+METRICS=$(mktemp)
+trap 'rm -f "$RAW" "$METRICS"' EXIT
 
 for _ in $(seq "$REPS"); do
   cargo bench -p hcc-bench --bench release_hot_path | tee -a "$RAW"
 done
 cargo bench -p hcc-bench --bench micro | tee -a "$RAW"
-cargo run --release -q -p hcc-bench --bin scaling | tee -a "$RAW"
+HCC_SCALING_METRICS="$METRICS" \
+  cargo run --release -q -p hcc-bench --bin scaling | tee -a "$RAW"
 
-python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" <<'EOF'
+python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" "$METRICS" <<'EOF'
 import json
 import re
 import statistics
@@ -63,6 +68,14 @@ doc = {
     "stat": "median",
     "benches": {k: int(statistics.median(v)) for k, v in sorted(samples.items())},
 }
+# Per-worker-count engine telemetry from the scaling run: stage
+# latency attribution for the jobs_batch8 curve, keyed "scaling
+# workers" -> snapshot.
+try:
+    with open(sys.argv[5]) as fh:
+        doc["telemetry"] = {"engine_scaling/jobs_batch8": json.load(fh)}
+except (OSError, ValueError):
+    print("warning: no telemetry snapshot captured", file=sys.stderr)
 with open(sys.argv[2], "w") as fh:
     json.dump(doc, fh, indent=2)
     fh.write("\n")

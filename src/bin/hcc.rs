@@ -15,6 +15,15 @@
 //!              [--region NAME]
 //!     prints group-size statistics of a (released) table
 //!
+//! hcc stats    --addr 127.0.0.1:7878 [--watch SECS] [--raw]
+//!     fetches the METRICS exposition from a running server and
+//!     renders a live telemetry summary (--raw dumps the Prometheus
+//!     text verbatim; --watch repeats every SECS seconds)
+//!
+//! hcc trace    --addr 127.0.0.1:7878 --out trace.json
+//!     drains the server's span recorder (requires `hcc serve
+//!     --trace N`) and writes Chrome-trace JSON for chrome://tracing
+//!
 //! hcc evaluate --hierarchy data/hierarchy.csv --release release.csv \
 //!              --truth truth.csv
 //!     prints per-level earth-mover's distance between two releases
@@ -93,6 +102,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "derive" => cmd_derive(&opts),
         "unprepare" => cmd_unprepare(&opts),
+        "trace" => cmd_trace(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -113,9 +123,11 @@ const USAGE: &str = "usage:
   hcc release  --hierarchy F --groups F --entities F --epsilon F [--method hc|hc-l2|hg|naive|adaptive]
                [--bound N] [--seed N] [--threads N] --out F
   hcc stats    --hierarchy F --release F [--region NAME]
+  hcc stats    --addr HOST:PORT [--watch SECS] [--raw]
   hcc evaluate --hierarchy F --release F --truth F
   hcc serve    --addr HOST:PORT [--threads N] [--queue N] [--cache N]
                [--prepared N] [--read-timeout SECS (0 disables, default 30)]
+               [--trace N (span-recorder capacity per worker, default 0 = off)]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
   hcc prepare  --addr HOST:PORT --hierarchy F --groups F --entities F
@@ -123,6 +135,7 @@ const USAGE: &str = "usage:
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out-dir DIR]
   hcc derive   --addr HOST:PORT --handle ds-HEX --delta F [--append]
   hcc unprepare --addr HOST:PORT --handle ds-HEX
+  hcc trace    --addr HOST:PORT [--out F (default stdout)]
 
 environment:
   HCC_THREADS  default for --threads: estimator parallelism in `release`,
@@ -135,7 +148,7 @@ type Opts = HashMap<String, String>;
 
 /// Options that are bare flags (present/absent) rather than
 /// `--key value` pairs.
-const FLAGS: &[&str] = &["append"];
+const FLAGS: &[&str] = &["append", "raw"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
@@ -281,6 +294,11 @@ fn cmd_release(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    // `--addr` switches to live-server telemetry; without it this is
+    // the original file-based group-size report.
+    if opts.contains_key("addr") {
+        return cmd_stats_server(opts);
+    }
     let (hierarchy, _) =
         hierarchy_from_csv(&read(required(opts, "hierarchy")?)?).map_err(|e| e.to_string())?;
     let release = release_from_csv(&hierarchy, &read(required(opts, "release")?)?)
@@ -318,6 +336,182 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Live-server telemetry: fetches the `METRICS` exposition and
+/// renders a summary (or dumps it verbatim with `--raw`). `--watch N`
+/// repeats every N seconds on the same connection until killed.
+fn cmd_stats_server(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let raw = opts.contains_key("raw");
+    let watch_secs: u64 = parsed(opts, "watch", 0)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    loop {
+        let text = client
+            .metrics()
+            .map_err(|e| format!("talking to {addr}: {e}"))?;
+        if raw {
+            print!("{text}");
+        } else {
+            print!("{}", render_metrics_summary(&text));
+        }
+        if watch_secs == 0 {
+            break;
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_secs(watch_secs));
+    }
+    let _ = client.quit();
+    Ok(())
+}
+
+/// Parses Prometheus text exposition into `full-series-name → value`
+/// (labels kept verbatim in the key), skipping `#` comment lines.
+fn parse_exposition(text: &str) -> HashMap<String, f64> {
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                map.insert(name.to_string(), v);
+            }
+        }
+    }
+    map
+}
+
+/// Renders the human summary of one METRICS exposition: job/cache
+/// counters, scheduler totals (summed over per-worker series), and a
+/// per-stage latency table from the derived quantile gauges.
+fn render_metrics_summary(text: &str) -> String {
+    let m = parse_exposition(text);
+    let get = |name: &str| m.get(name).copied().unwrap_or(0.0);
+    // Per-worker counters carry a `{worker="i"}` label; sum them.
+    let sum_labeled = |prefix: &str| -> f64 {
+        m.iter()
+            .filter(|(k, _)| k.starts_with(prefix) && k.as_bytes().get(prefix.len()) == Some(&b'{'))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "jobs      submitted {}  completed {}  failed {}  queued {}\n",
+        get("hcc_jobs_submitted_total"),
+        get("hcc_jobs_completed_total"),
+        get("hcc_jobs_failed_total"),
+        get("hcc_queue_depth"),
+    ));
+    out.push_str(&format!(
+        "cache     hits {}  misses {}\n",
+        get("hcc_cache_hits_total"),
+        get("hcc_cache_misses_total"),
+    ));
+    out.push_str(&format!(
+        "datasets  registry {}  prepared {}  derived {}\n",
+        get("hcc_prepared_datasets"),
+        get("hcc_datasets_prepared_total"),
+        get("hcc_datasets_derived_total"),
+    ));
+    out.push_str(&format!(
+        "workers   {}  uptime {:.1}s  trace spans dropped {}\n",
+        get("hcc_workers"),
+        get("hcc_uptime_seconds"),
+        get("hcc_trace_spans_dropped_total"),
+    ));
+    out.push_str(&format!(
+        "tasks     executed {}  stolen {}\n",
+        sum_labeled("hcc_tasks_executed_total"),
+        sum_labeled("hcc_tasks_stolen_total"),
+    ));
+    out.push_str(&format!(
+        "steals    attempts {}  successes {}  failed probes {}\n",
+        sum_labeled("hcc_steal_attempts_total"),
+        sum_labeled("hcc_steal_successes_total"),
+        sum_labeled("hcc_steal_failed_probes_total"),
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}\n",
+        "stage", "count", "p50", "p95", "p99"
+    ));
+    let fmt_latency = |secs: f64| -> String {
+        if secs >= 1.0 {
+            format!("{secs:.2}s")
+        } else if secs >= 1e-3 {
+            format!("{:.2}ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.2}us", secs * 1e6)
+        } else {
+            format!("{:.0}ns", secs * 1e9)
+        }
+    };
+    let stage_row = |label: &str, series: &str, labels: &str| {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let count = get(&format!(
+            "{series}_count{}",
+            if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            }
+        ));
+        if count == 0.0 {
+            return String::new();
+        }
+        let q = |qs: &str| {
+            fmt_latency(get(&format!(
+                "{series}_quantile{{{labels}{sep}q=\"{qs}\"}}"
+            )))
+        };
+        format!(
+            "{label:<22} {count:>10} {:>10} {:>10} {:>10}\n",
+            q("0.5"),
+            q("0.95"),
+            q("0.99")
+        )
+    };
+    for (label, series) in [
+        ("queue_wait", "hcc_queue_wait_seconds"),
+        ("expand", "hcc_expand_seconds"),
+        ("gate_wait", "hcc_gate_wait_seconds"),
+        ("task", "hcc_task_seconds"),
+        ("finalize", "hcc_finalize_seconds"),
+        ("worker_idle", "hcc_worker_idle_seconds"),
+    ] {
+        out.push_str(&stage_row(label, series, ""));
+    }
+    for method in ["hc", "hc_l2", "hg", "naive", "adaptive"] {
+        out.push_str(&stage_row(
+            &format!("estimate[{method}]"),
+            "hcc_estimate_seconds",
+            &format!("method=\"{method}\""),
+        ));
+    }
+    out
+}
+
+/// Drains a running server's span recorder and writes Chrome-trace
+/// JSON (load in `chrome://tracing` or Perfetto). Requires the server
+/// to have been started with `--trace N`; with the recorder off the
+/// dump is valid but empty.
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let addr = required(opts, "addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let spans = client
+        .trace()
+        .map_err(|e| format!("talking to {addr}: {e}"))?;
+    let json = hccount::engine::chrome_trace_json(&spans);
+    match opts.get("out") {
+        Some(out) => {
+            let out = PathBuf::from(out);
+            write(&out, &json)?;
+            println!("{} spans written to {}", spans.len(), out.display());
+        }
+        None => println!("{json}"),
+    }
+    let _ = client.quit();
+    Ok(())
+}
+
 /// Boots the hcc-engine worker pool and serves it over TCP until
 /// killed. Prints one `listening` line (with the actual port, so
 /// `--addr host:0` is scriptable) before blocking.
@@ -338,12 +532,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let cache: usize = parsed(opts, "cache", 32)?;
     let prepared: usize = parsed(opts, "prepared", 16)?;
     let read_timeout_secs: u64 = parsed(opts, "read-timeout", 30)?;
+    let trace: usize = parsed(opts, "trace", 0)?;
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
             .with_queue_capacity(queue.max(1))
             .with_cache_capacity(cache)
-            .with_prepared_capacity(prepared),
+            .with_prepared_capacity(prepared)
+            .with_trace_capacity(trace),
     );
     // `--read-timeout 0` disables the idle disconnect.
     let serve_cfg = ServeConfig::default().with_read_timeout(
@@ -353,10 +549,15 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache}, \
-         prepared {prepared}, read timeout {})",
+         prepared {prepared}, read timeout {}, trace {})",
         handle.addr(),
         if read_timeout_secs > 0 {
             format!("{read_timeout_secs}s")
+        } else {
+            "off".to_string()
+        },
+        if trace > 0 {
+            format!("{trace} spans/worker")
         } else {
             "off".to_string()
         }

@@ -136,6 +136,42 @@ fn stress_32_mixed_jobs_match_serial_oracles_under_4_workers() {
         "every job expands into at least one node task; got {}",
         stats.tasks_executed
     );
+
+    // The stress run must light up the scheduler telemetry: steal
+    // scans happen whenever a worker's own deque runs dry, and every
+    // node task passes the compute gate, so both series must be
+    // non-zero here and visible in the METRICS exposition.
+    let snap = engine.telemetry();
+    let totals = snap.totals();
+    assert!(
+        totals.steal_attempts > 0,
+        "4 workers draining 32 jobs never scanned for steals?"
+    );
+    assert_eq!(
+        totals.tasks_executed, stats.tasks_executed,
+        "per-worker task counters must sum to the engine-wide stat"
+    );
+    assert!(
+        totals.gate_wait.count >= totals.tasks_executed,
+        "every task acquires the compute gate once; {} gate waits < {} tasks",
+        totals.gate_wait.count,
+        totals.tasks_executed
+    );
+    let text = snap.to_prometheus();
+    let series_value = |name: &str| -> u64 {
+        text.lines()
+            .filter(|l| l.starts_with(name))
+            .filter_map(|l| l.rsplit_once(' ')?.1.parse::<u64>().ok())
+            .sum()
+    };
+    assert!(
+        series_value("hcc_steal_attempts_total{") > 0,
+        "METRICS must report the non-zero steal series"
+    );
+    assert!(
+        series_value("hcc_gate_wait_seconds_count") > 0,
+        "METRICS must report the non-zero gate-wait series"
+    );
 }
 
 /// Satellite: panic isolation. A job whose estimator panics
