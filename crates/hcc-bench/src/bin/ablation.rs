@@ -1,6 +1,8 @@
 //! Regenerates the L1-vs-L2 Hc post-processing ablation. See crate
 //! docs for the HCC_* environment overrides.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     print!("{}", hcc_bench::experiments::ablation::run(&cfg));

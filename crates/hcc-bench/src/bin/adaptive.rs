@@ -1,5 +1,7 @@
 //! Regenerates the adaptive-method-selection extension experiment.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     print!("{}", hcc_bench::experiments::adaptive_exp::run(&cfg));

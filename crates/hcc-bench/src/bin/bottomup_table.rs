@@ -1,6 +1,8 @@
 //! Regenerates the paper's bottomup table experiment. See crate docs for
 //! the HCC_* environment overrides.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     print!("{}", hcc_bench::experiments::bottomup_table::run(&cfg));

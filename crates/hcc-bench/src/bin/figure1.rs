@@ -1,6 +1,8 @@
 //! Regenerates the paper's figure1 experiment. See crate docs for
 //! the HCC_* environment overrides.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     print!("{}", hcc_bench::experiments::figure1::run(&cfg));

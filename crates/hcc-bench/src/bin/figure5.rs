@@ -1,6 +1,8 @@
 //! Regenerates the paper's figure5 experiment. See crate docs for
 //! the HCC_* environment overrides.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     print!("{}", hcc_bench::experiments::figure5::run(&cfg));

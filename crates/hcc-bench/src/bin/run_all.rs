@@ -1,6 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation and
 //! writes a combined report plus per-experiment CSV files.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = hcc_bench::ExpConfig::from_env();
     let report = hcc_bench::experiments::run_all(&cfg);

@@ -18,6 +18,8 @@
 //! keyed by worker count — `scripts/bench.sh` embeds it into
 //! BENCH_N.json so scaling regressions come with attribution.
 
+#![forbid(unsafe_code)]
+
 use hcc_bench::scaling::ScalingWorkload;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {

@@ -253,8 +253,8 @@ impl HierarchicalCounts {
         // through the edit sequence without mutating anything. Edits
         // interact (an add can fund a later removal of the same cell),
         // so availability is tracked in order.
-        let mut projected: std::collections::HashMap<(usize, u64), u64> =
-            std::collections::HashMap::new();
+        let mut projected: std::collections::BTreeMap<(usize, u64), u64> =
+            std::collections::BTreeMap::new();
         for e in edits {
             if e.leaf.index() >= hierarchy.num_nodes() {
                 return Err(ConsistencyError::UnknownNode(e.leaf));

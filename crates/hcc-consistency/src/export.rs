@@ -70,7 +70,7 @@ impl std::error::Error for ExportError {}
 /// Parses a release CSV produced by [`to_csv`], validating
 /// hierarchical consistency on the way in.
 pub fn from_csv(hierarchy: &Hierarchy, text: &str) -> Result<HierarchicalCounts, ExportError> {
-    let mut by_name: std::collections::HashMap<&str, NodeId> = std::collections::HashMap::new();
+    let mut by_name: std::collections::BTreeMap<&str, NodeId> = std::collections::BTreeMap::new();
     for node in hierarchy.iter() {
         by_name.insert(hierarchy.name(node), node);
     }

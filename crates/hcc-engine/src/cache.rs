@@ -7,7 +7,7 @@
 //! cached release also spends no additional privacy budget: it is the
 //! *same* ε-DP output, not a fresh draw.)
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crate::fingerprint::Fingerprint;
@@ -17,7 +17,10 @@ use crate::job::ReleaseResult;
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
-    map: HashMap<Fingerprint, Arc<ReleaseResult>>,
+    /// Ordered by fingerprint so iteration (debug dumps, future cache
+    /// listings) is deterministic; recency lives in `order`, so the
+    /// map's own ordering is free to be by key.
+    map: BTreeMap<Fingerprint, Arc<ReleaseResult>>,
     /// Front = least recently used.
     order: VecDeque<Fingerprint>,
 }
@@ -28,7 +31,7 @@ impl ResultCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         }
     }

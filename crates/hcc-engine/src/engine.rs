@@ -27,9 +27,9 @@
 //! the queue depth. Waiters block on a condvar rather than polling.
 //! Dropping the engine finishes every queued job, then joins the pool.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -43,6 +43,7 @@ use hcc_hierarchy::Hierarchy;
 use crate::cache::ResultCache;
 use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
+use crate::locks::{Rank, RankedGuard, RankedMutex};
 use crate::registry::{DatasetHandle, DatasetRegistry};
 use crate::scheduler::{ActiveJob, ComputeGate, NodeTask, TaskDeques};
 use crate::telemetry::{MethodKind, SpanEvent, SpanKind, Telemetry, TelemetrySnapshot};
@@ -215,7 +216,10 @@ struct Counters {
 
 struct State {
     queue: VecDeque<QueuedJob>,
-    jobs: HashMap<JobId, JobStatus>,
+    /// Ordered map so any future iteration (logging, admin listings)
+    /// is deterministic by job id — `HashMap` order would leak the
+    /// per-process hasher seed into output.
+    jobs: BTreeMap<JobId, JobStatus>,
     /// Finished job ids, oldest first; bounds `jobs` growth.
     finished: VecDeque<JobId>,
     next_id: u64,
@@ -244,7 +248,7 @@ impl State {
 }
 
 struct Shared {
-    state: Mutex<State>,
+    state: RankedMutex<State>,
     /// Signalled when a job is queued, a job's tasks enter the pool,
     /// or the engine shuts down.
     ///
@@ -261,10 +265,10 @@ struct Shared {
     /// Completed releases by request fingerprint. Its own lock, off
     /// the node-task path: touched once per job at expansion (hit
     /// re-check) and once at finalisation (insert), never per task.
-    cache: Mutex<ResultCache>,
+    cache: RankedMutex<ResultCache>,
     /// Prepared datasets. Its own lock for the same reason — handle
     /// resolution at submission never contends with running tasks.
-    registry: Mutex<DatasetRegistry>,
+    registry: RankedMutex<DatasetRegistry>,
     /// The engine-wide work-stealing task pool.
     deques: TaskDeques,
     /// Caps simultaneous compute (see [`EngineConfig::active_limit`]).
@@ -311,21 +315,27 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                jobs: HashMap::new(),
-                finished: VecDeque::new(),
-                next_id: 0,
-                submitted: 0,
-                completed: 0,
-                failed: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-            }),
+            state: RankedMutex::new(
+                Rank::State,
+                State {
+                    queue: VecDeque::new(),
+                    jobs: BTreeMap::new(),
+                    finished: VecDeque::new(),
+                    next_id: 0,
+                    submitted: 0,
+                    completed: 0,
+                    failed: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                },
+            ),
             work: Condvar::new(),
             done: Condvar::new(),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-            registry: Mutex::new(DatasetRegistry::new(config.prepared_capacity)),
+            cache: RankedMutex::new(Rank::Cache, ResultCache::new(config.cache_capacity)),
+            registry: RankedMutex::new(
+                Rank::Registry,
+                DatasetRegistry::new(config.prepared_capacity),
+            ),
             deques: TaskDeques::new(config.workers),
             gate: ComputeGate::new(config.effective_active_limit()),
             shutting_down: AtomicBool::new(false),
@@ -339,6 +349,7 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("hcc-engine-worker-{i}"))
                     .spawn(move || worker_loop(&shared, i))
+                    // hcc-lint: allow(panic-policy, reason = "startup fail-fast: an engine that cannot spawn its pool has no degraded mode to fall back to")
                     .expect("spawning engine worker")
             })
             .collect();
@@ -382,7 +393,7 @@ impl Engine {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        self.registry().insert(handle, hierarchy, data)?;
+        self.lock_registry().insert(handle, hierarchy, data)?;
         self.shared
             .counters
             .prepared
@@ -395,7 +406,7 @@ impl Engine {
     /// held. In-flight jobs keep their `Arc`s, so unpreparing never
     /// invalidates running work.
     pub fn unprepare(&self, handle: DatasetHandle) -> Result<u64, EngineError> {
-        self.registry().release(handle)
+        self.lock_registry().release(handle)
     }
 
     /// Registers the dataset obtained by applying `delta` to the
@@ -433,7 +444,7 @@ impl Engine {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        let (hierarchy, data) = self.registry().get(parent)?;
+        let (hierarchy, data) = self.lock_registry().get(parent)?;
         let mut derived = (*data).clone();
         delta
             .apply_to(&hierarchy, &mut derived)
@@ -442,7 +453,7 @@ impl Engine {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        self.registry()
+        self.lock_registry()
             .insert(handle, hierarchy, Arc::new(derived))?;
         self.shared.counters.derived.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
@@ -470,7 +481,7 @@ impl Engine {
 
     /// Number of datasets currently held by the prepared registry.
     pub fn prepared_len(&self) -> usize {
-        self.registry().len()
+        self.lock_registry().len()
     }
 
     /// Enqueues a release of a prepared dataset. Equivalent to
@@ -488,7 +499,7 @@ impl Engine {
         // Resolution holds only the registry lock; the job keeps its
         // `Arc`s from here on, so a concurrent unprepare/eviction
         // can't invalidate the submission being admitted.
-        let (hierarchy, data) = self.registry().get(handle)?;
+        let (hierarchy, data) = self.lock_registry().get(handle)?;
         let key = (self.shared.config.cache_capacity > 0)
             .then(|| request_fingerprint(handle.0, hierarchy.num_levels(), &config, seed));
         self.admit(ReleaseRequest::new(hierarchy, data, config, seed), key)
@@ -508,8 +519,8 @@ impl Engine {
         // identical submission at worst enqueues twice, and the
         // worker-side re-check at expansion serves the second from
         // the cache anyway.
-        let cached = key.and_then(|k| self.cache().get(k));
-        let mut state = self.lock();
+        let cached = key.and_then(|k| self.lock_cache().get(k));
+        let mut state = self.lock_state();
         if let Some(result) = cached {
             let id = JobId(state.next_id);
             state.next_id += 1;
@@ -550,13 +561,13 @@ impl Engine {
 
     /// Snapshot of a job's current status (`None` for unknown ids).
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        self.lock().jobs.get(&id).cloned()
+        self.lock_state().jobs.get(&id).cloned()
     }
 
     /// Blocks until the job finishes, returning the release and
     /// whether the cache served it.
     pub fn wait(&self, id: JobId) -> Result<(Arc<ReleaseResult>, bool), EngineError> {
-        let mut state = self.lock();
+        let mut state = self.lock_state();
         loop {
             match state.jobs.get(&id) {
                 None => return Err(EngineError::UnknownJob(id)),
@@ -565,11 +576,7 @@ impl Engine {
                 }
                 Some(JobStatus::Failed(msg)) => return Err(EngineError::JobFailed(msg.clone())),
                 Some(_) => {
-                    state = self
-                        .shared
-                        .done
-                        .wait(state)
-                        .expect("engine state lock poisoned");
+                    state = state.wait(&self.shared.done);
                 }
             }
         }
@@ -580,7 +587,7 @@ impl Engine {
     /// only for five copies), so `completed + failed ≤ submitted` and
     /// `cache_hits + cache_misses ≤ submitted` hold even mid-flight.
     pub fn stats(&self) -> EngineStats {
-        let state = self.lock();
+        let state = self.lock_state();
         self.stats_locked(&state)
     }
 
@@ -614,14 +621,14 @@ impl Engine {
     /// here by the caller; workers never stop to publish.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let (stats, queued) = {
-            let state = self.lock();
+            let state = self.lock_state();
             (self.stats_locked(&state), state.queue.len())
         };
         TelemetrySnapshot {
             stats,
             workers: self.shared.config.workers,
             queued,
-            prepared_datasets: self.registry().len(),
+            prepared_datasets: self.lock_registry().len(),
             uptime: self.shared.telemetry.uptime(),
             per_worker: self.shared.telemetry.worker_snapshots(),
             trace_enabled: self.shared.telemetry.tracing(),
@@ -639,7 +646,7 @@ impl Engine {
 
     /// Jobs currently waiting in the queue.
     pub fn queue_len(&self) -> usize {
-        self.lock().queue.len()
+        self.lock_state().queue.len()
     }
 
     /// The configuration the engine was started with.
@@ -659,32 +666,23 @@ impl Engine {
         self.shared.shutting_down.store(true, Ordering::Release);
         // Pass through the state lock before notifying so a worker
         // between its sleep-check and its wait can't miss the signal.
-        drop(self.lock());
+        drop(self.lock_state());
         self.shared.work.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared
-            .state
-            .lock()
-            .expect("engine state lock poisoned")
+    fn lock_state(&self) -> RankedGuard<'_, State> {
+        self.shared.state.lock()
     }
 
-    fn cache(&self) -> MutexGuard<'_, ResultCache> {
-        self.shared
-            .cache
-            .lock()
-            .expect("result cache lock poisoned")
+    fn lock_cache(&self) -> RankedGuard<'_, ResultCache> {
+        self.shared.cache.lock()
     }
 
-    fn registry(&self) -> MutexGuard<'_, DatasetRegistry> {
-        self.shared
-            .registry
-            .lock()
-            .expect("dataset registry lock poisoned")
+    fn lock_registry(&self) -> RankedGuard<'_, DatasetRegistry> {
+        self.shared.registry.lock()
     }
 }
 
@@ -748,7 +746,7 @@ fn worker_loop(shared: &Shared, me: usize) {
         // recorded once the worker wakes — live spans have no end.
         let mut idle_since: Option<Instant> = None;
         let next = {
-            let mut state = shared.state.lock().expect("engine state lock poisoned");
+            let mut state = shared.state.lock();
             // The claim came up dry: close its span at the point the
             // state lock was won, so a contended lock still shows up
             // as sched time rather than a hole in the trace.
@@ -770,7 +768,7 @@ fn worker_loop(shared: &Shared, me: usize) {
                     return;
                 }
                 idle_since.get_or_insert_with(Instant::now);
-                state = shared.work.wait(state).expect("engine state lock poisoned");
+                state = state.wait(&shared.work);
             }
         };
         record_idle(shared, me, idle_since);
@@ -843,19 +841,9 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
     // Submission missed the cache, but an identical job may have
     // completed while this one sat in the queue — re-check before
     // paying for a release.
-    let cached = key.and_then(|k| {
-        shared
-            .cache
-            .lock()
-            .expect("result cache lock poisoned")
-            .get(k)
-    });
+    let cached = key.and_then(|k| shared.cache.lock().get(k));
     if let Some(result) = cached {
-        shared
-            .state
-            .lock()
-            .expect("engine state lock poisoned")
-            .cache_hits += 1;
+        shared.state.lock().cache_hits += 1;
         finish_job(
             shared,
             id,
@@ -867,11 +855,7 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
         return;
     }
     let expand_t0 = Instant::now();
-    shared
-        .state
-        .lock()
-        .expect("engine state lock poisoned")
-        .cache_misses += 1;
+    shared.state.lock().cache_misses += 1;
     if !request.hierarchy.is_uniform_depth() {
         finish_job(
             shared,
@@ -884,7 +868,7 @@ fn expand_job(shared: &Shared, me: usize, job: QueuedJob) {
     shared.deques.push_job(me, &job);
     // Lock-then-notify (see the `work` field docs) so sleepy workers
     // can't miss these tasks.
-    drop(shared.state.lock().expect("engine state lock poisoned"));
+    drop(shared.state.lock());
     shared.work.notify_all();
     shared
         .telemetry
@@ -910,6 +894,7 @@ fn run_task(shared: &Shared, me: usize, task: &NodeTask, ws: &mut EstimatorWorks
         // buffers are fully overwritten per node.
         let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let request = &job.request;
+            // hcc-lint: allow(panic-policy, reason = "task.index < tasks.len() by construction: NodeTask indices are minted by ActiveJob::new from this very vector")
             job.tasks[task.index]
                 .iter()
                 .map(|&node| {
@@ -930,6 +915,7 @@ fn run_task(shared: &Shared, me: usize, task: &NodeTask, ws: &mut EstimatorWorks
                         &request.config,
                         job.eps_level,
                         node,
+                        // hcc-lint: allow(panic-policy, reason = "seeds has one slot per hierarchy node and `node` comes from this hierarchy's task list")
                         job.seeds[node.index()],
                         ws,
                     );
@@ -989,11 +975,7 @@ fn finalize_job(shared: &Shared, job: &ActiveJob) -> Result<JobStatus, String> {
     });
     outcome.map(|result| {
         if let Some(key) = job.key {
-            shared
-                .cache
-                .lock()
-                .expect("result cache lock poisoned")
-                .insert(key, Arc::clone(&result));
+            shared.cache.lock().insert(key, Arc::clone(&result));
         }
         JobStatus::Done {
             result,
@@ -1008,7 +990,7 @@ fn finish_job(shared: &Shared, id: JobId, status: Result<JobStatus, String>) {
         Ok(status) => (status, false),
         Err(msg) => (JobStatus::Failed(msg), true),
     };
-    let mut state = shared.state.lock().expect("engine state lock poisoned");
+    let mut state = shared.state.lock();
     state.finish(id, status, shared.config.retained_jobs);
     if failed {
         state.failed += 1;

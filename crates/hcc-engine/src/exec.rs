@@ -30,8 +30,8 @@
 //! larger table parse + per-node true-view aggregation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
+use crate::locks::{Rank, RankedMutex};
 use hcc_consistency::{
     estimate_node, node_seeds, subtree_tasks, top_down_from_estimates, ConsistencyError,
     HierarchicalCounts, TopDownConfig,
@@ -108,7 +108,8 @@ pub fn parallel_release_pooled(
         // Twice as many tasks as threads: slack for load balancing.
         let tasks = subtree_tasks(hierarchy, 2 * threads.max(1));
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<NodeEstimate>>> = Mutex::new(vec![None; n]);
+        let slots: RankedMutex<Vec<Option<NodeEstimate>>> =
+            RankedMutex::new(Rank::Job, vec![None; n]);
         std::thread::scope(|scope| {
             for _ in 0..threads.min(tasks.len()) {
                 scope.spawn(|| {
@@ -120,7 +121,7 @@ pub fn parallel_release_pooled(
                             .iter()
                             .map(|&node| (node.index(), estimate(node, &mut ws)))
                             .collect();
-                        let mut slots = slots.lock().expect("no worker panicked holding the lock");
+                        let mut slots = slots.lock();
                         for (i, e) in done {
                             slots[i] = Some(e);
                         }
@@ -131,7 +132,6 @@ pub fn parallel_release_pooled(
         });
         slots
             .into_inner()
-            .expect("all workers joined")
             .into_iter()
             .map(|e| e.expect("tasks cover every node exactly once"))
             .collect()

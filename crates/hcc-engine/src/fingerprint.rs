@@ -24,7 +24,7 @@ use hcc_hierarchy::Hierarchy;
 /// 128-bit FNV-1a, wide enough that accidental collisions between
 /// distinct requests are not a practical concern for an in-memory
 /// cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fingerprint(pub u128);
 
 impl std::fmt::Display for Fingerprint {

@@ -63,6 +63,11 @@
 //!   ([`EngineConfig::with_trace_capacity`]) whose dumps
 //!   ([`Engine::take_trace`], the `TRACE` verb, `hcc trace`) render
 //!   as Chrome-trace JSON ([`chrome_trace_json`]).
+//! * **[`locks`]** — every engine mutex is a rank-ordered
+//!   `RankedMutex` (state < cache < registry < lanes < gate < job <
+//!   telemetry); `debug_assertions` builds panic on any misordered
+//!   acquisition, and the `hcc-lint` static `lock-order` rule checks
+//!   the same order over the extracted acquisition graph.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +78,7 @@ mod engine;
 pub mod exec;
 pub mod fingerprint;
 mod job;
+pub mod locks;
 pub mod protocol;
 pub mod registry;
 mod scheduler;

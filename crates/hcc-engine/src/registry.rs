@@ -26,7 +26,7 @@
 //! eviction must re-prepare (not merely keep submitting) to count
 //! itself again.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use hcc_consistency::HierarchicalCounts;
@@ -42,7 +42,7 @@ const MAX_TOMBSTONES: usize = 1024;
 /// Content-addressed handle of a prepared dataset: the
 /// [`dataset_fingerprint`](crate::dataset_fingerprint) of its
 /// hierarchy + per-node histograms, rendered as `ds-<32 hex digits>`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DatasetHandle(pub Fingerprint);
 
 impl std::fmt::Display for DatasetHandle {
@@ -77,7 +77,9 @@ struct Entry {
 /// dataset.
 pub struct DatasetRegistry {
     capacity: usize,
-    entries: HashMap<DatasetHandle, Entry>,
+    /// Ordered by handle so any iteration over entries (wire listings,
+    /// logs) is deterministic; LRU recency lives in `order`.
+    entries: BTreeMap<DatasetHandle, Entry>,
     /// Front = least recently used.
     order: VecDeque<DatasetHandle>,
     /// Recently evicted handles, oldest first (bounded).
@@ -90,7 +92,7 @@ impl DatasetRegistry {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             tombstones: VecDeque::new(),
         }

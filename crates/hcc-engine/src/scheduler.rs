@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hcc_consistency::{node_seeds, subtree_tasks};
@@ -35,6 +35,7 @@ use rand::SeedableRng;
 
 use crate::fingerprint::Fingerprint;
 use crate::job::{JobId, ReleaseRequest};
+use crate::locks::{Rank, RankedMutex};
 
 /// A job whose subtree tasks are in (or entering) the task pool.
 ///
@@ -62,12 +63,12 @@ pub(crate) struct ActiveJob {
     /// here, spanning every task plus the top-down phase.
     pub started: Instant,
     /// One slot per node, filled by whichever task covers it.
-    estimates: Mutex<Vec<Option<NodeEstimate>>>,
+    estimates: RankedMutex<Vec<Option<NodeEstimate>>>,
     /// Tasks not yet finished; the worker decrementing this to zero
     /// finalizes the job.
     remaining: AtomicUsize,
     /// First failure message wins; later ones are dropped.
-    failure: Mutex<Option<String>>,
+    failure: RankedMutex<Option<String>>,
     /// Quick-check flag for [`ActiveJob::failure`]: once set, tasks
     /// still in the pool skip their estimation work entirely.
     cancelled: AtomicBool,
@@ -98,8 +99,8 @@ impl ActiveJob {
             remaining: AtomicUsize::new(tasks.len()),
             tasks,
             started: Instant::now(),
-            estimates: Mutex::new(vec![None; slots]),
-            failure: Mutex::new(None),
+            estimates: RankedMutex::new(Rank::Job, vec![None; slots]),
+            failure: RankedMutex::new(Rank::Job, None),
             cancelled: AtomicBool::new(false),
             request,
         }
@@ -115,7 +116,7 @@ impl ActiveJob {
     /// Records a task failure and cancels the job's remaining tasks.
     /// The first message is the one surfaced to waiters.
     pub fn record_failure(&self, message: String) {
-        let mut failure = self.failure.lock().expect("job failure lock poisoned");
+        let mut failure = self.failure.lock();
         if failure.is_none() {
             *failure = Some(message);
         }
@@ -125,8 +126,9 @@ impl ActiveJob {
 
     /// Stores one task's `(node index, estimate)` results.
     pub fn store(&self, results: Vec<(usize, NodeEstimate)>) {
-        let mut estimates = self.estimates.lock().expect("job estimates lock poisoned");
+        let mut estimates = self.estimates.lock();
         for (index, estimate) in results {
+            // hcc-lint: allow(panic-policy, reason = "index originates from node.index() of this job's own hierarchy; estimates was sized to num_nodes at construction")
             estimates[index] = Some(estimate);
         }
     }
@@ -140,17 +142,11 @@ impl ActiveJob {
     /// After the last task: the full estimate vector in
     /// `hierarchy.iter()` order, or the first failure message.
     pub fn take_outcome(&self) -> Result<Vec<NodeEstimate>, String> {
-        if let Some(message) = self
-            .failure
-            .lock()
-            .expect("job failure lock poisoned")
-            .take()
-        {
+        if let Some(message) = self.failure.lock().take() {
             return Err(message);
         }
         self.estimates
             .lock()
-            .expect("job estimates lock poisoned")
             .drain(..)
             .map(|slot| slot.ok_or_else(|| "internal: node estimate missing".to_string()))
             .collect()
@@ -168,30 +164,30 @@ impl ActiveJob {
 /// configurations degrade to the single-core schedule instead of
 /// below it.
 pub(crate) struct ComputeGate {
-    permits: Mutex<usize>,
+    permits: RankedMutex<usize>,
     released: std::sync::Condvar,
 }
 
 impl ComputeGate {
     pub fn new(limit: usize) -> Self {
         Self {
-            permits: Mutex::new(limit.max(1)),
+            permits: RankedMutex::new(Rank::Gate, limit.max(1)),
             released: std::sync::Condvar::new(),
         }
     }
 
     /// Blocks until a compute permit is free and takes it.
     pub fn acquire(&self) {
-        let mut permits = self.permits.lock().expect("compute gate poisoned");
+        let mut permits = self.permits.lock();
         while *permits == 0 {
-            permits = self.released.wait(permits).expect("compute gate poisoned");
+            permits = permits.wait(&self.released);
         }
         *permits -= 1;
     }
 
     /// Returns a permit and wakes one waiting worker.
     pub fn release(&self) {
-        let mut permits = self.permits.lock().expect("compute gate poisoned");
+        let mut permits = self.permits.lock();
         *permits += 1;
         drop(permits);
         self.released.notify_one();
@@ -207,7 +203,7 @@ pub(crate) struct NodeTask {
 /// The engine-wide task pool: one deque per worker plus a pool-wide
 /// pending count the sleep/wake protocol in `engine.rs` reads.
 pub(crate) struct TaskDeques {
-    lanes: Vec<Mutex<VecDeque<NodeTask>>>,
+    lanes: Vec<RankedMutex<VecDeque<NodeTask>>>,
     /// Tasks pushed but not yet popped or stolen. Advisory on its own
     /// — sleep decisions pair it with the engine state lock (see the
     /// lost-wakeup note in `engine.rs`).
@@ -218,7 +214,7 @@ impl TaskDeques {
     pub fn new(workers: usize) -> Self {
         Self {
             lanes: (0..workers.max(1))
-                .map(|_| Mutex::new(VecDeque::new()))
+                .map(|_| RankedMutex::new(Rank::Lanes, VecDeque::new()))
                 .collect(),
             pending: AtomicUsize::new(0),
         }
@@ -233,7 +229,8 @@ impl TaskDeques {
     /// Pushes every task of `job` onto `worker`'s own lane: task 0
     /// lands at the steal end, the last task at the owner's end.
     pub fn push_job(&self, worker: usize, job: &Arc<ActiveJob>) {
-        let mut lane = self.lanes[worker].lock().expect("task lane poisoned");
+        // hcc-lint: allow(panic-policy, reason = "worker < lanes.len(): the caller is engine worker `worker` of the pool the lanes were sized for")
+        let mut lane = self.lanes[worker].lock();
         for index in 0..job.tasks.len() {
             lane.push_back(NodeTask {
                 job: Arc::clone(job),
@@ -247,10 +244,8 @@ impl TaskDeques {
     /// Owner pop: newest first, keeping the worker on the job it just
     /// expanded while thieves drain the other end.
     pub fn pop(&self, worker: usize) -> Option<NodeTask> {
-        let task = self.lanes[worker]
-            .lock()
-            .expect("task lane poisoned")
-            .pop_back()?;
+        // hcc-lint: allow(panic-policy, reason = "worker < lanes.len(): the caller is engine worker `worker` of the pool the lanes were sized for")
+        let task = self.lanes[worker].lock().pop_back()?;
         self.pending.fetch_sub(1, Ordering::AcqRel);
         Some(task)
     }
@@ -266,10 +261,8 @@ impl TaskDeques {
         let mut failed_probes = 0;
         for offset in 1..lanes {
             let victim = (thief + offset) % lanes;
-            let task = self.lanes[victim]
-                .lock()
-                .expect("task lane poisoned")
-                .pop_front();
+            // hcc-lint: allow(panic-policy, reason = "victim = (thief + offset) % lanes.len() is in bounds by the modulo")
+            let task = self.lanes[victim].lock().pop_front();
             if let Some(task) = task {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
                 return (Some(task), failed_probes);

@@ -81,7 +81,9 @@ struct ConnectionGuard(Arc<AtomicUsize>);
 
 impl Drop for ConnectionGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        // Release pairs with the acquire half of the accept loop's
+        // fetch_add, so a reused slot observes the finished handler.
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -105,7 +107,7 @@ impl ServerHandle {
     }
 
     fn stop_accepting(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         // Unblock the accept() call with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -143,7 +145,7 @@ pub fn serve_with(
             let live = Arc::new(AtomicUsize::new(0));
             let max_connections = config.max_connections;
             for conn in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
+                if accept_stop.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = conn else {
@@ -153,8 +155,8 @@ pub fn serve_with(
                     std::thread::sleep(std::time::Duration::from_millis(50));
                     continue;
                 };
-                if live.fetch_add(1, Ordering::SeqCst) >= max_connections {
-                    live.fetch_sub(1, Ordering::SeqCst);
+                if live.fetch_add(1, Ordering::AcqRel) >= max_connections {
+                    live.fetch_sub(1, Ordering::AcqRel);
                     let mut stream = stream;
                     let _ = writeln!(stream, "ERR server busy ({max_connections} connections)");
                     continue;
@@ -401,8 +403,12 @@ fn read_sections(
                 SubmitFailure::Io(e)
             }
         })?;
-        match labels.iter().position(|&l| l == label) {
-            Some(i) => sections[i] = Some(body),
+        match labels
+            .iter()
+            .position(|&l| l == label)
+            .and_then(|i| sections.get_mut(i))
+        {
+            Some(slot) => *slot = Some(body),
             None => {
                 bad_section.get_or_insert_with(|| format!("unknown section {label:?}"));
             }

@@ -37,8 +37,9 @@
 //! crates.io access) and `unsafe`-free like the rest of the crate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::locks::{Rank, RankedMutex};
 
 use hcc_consistency::LevelMethod;
 
@@ -100,6 +101,7 @@ impl AtomicHistogram {
     /// Records one duration.
     pub fn record(&self, d: Duration) {
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        // hcc-lint: allow(panic-policy, reason = "bucket_of clamps to BUCKETS - 1")
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -285,6 +287,7 @@ impl WorkerMetrics {
 
     /// The estimation histogram for one method family.
     pub fn estimate_for(&self, kind: MethodKind) -> &AtomicHistogram {
+        // hcc-lint: allow(panic-policy, reason = "kind.index() < 5 by definition and estimate is [_; 5]")
         &self.estimate[kind.index()]
     }
 
@@ -294,6 +297,7 @@ impl WorkerMetrics {
             expand: self.expand.snapshot(),
             gate_wait: self.gate_wait.snapshot(),
             task_run: self.task_run.snapshot(),
+            // hcc-lint: allow(panic-policy, reason = "k.index() < 5 by definition and estimate is [_; 5]")
             estimate: MethodKind::ALL.map(|k| self.estimate[k.index()].snapshot()),
             finalize: self.finalize.snapshot(),
             idle: self.idle.snapshot(),
@@ -357,6 +361,7 @@ impl WorkerSnapshot {
 
     /// The estimation snapshot for one method family.
     pub fn estimate_for(&self, kind: MethodKind) -> &HistogramSnapshot {
+        // hcc-lint: allow(panic-policy, reason = "kind.index() < 5 by definition and estimate is [_; 5]")
         &self.estimate[kind.index()]
     }
 }
@@ -491,6 +496,7 @@ impl SpanRing {
         if self.events.len() < capacity {
             self.events.push(event);
         } else {
+            // hcc-lint: allow(panic-policy, reason = "next < capacity == events.len() here: maintained by the modulo below and the branch above")
             self.events[self.next] = event;
             self.next = (self.next + 1) % capacity;
             self.dropped += 1;
@@ -503,7 +509,7 @@ impl SpanRing {
 pub(crate) struct Telemetry {
     epoch: Instant,
     workers: Vec<WorkerMetrics>,
-    rings: Vec<Mutex<SpanRing>>,
+    rings: Vec<RankedMutex<SpanRing>>,
     /// Per-worker ring capacity; `0` disables span recording (the
     /// histograms and counters above stay always-on).
     trace_capacity: usize,
@@ -516,11 +522,14 @@ impl Telemetry {
             workers: (0..workers).map(|_| WorkerMetrics::new()).collect(),
             rings: (0..workers)
                 .map(|_| {
-                    Mutex::new(SpanRing {
-                        events: Vec::new(),
-                        next: 0,
-                        dropped: 0,
-                    })
+                    RankedMutex::new(
+                        Rank::Telemetry,
+                        SpanRing {
+                            events: Vec::new(),
+                            next: 0,
+                            dropped: 0,
+                        },
+                    )
                 })
                 .collect(),
             trace_capacity,
@@ -529,6 +538,7 @@ impl Telemetry {
 
     /// The metric block worker `i` writes.
     pub fn worker(&self, i: usize) -> &WorkerMetrics {
+        // hcc-lint: allow(panic-policy, reason = "i is an engine worker index; both vectors were sized to the worker count at construction")
         &self.workers[i]
     }
 
@@ -574,10 +584,8 @@ impl Telemetry {
         };
         // Owner-only writes: this lock is uncontended except while a
         // TRACE dump drains the ring.
-        self.rings[worker]
-            .lock()
-            .expect("span ring poisoned")
-            .push(event, self.trace_capacity);
+        // hcc-lint: allow(panic-policy, reason = "worker is an engine worker index; rings was sized to the worker count at construction")
+        self.rings[worker].lock().push(event, self.trace_capacity);
     }
 
     /// Drains every worker's ring, returning all recorded spans in
@@ -585,7 +593,7 @@ impl Telemetry {
     pub fn take_spans(&self) -> Vec<SpanEvent> {
         let mut all = Vec::new();
         for ring in &self.rings {
-            let mut ring = ring.lock().expect("span ring poisoned");
+            let mut ring = ring.lock();
             all.append(&mut ring.events);
             ring.next = 0;
         }
@@ -595,10 +603,7 @@ impl Telemetry {
 
     /// Spans overwritten because a ring was full.
     pub fn spans_dropped(&self) -> u64 {
-        self.rings
-            .iter()
-            .map(|r| r.lock().expect("span ring poisoned").dropped)
-            .sum()
+        self.rings.iter().map(|ring| ring.lock().dropped).sum()
     }
 
     /// Per-worker metric snapshots.

@@ -1,0 +1,484 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer only needs a *token stream*, not a parse tree, so this lexer
+//! focuses on the places where naive text matching goes wrong:
+//!
+//! - raw strings (`r"..."`, `r#"..."#`, arbitrary `#` depth, `b` prefixes),
+//!   so a banned identifier inside a string literal is never a finding;
+//! - `'a` lifetimes vs `'a'` char literals (one token of lookahead after the
+//!   quoted identifier decides which);
+//! - nested block comments (`/* /* */ */`) with doc-comment classification,
+//!   so rule text quoted in documentation never trips a rule;
+//! - doc comments carrying code-looking text (`` /// call `.lock()` ``).
+//!
+//! Every token records the 1-based source line it starts on, which is all the
+//! rule layer needs to report findings and match waiver comments.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `match`, raw identifiers `r#match`).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`).
+    Lifetime,
+    /// A character literal such as `'x'` or `b'\n'`.
+    Char,
+    /// A regular (escaped) string literal, including `b"..."`.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` / `br#"..."#`.
+    RawStr,
+    /// A numeric literal (integer or float, any base, with suffixes).
+    Num,
+    /// A `//` comment; `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// A `/* */` comment (possibly nested); `doc` is true for `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// Any single punctuation character (`.`, `(`, `[`, `#`, ...).
+    Punct,
+}
+
+/// A single token with its text and starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For `Ident` this is the identifier itself (raw
+    /// identifiers keep their `r#` prefix); for comments it is the full
+    /// comment text including delimiters; for `Punct` a single character.
+    pub text: String,
+    /// 1-based line number the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+        )
+    }
+
+    /// True if this token is an identifier with exactly the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+        }
+        Some(ch)
+    }
+}
+
+fn is_ident_start(ch: char) -> bool {
+    ch.is_alphabetic() || ch == '_'
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '_'
+}
+
+/// Lex `src` into a flat token stream. Unrecognized bytes become `Punct`
+/// tokens; the lexer never fails.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(ch) = cur.peek() {
+        let line = cur.line;
+        if ch.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if ch == '/' && cur.peek_at(1) == Some('/') {
+            out.push(lex_line_comment(&mut cur, line));
+            continue;
+        }
+        if ch == '/' && cur.peek_at(1) == Some('*') {
+            out.push(lex_block_comment(&mut cur, line));
+            continue;
+        }
+        if let Some(tok) = try_lex_prefixed_literal(&mut cur, line) {
+            out.push(tok);
+            continue;
+        }
+        if ch == '\'' {
+            out.push(lex_quote(&mut cur, line));
+            continue;
+        }
+        if ch == '"' {
+            out.push(lex_string(&mut cur, line));
+            continue;
+        }
+        if is_ident_start(ch) {
+            out.push(lex_ident(&mut cur, line));
+            continue;
+        }
+        if ch.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line));
+            continue;
+        }
+        cur.bump();
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: ch.to_string(),
+            line,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if ch == '\n' {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    Token {
+        kind: TokKind::LineComment { doc },
+        text,
+        line,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    text.push(cur.bump().unwrap_or('/'));
+    text.push(cur.bump().unwrap_or('*'));
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.peek() {
+            None => break,
+            Some('/') if cur.peek_at(1) == Some('*') => {
+                depth += 1;
+                text.push(cur.bump().unwrap_or('/'));
+                text.push(cur.bump().unwrap_or('*'));
+            }
+            Some('*') if cur.peek_at(1) == Some('/') => {
+                depth -= 1;
+                text.push(cur.bump().unwrap_or('*'));
+                text.push(cur.bump().unwrap_or('/'));
+            }
+            Some(ch) => {
+                text.push(ch);
+                cur.bump();
+            }
+        }
+    }
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!");
+    Token {
+        kind: TokKind::BlockComment { doc },
+        text,
+        line,
+    }
+}
+
+/// Handle `r`/`b` prefixed literals: `r"..."`, `r#"..."#`, `b"..."`,
+/// `br#"..."#`, `b'x'`, and raw identifiers `r#ident`. Returns `None` when
+/// the `r`/`b` is just the start of a plain identifier.
+fn try_lex_prefixed_literal(cur: &mut Cursor, line: u32) -> Option<Token> {
+    let first = cur.peek()?;
+    if first != 'r' && first != 'b' {
+        return None;
+    }
+    // Byte char / byte string: b'..' / b"..".
+    if first == 'b' {
+        match cur.peek_at(1) {
+            Some('\'') => {
+                cur.bump(); // b
+                let mut tok = lex_quote(cur, line);
+                tok.text.insert(0, 'b');
+                return Some(tok);
+            }
+            Some('"') => {
+                cur.bump(); // b
+                let mut tok = lex_string(cur, line);
+                tok.text.insert(0, 'b');
+                return Some(tok);
+            }
+            Some('r') => {
+                // Possibly br"..." / br#"..."#.
+                let mut offset = 2;
+                let mut hashes = 0usize;
+                while cur.peek_at(offset) == Some('#') {
+                    hashes += 1;
+                    offset += 1;
+                }
+                if cur.peek_at(offset) == Some('"') {
+                    cur.bump(); // b
+                    cur.bump(); // r
+                    let mut tok = lex_raw_string(cur, line, hashes);
+                    tok.text.insert_str(0, "br");
+                    return Some(tok);
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    // first == 'r': raw string r"..." / r#"..."# or raw identifier r#ident.
+    let mut offset = 1;
+    let mut hashes = 0usize;
+    while cur.peek_at(offset) == Some('#') {
+        hashes += 1;
+        offset += 1;
+    }
+    match cur.peek_at(offset) {
+        Some('"') => {
+            cur.bump(); // r
+            let mut tok = lex_raw_string(cur, line, hashes);
+            tok.text.insert(0, 'r');
+            Some(tok)
+        }
+        Some(ch) if hashes == 1 && is_ident_start(ch) => {
+            // Raw identifier r#ident: keep the prefix so `r#match` never
+            // collides with the identifier `match` in rule tables.
+            cur.bump(); // r
+            cur.bump(); // #
+            let mut text = String::from("r#");
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Some(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Lex a raw string starting at the `#...#"` run (the `r`/`br` prefix has
+/// already been consumed). `hashes` is the number of `#` before the quote.
+fn lex_raw_string(cur: &mut Cursor, line: u32, hashes: usize) -> Token {
+    let mut text = String::new();
+    for _ in 0..hashes {
+        text.push(cur.bump().unwrap_or('#'));
+    }
+    text.push(cur.bump().unwrap_or('"'));
+    loop {
+        match cur.peek() {
+            None => break,
+            Some('"') => {
+                // Check for closing quote followed by `hashes` hash marks.
+                let mut matched = true;
+                for i in 0..hashes {
+                    if cur.peek_at(1 + i) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                text.push(cur.bump().unwrap_or('"'));
+                if matched {
+                    for _ in 0..hashes {
+                        text.push(cur.bump().unwrap_or('#'));
+                    }
+                    break;
+                }
+            }
+            Some(ch) => {
+                text.push(ch);
+                cur.bump();
+            }
+        }
+    }
+    Token {
+        kind: TokKind::RawStr,
+        text,
+        line,
+    }
+}
+
+/// Lex a token starting with `'`: either a lifetime (`'a`) or a char
+/// literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+fn lex_quote(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('\'')); // opening '
+    match cur.peek() {
+        Some('\\') => {
+            // Escape: definitely a char literal.
+            text.push(cur.bump().unwrap_or('\\'));
+            // The escaped character is consumed unconditionally — it may
+            // itself be a quote ('\'') or backslash ('\\').
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            // Then anything up to the closing quote (covers \u{...} and
+            // \x7f forms).
+            while let Some(ch) = cur.peek() {
+                text.push(ch);
+                cur.bump();
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+            }
+        }
+        Some(ch) if is_ident_start(ch) => {
+            // Could be a lifetime ('a, 'static) or a char ('a'). Scan the
+            // identifier, then peek: a closing quote makes it a char.
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().unwrap_or('\''));
+                Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                }
+            } else {
+                Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                }
+            }
+        }
+        Some(_) => {
+            // Non-identifier char like '[' or '{': a char literal.
+            text.push(cur.bump().unwrap_or('?'));
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().unwrap_or('\''));
+            }
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+            }
+        }
+        None => Token {
+            kind: TokKind::Punct,
+            text,
+            line,
+        },
+    }
+}
+
+fn lex_string(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('"')); // opening "
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            text.push(cur.bump().unwrap_or('\\'));
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    // Integer part, hex/oct/bin prefixes, underscores, suffixes: consume
+    // alphanumerics and underscores greedily.
+    while let Some(ch) = cur.peek() {
+        if ch.is_alphanumeric() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+            continue;
+        }
+        // A `.` continues the number only when followed by a digit, so
+        // `0..n` and `1.max(x)` lex as Num Punct Punct Ident, not floats.
+        if ch == '.' && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push(ch);
+            cur.bump();
+            continue;
+        }
+        // Exponent sign: 1e-9 / 2.5E+3.
+        if (ch == '+' || ch == '-')
+            && (text.ends_with('e') || text.ends_with('E'))
+            && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(ch);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    Token {
+        kind: TokKind::Num,
+        text,
+        line,
+    }
+}

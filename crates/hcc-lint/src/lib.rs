@@ -1,0 +1,188 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `hcc-lint` — project-invariant static analysis for the hccount workspace.
+//!
+//! Clippy and rustc check Rust; this crate checks *this system*. The
+//! invariants it guards (bit-identical releases across worker counts, a
+//! cycle-free engine lock order, Relaxed-only telemetry, panic-free
+//! server/worker paths, noise drawn only through `hcc-noise`) are not
+//! expressible as generic lints, so — like the PR 2 work queue and the PR 7
+//! telemetry before it — the analyzer is hand-rolled and std-only.
+//!
+//! Pipeline: [`lexer`] turns each file into a token stream (raw strings,
+//! lifetimes vs chars, nested/doc comments all handled), [`syntax`] layers
+//! on `#[cfg(test)]` region masks and waiver comments, and [`rules`] runs
+//! the registry over the result. See `docs/lints.md` for the rule catalog
+//! and waiver syntax:
+//!
+//! ```text
+//! // hcc-lint: allow(<rule>, reason = "why this site is sound")
+//! ```
+//!
+//! A waiver covers its own line and the line directly below it; a waiver
+//! without a reason, or naming an unknown rule, is itself a finding.
+
+pub mod lexer;
+pub mod rules;
+pub mod syntax;
+
+use rules::lock_order::LockGraph;
+use rules::{lock_order, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use syntax::SourceFile;
+
+/// The result of linting a set of files.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived waiver filtering, sorted by (path, line).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by well-formed waivers.
+    pub waived: usize,
+    /// Number of files scanned.
+    pub files: usize,
+    /// The accumulated engine lock graph.
+    pub lock_graph: LockGraph,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lint already-parsed files.
+pub fn lint_files(files: &[SourceFile]) -> Report {
+    let mut findings = Vec::new();
+    let mut graph = LockGraph::default();
+    for f in files {
+        rules::determinism::check(f, &mut findings);
+        rules::atomics::check(f, &mut findings);
+        rules::panic_policy::check(f, &mut findings);
+        rules::noise::check(f, &mut findings);
+        rules::hygiene::check(f, &mut findings);
+        lock_order::scan(f, &mut graph, &mut findings);
+    }
+    lock_order::finalize(&graph, &mut findings);
+
+    // Apply waivers, then report waiver problems themselves.
+    let mut waived = 0usize;
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    findings.retain(|fi| {
+        let covered = by_path
+            .get(fi.path.as_str())
+            .is_some_and(|f| f.waives(fi.rule, fi.line));
+        if covered {
+            waived += 1;
+        }
+        !covered
+    });
+    for f in files {
+        for w in &f.waivers {
+            if let Some(problem) = &w.malformed {
+                findings.push(Finding {
+                    rule: "waiver",
+                    path: f.rel.clone(),
+                    line: w.line,
+                    message: format!("malformed waiver: {problem}"),
+                });
+            } else if rules::rule_named(&w.rule).is_none() {
+                findings.push(Finding {
+                    rule: "waiver",
+                    path: f.rel.clone(),
+                    line: w.line,
+                    message: format!("waiver names unknown rule `{}`", w.rule),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Report {
+        findings,
+        waived,
+        files: files.len(),
+        lock_graph: graph,
+    }
+}
+
+/// Collect and parse every workspace source file in scope: `src/**/*.rs` of
+/// the root package and of each crate under `crates/`. Vendored shims,
+/// `target/`, tests, benches and fixtures are never scanned — the rules
+/// govern shipped code.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut src_dirs: Vec<(PathBuf, PathBuf)> = Vec::new(); // (dir, base-for-rel)
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        src_dirs.push((root_src, root.to_path_buf()));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            let src = c.join("src");
+            if src.is_dir() {
+                src_dirs.push((src, root.to_path_buf()));
+            }
+        }
+    }
+    for (dir, base) in src_dirs {
+        walk_rs(&dir, &base, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, base: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, base, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(base)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(rel, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_workspace_files(root)?;
+    Ok(lint_files(&files))
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+
+//! CLI for the hccount project-invariant analyzer.
+//!
+//! ```text
+//! hcc-lint [--deny all] [--root PATH] [--lock-graph] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (with `--deny all`), 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hcc-lint [--deny all] [--root PATH] [--lock-graph] [--list-rules]\n\
+         \n\
+         --deny all     exit nonzero when any finding survives waivers (default: on)\n\
+         --root PATH    workspace root (default: walk up to the [workspace] manifest)\n\
+         --lock-graph   print the extracted hcc-engine lock graph\n\
+         --list-rules   print the rule registry and exit"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut show_graph = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => {
+                // `--deny all` is the only (and default) policy; accept and
+                // validate the operand for forward compatibility.
+                match args.next().as_deref() {
+                    Some("all") => {}
+                    _ => return usage(),
+                }
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--lock-graph" => show_graph = true,
+            "--list-rules" => {
+                for rule in &hcc_lint::rules::RULES {
+                    println!("{:<16} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match hcc_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "hcc-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match hcc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("hcc-lint: failed to read workspace: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if show_graph {
+        print!("{}", report.lock_graph.render());
+    }
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "hcc-lint: {} file(s) scanned, {} finding(s), {} waived",
+        report.files,
+        report.findings.len(),
+        report.waived
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,51 @@
+//! Rule `atomics`: atomic-ordering discipline.
+//!
+//! Two invariants:
+//!
+//! 1. The telemetry subsystem (`crates/hcc-engine/src/telemetry.rs`) is a
+//!    monitoring plane: its counters tolerate torn cross-counter reads by
+//!    design and must stay `Relaxed`-only, so adding a counter can never
+//!    introduce a synchronization edge (or cost) into the hot path.
+//! 2. `SeqCst` is banned workspace-wide without a waiver stating why the
+//!    weaker acquire/release pairing is insufficient. Every existing use was
+//!    a default, not a decision; the rule keeps it that way.
+
+use crate::rules::Finding;
+use crate::syntax::SourceFile;
+
+const TELEMETRY_FILE: &str = "crates/hcc-engine/src/telemetry.rs";
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let telemetry = file.rel == TELEMETRY_FILE;
+    for (i, tok) in file.code() {
+        if tok.is_ident("SeqCst") {
+            out.push(Finding {
+                rule: "atomics",
+                path: file.rel.clone(),
+                line: tok.line,
+                message: "`SeqCst` requires a waiver explaining why acquire/release \
+                          ordering is insufficient"
+                    .to_string(),
+            });
+            continue;
+        }
+        if telemetry && ORDERINGS.contains(&tok.text.as_str()) && tok.text != "Relaxed" {
+            // Only flag actual `Ordering::X` uses, not stray identifiers.
+            let qualified = file.prev_code(i).is_some_and(|p| p.is_punct(':'));
+            if qualified {
+                out.push(Finding {
+                    rule: "atomics",
+                    path: file.rel.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "telemetry counters are Relaxed-only; found `Ordering::{}`",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}

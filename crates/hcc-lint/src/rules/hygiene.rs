@@ -1,0 +1,65 @@
+//! Rule `hygiene`: crate roots carry the workspace hygiene attributes.
+//!
+//! Every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must open
+//! with `#![forbid(unsafe_code)]`; library roots must additionally carry a
+//! `missing_docs` lint attribute (`#![warn(missing_docs)]` or stronger).
+//! The ten `hcc-*` crates established this convention; the rule stops new
+//! crates (and the root facade/binary) from drifting.
+
+use crate::rules::Finding;
+use crate::syntax::SourceFile;
+
+/// True when `rel` is a crate root this rule audits.
+pub fn in_scope(rel: &str) -> bool {
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    let is_root_name = file == "lib.rs" || file == "main.rs";
+    let parent_is_src = rel.ends_with(&format!("src/{file}"));
+    let in_bin = rel.contains("/bin/") || rel.starts_with("src/bin/");
+    (is_root_name && parent_is_src) || in_bin
+}
+
+fn is_lib(rel: &str) -> bool {
+    rel.ends_with("lib.rs")
+}
+
+/// Scan the inner attributes at the top of the file for the two markers.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(&file.rel) {
+        return;
+    }
+    let mut has_forbid_unsafe = false;
+    let mut has_missing_docs = false;
+    // Inner attributes can only appear before any item; scanning the whole
+    // token stream for the ident pair is a safe over-approximation.
+    let toks: Vec<_> = file.code().map(|(_, t)| t).collect();
+    for w in toks.windows(4) {
+        if w[0].is_ident("forbid")
+            && w[1].is_punct('(')
+            && w[2].is_ident("unsafe_code")
+            && w[3].is_punct(')')
+        {
+            has_forbid_unsafe = true;
+        }
+    }
+    if toks.iter().any(|t| t.is_ident("missing_docs")) {
+        has_missing_docs = true;
+    }
+    if !has_forbid_unsafe {
+        out.push(Finding {
+            rule: "hygiene",
+            path: file.rel.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    if is_lib(&file.rel) && !has_missing_docs {
+        out.push(Finding {
+            rule: "hygiene",
+            path: file.rel.clone(),
+            line: 1,
+            message: "library root is missing a `missing_docs` lint attribute \
+                      (e.g. `#![warn(missing_docs)]`)"
+                .to_string(),
+        });
+    }
+}

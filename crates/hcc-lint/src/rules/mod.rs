@@ -1,0 +1,85 @@
+//! The rule registry.
+//!
+//! Each rule is a pure function from a [`SourceFile`](crate::syntax::SourceFile)
+//! to findings; the
+//! lock-order rule additionally accumulates a cross-file lock graph that is
+//! finalized once all files are scanned. Rule names are stable identifiers —
+//! they are what waiver comments reference.
+
+pub mod atomics;
+pub mod determinism;
+pub mod hygiene;
+pub mod lock_order;
+pub mod noise;
+pub mod panic_policy;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule name (matches [`RULES`] and waiver comments).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Static metadata about a rule, for `--list-rules` and waiver validation.
+pub struct RuleInfo {
+    /// Stable rule name referenced by waiver comments.
+    pub name: &'static str,
+    /// One-line summary of the invariant the rule guards.
+    pub summary: &'static str,
+}
+
+/// All registered rules. The pseudo-rule `waiver` (malformed or unknown-rule
+/// waiver comments) is reported under its own name but is not waivable.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        name: "determinism",
+        summary: "no HashMap/HashSet/RandomState/thread_rng/SystemTime on the release path \
+                  (releases must be bit-identical across worker counts)",
+    },
+    RuleInfo {
+        name: "lock-order",
+        summary: "every .lock() site in hcc-engine maps to a declared rank; the static \
+                  nesting graph must be cycle-free and respect \
+                  state < cache < registry < lanes < gate < job < telemetry",
+    },
+    RuleInfo {
+        name: "atomics",
+        summary: "telemetry counters are Relaxed-only; SeqCst anywhere requires a waiver \
+                  with a reason",
+    },
+    RuleInfo {
+        name: "panic-policy",
+        summary: "no unwrap/expect/slice-index panics on server-connection and worker-task \
+                  paths outside #[cfg(test)]",
+    },
+    RuleInfo {
+        name: "noise-discipline",
+        summary: "DoubleGeometric is constructed only inside hcc-noise; release-path seeds \
+                  derive only from node_seeds",
+    },
+    RuleInfo {
+        name: "hygiene",
+        summary: "crate roots carry #![forbid(unsafe_code)] and a missing_docs lint attr",
+    },
+];
+
+/// Look up a rule by name.
+pub fn rule_named(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}

@@ -1,0 +1,254 @@
+//! Lightweight syntactic layer over the token stream.
+//!
+//! Provides the two pieces of structure the rules need beyond raw tokens:
+//!
+//! 1. **Test regions** — a per-token `in_test` mask covering items annotated
+//!    `#[test]` / `#[cfg(test)]` (and `cfg(any(.., test, ..))` variants),
+//!    tracked by balanced-brace scanning so whole `mod tests { ... }` bodies
+//!    are excluded from rules that only govern shipped code.
+//! 2. **Waivers** — `// hcc-lint: allow(<rule>, reason = "...")` comments,
+//!    which suppress findings of `<rule>` on the waiver's own line and the
+//!    line immediately below. A waiver without a reason is itself reported.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule name the waiver applies to (e.g. `panic-policy`).
+    pub rule: String,
+    /// The justification string. Empty when malformed.
+    pub reason: String,
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// Present when the waiver could not be parsed; holds the problem.
+    pub malformed: Option<String>,
+}
+
+/// A lexed source file plus the syntactic masks the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/hcc-engine/src/engine.rs`).
+    pub rel: String,
+    /// The full token stream, comments included.
+    pub toks: Vec<Token>,
+    /// `in_test[i]` is true when `toks[i]` is inside a `#[cfg(test)]` /
+    /// `#[test]` item (including the attribute tokens themselves).
+    pub in_test: Vec<bool>,
+    /// All waiver comments found in the file.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lex and analyze one file.
+    pub fn parse(rel: impl Into<String>, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let in_test = mark_test_regions(&toks);
+        let waivers = collect_waivers(&toks);
+        SourceFile {
+            rel: rel.into(),
+            toks,
+            in_test,
+            waivers,
+        }
+    }
+
+    /// Iterate over non-comment tokens outside test regions, yielding the
+    /// index into `toks` so rules can look at neighbors.
+    pub fn code(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !t.is_comment() && !self.in_test[*i])
+    }
+
+    /// The previous non-comment token before index `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<&Token> {
+        self.toks[..i].iter().rev().find(|t| !t.is_comment())
+    }
+
+    /// The next non-comment token after index `i`, if any.
+    pub fn next_code(&self, i: usize) -> Option<&Token> {
+        self.toks[i + 1..].iter().find(|t| !t.is_comment())
+    }
+
+    /// True when a finding of `rule` at `line` is covered by a well-formed
+    /// waiver (on the same line or the line directly above).
+    pub fn waives(&self, rule: &str, line: u32) -> bool {
+        self.waivers.iter().any(|w| {
+            w.malformed.is_none() && w.rule == rule && (w.line == line || w.line + 1 == line)
+        })
+    }
+}
+
+/// Scan attributes and mark test regions.
+///
+/// Grammar handled: `#[...]` outer attributes in front of an item. When an
+/// attribute mentions the identifier `test` (and not `not`, so
+/// `#[cfg(not(test))]` stays live code), everything through the end of the
+/// following item — up to the matching `}` of its first brace, or a `;` for
+/// braceless items — is marked as test code.
+fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('#') {
+            // Inner attribute `#![...]` never marks a test region.
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].is_comment() {
+                j += 1;
+            }
+            let inner = j < toks.len() && toks[j].is_punct('!');
+            if inner {
+                j += 1;
+                while j < toks.len() && toks[j].is_comment() {
+                    j += 1;
+                }
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                // Scan the attribute body to its matching `]`.
+                let attr_start = i;
+                let mut depth = 0usize;
+                let mut has_test = false;
+                let mut has_not = false;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    if a.is_punct('[') {
+                        depth += 1;
+                    } else if a.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.is_ident("test") {
+                        has_test = true;
+                    } else if a.is_ident("not") {
+                        has_not = true;
+                    }
+                    j += 1;
+                }
+                let attr_end = j; // index of closing `]` (or end)
+                if !inner && has_test && !has_not {
+                    // Mark the attribute itself plus the following item.
+                    let item_end = find_item_end(toks, attr_end + 1);
+                    for m in mask
+                        .iter_mut()
+                        .take((item_end + 1).min(toks.len()))
+                        .skip(attr_start)
+                    {
+                        *m = true;
+                    }
+                    i = item_end + 1;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Find the index of the last token of the item starting at `start`:
+/// the matching `}` of the first top-level `{`, or the first top-level `;`.
+/// Further attributes in front of the item are scanned through.
+fn find_item_end(toks: &[Token], start: usize) -> usize {
+    let mut brace = 0usize;
+    let mut other = 0usize; // (), [] nesting, so `[u8; 2]` semicolons don't end the item
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace = brace.saturating_sub(1);
+            if brace == 0 {
+                return i;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') {
+            other += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            other = other.saturating_sub(1);
+        } else if t.is_punct(';') && brace == 0 && other == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Extract waiver comments: `// hcc-lint: allow(<rule>, reason = "...")`.
+fn collect_waivers(toks: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        // Doc comments never carry waivers: they are rendered documentation.
+        if matches!(
+            t.kind,
+            TokKind::LineComment { doc: true } | TokKind::BlockComment { doc: true }
+        ) {
+            continue;
+        }
+        let Some(marker) = t.text.find("hcc-lint:") else {
+            continue;
+        };
+        let rest = &t.text[marker + "hcc-lint:".len()..];
+        out.push(parse_waiver(rest, t.line));
+    }
+    out
+}
+
+fn parse_waiver(rest: &str, line: u32) -> Waiver {
+    let malformed = |msg: &str| Waiver {
+        rule: String::new(),
+        reason: String::new(),
+        line,
+        malformed: Some(msg.to_string()),
+    };
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return malformed("expected `allow(<rule>, reason = \"...\")`");
+    };
+    let Some(close) = body.rfind(')') else {
+        return malformed("unterminated `allow(`");
+    };
+    let body = &body[..close];
+    let (rule, tail) = match body.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (body.trim(), ""),
+    };
+    if rule.is_empty() {
+        return malformed("missing rule name in `allow(...)`");
+    }
+    let reason = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.rfind('"').map(|end| &t[..end]))
+        .unwrap_or("");
+    if reason.trim().is_empty() {
+        return Waiver {
+            rule: rule.to_string(),
+            reason: String::new(),
+            line,
+            malformed: Some("waiver is missing a non-empty `reason = \"...\"`".to_string()),
+        };
+    }
+    Waiver {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        line,
+        malformed: None,
+    }
+}

@@ -1,0 +1,13 @@
+//! True-positive fixture for the `atomics` rule: an unwaived `SeqCst`
+//! and (when parsed as the telemetry file) a non-Relaxed ordering on a
+//! telemetry counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tick(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire)
+}

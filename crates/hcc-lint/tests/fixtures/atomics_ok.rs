@@ -1,0 +1,13 @@
+//! False-positive fixture for the `atomics` rule: Relaxed-only counters
+//! (fine anywhere, including telemetry) and a waived `SeqCst`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tick(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn fence_like(counter: &AtomicU64) -> u64 {
+    // hcc-lint: allow(atomics, reason = "fixture: demonstrates a reviewed SeqCst with a stated justification")
+    counter.load(Ordering::SeqCst)
+}

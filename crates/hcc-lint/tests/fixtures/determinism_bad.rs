@@ -1,0 +1,11 @@
+//! True-positive fixture for the `determinism` rule: every banned
+//! nondeterminism source used in live code.
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+fn build() -> HashMap<u32, u32> {
+    let _stamp = SystemTime::now();
+    let mut _rng = rand::thread_rng();
+    HashMap::new()
+}

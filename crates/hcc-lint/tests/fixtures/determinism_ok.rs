@@ -1,0 +1,24 @@
+//! False-positive fixture for the `determinism` rule: the banned names
+//! appear only where they are harmless — docs, strings, raw strings,
+//! and `#[cfg(test)]` code.
+
+use std::collections::BTreeMap;
+
+/// Never use `HashMap` here; `thread_rng` is also banned.
+fn build() -> BTreeMap<u32, u32> {
+    let _tip = "prefer BTreeMap over HashMap; SystemTime is banned";
+    let _raw = r#"thread_rng() and HashSet<T> are strings, not code"#;
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hashmap() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! True-positive fixture for the `hygiene` rule: a crate root with
+//! neither `#![forbid(unsafe_code)]` nor a `missing_docs` attribute.
+
+pub fn undocumented_and_unsafe_tolerant() {}

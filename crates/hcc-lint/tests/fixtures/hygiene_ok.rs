@@ -1,0 +1,8 @@
+//! False-positive fixture for the `hygiene` rule: a crate root carrying
+//! both workspace hygiene attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Documented, as the attribute demands.
+pub fn documented() {}

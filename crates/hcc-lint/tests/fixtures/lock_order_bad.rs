@@ -1,0 +1,11 @@
+//! True-positive fixture for the `lock-order` rule: `state` acquired
+//! while `permits` (rank `gate`) is held inverts the declared order.
+
+impl Engine {
+    fn misordered(&self) {
+        let permits = self.permits.lock();
+        let state = self.state.lock();
+        drop(state);
+        drop(permits);
+    }
+}

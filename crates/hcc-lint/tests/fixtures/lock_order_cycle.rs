@@ -1,0 +1,19 @@
+//! True-positive fixture for the `lock-order` rule: two call paths that
+//! nest `state` and `cache` in opposite orders form a cycle — the
+//! classic AB/BA deadlock.
+
+impl Engine {
+    fn ab(&self) {
+        let state = self.state.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(state);
+    }
+
+    fn ba(&self) {
+        let cache = self.cache.lock();
+        let state = self.state.lock();
+        drop(state);
+        drop(cache);
+    }
+}

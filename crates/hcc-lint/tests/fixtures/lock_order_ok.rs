@@ -1,0 +1,28 @@
+//! False-positive fixture for the `lock-order` rule: declared-order
+//! nesting, guards released by `drop`, and a method-chain temporary
+//! (`.lock().len()`) that must not be mistaken for a held guard.
+
+impl Engine {
+    fn ordered(&self) {
+        let state = self.state.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(state);
+    }
+
+    fn chained_temporary_then_lower_rank(&self) {
+        // The cache guard is consumed by `.len()` within the statement,
+        // so taking the lower-ranked state lock afterwards is fine.
+        let hit = self.cache.lock().len();
+        let mut state = self.state.lock();
+        state.note(hit);
+    }
+
+    fn sequential_reacquire(&self) {
+        {
+            let cache = self.cache.lock();
+            let _ = cache.len();
+        }
+        let _state = self.state.lock();
+    }
+}

@@ -1,0 +1,11 @@
+//! True-positive fixture for the `noise-discipline` rule: constructing
+//! the sampler outside hcc-noise, and minting a seed on the release
+//! path without the `node_seeds` derivation.
+
+use rand::SeedableRng;
+
+fn sample(seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = DoubleGeometric::new(0.5);
+    dist.sample(&mut rng)
+}

@@ -1,0 +1,12 @@
+//! False-positive fixture for the `noise-discipline` rule: seeds flow
+//! from the `node_seeds` per-node derivation, which is the sanctioned
+//! release-path source.
+
+use rand::SeedableRng;
+
+fn per_node_streams(hierarchy: &Hierarchy, master: &mut StdRng) -> Vec<StdRng> {
+    node_seeds(hierarchy, master)
+        .into_iter()
+        .map(rand::rngs::StdRng::seed_from_u64)
+        .collect()
+}

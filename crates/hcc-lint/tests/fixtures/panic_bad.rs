@@ -1,0 +1,10 @@
+//! True-positive fixture for the `panic-policy` rule: an index, an
+//! `.unwrap()`, and an `.expect(...)` on what is (by parse path) a
+//! server-connection file.
+
+fn handle(lines: &[String]) -> String {
+    let first = lines[0].clone();
+    let n: usize = first.parse().unwrap();
+    let label = lines.iter().next().expect("missing label");
+    format!("{n} {label}")
+}

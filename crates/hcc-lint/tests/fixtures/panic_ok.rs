@@ -1,0 +1,23 @@
+//! False-positive fixture for the `panic-policy` rule: typed-error
+//! style, a waived index with a stated invariant, type-position
+//! brackets, and test-only unwraps.
+
+fn handle(lines: &[String]) -> Option<String> {
+    let first = lines.first()?;
+    // hcc-lint: allow(panic-policy, reason = "fixture: in bounds — first() above proved the slice non-empty")
+    let again = &lines[0];
+    let _buf: [u8; 4] = [0; 4];
+    let _ = again;
+    Some(first.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec!["a".to_string()];
+        assert_eq!(handle(&v).unwrap(), v[0]);
+    }
+}

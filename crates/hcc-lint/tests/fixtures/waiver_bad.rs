@@ -1,0 +1,8 @@
+//! True-positive fixture for waiver validation: a reason-less waiver
+//! and a waiver naming a rule that does not exist.
+
+// hcc-lint: allow(panic-policy)
+fn missing_reason() {}
+
+// hcc-lint: allow(made-up-rule, reason = "no rule has this name")
+fn unknown_rule() {}

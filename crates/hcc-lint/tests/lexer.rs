@@ -1,0 +1,190 @@
+//! Adversarial-stream tests for the hand-rolled lexer: every place a
+//! text-match linter goes wrong must lex into the token kind that keeps
+//! the rules honest.
+
+use hcc_lint::lexer::{lex, TokKind, Token};
+
+fn idents(toks: &[Token]) -> Vec<&str> {
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+fn kinds(toks: &[Token]) -> Vec<&TokKind> {
+    toks.iter().map(|t| &t.kind).collect()
+}
+
+#[test]
+fn raw_strings_swallow_code_looking_text() {
+    let toks = lex(r##"let x = r#"self.state.lock() and "quotes" inside"#;"##);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::RawStr).count(), 1);
+    assert!(
+        !idents(&toks).contains(&"lock"),
+        "`lock` inside a raw string must not become an identifier"
+    );
+    assert_eq!(idents(&toks), vec!["let", "x"]);
+}
+
+#[test]
+fn raw_string_hash_depth_must_match() {
+    // The inner `"#` does not close an r##"..."## string.
+    let toks = lex(r###"r##"contains "# unwrap() still inside"## after"###);
+    let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::RawStr).collect();
+    assert_eq!(raw.len(), 1);
+    assert!(raw[0].text.contains("unwrap"));
+    assert_eq!(idents(&toks), vec!["after"]);
+}
+
+#[test]
+fn byte_and_byte_raw_strings() {
+    let toks = lex(r##"let a = b"HashMap"; let b = br#"thread_rng()"#;"##);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::RawStr).count(), 1);
+    assert_eq!(idents(&toks), vec!["let", "a", "let", "b"]);
+}
+
+#[test]
+fn lifetime_versus_char_literal() {
+    let toks = lex("fn f<'a>(x: &'a str) -> &'static str { let c = 'a'; x }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'a'"]);
+}
+
+#[test]
+fn escaped_char_literals() {
+    let toks = lex(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; let br = '[';");
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 4);
+    // The bracket char literal must not open a real bracket.
+    assert!(!toks.iter().any(|t| t.is_punct('[')));
+}
+
+#[test]
+fn nested_block_comments() {
+    let toks = lex("/* outer /* inner unwrap() */ still comment */ survivor");
+    assert_eq!(
+        kinds(&toks),
+        vec![&TokKind::BlockComment { doc: false }, &TokKind::Ident]
+    );
+    assert_eq!(idents(&toks), vec!["survivor"]);
+}
+
+#[test]
+fn doc_comment_classification() {
+    let cases = [
+        ("/// outer doc", true),
+        ("//! inner doc", true),
+        ("//// four slashes is not doc", false),
+        ("// plain", false),
+    ];
+    for (src, doc) in cases {
+        let toks = lex(src);
+        assert_eq!(
+            toks[0].kind,
+            TokKind::LineComment { doc },
+            "classifying {src:?}"
+        );
+    }
+    let blocks = [
+        ("/** outer block doc */", true),
+        ("/*! inner block doc */", true),
+        ("/*** not doc ***/", false),
+        ("/**/", false),
+        ("/* plain */", false),
+    ];
+    for (src, doc) in blocks {
+        let toks = lex(src);
+        assert_eq!(
+            toks[0].kind,
+            TokKind::BlockComment { doc },
+            "classifying {src:?}"
+        );
+    }
+}
+
+#[test]
+fn doc_attribute_string_hides_code_text() {
+    let toks = lex(r##"#[doc = "call .lock() then unwrap()"] fn f() {}"##);
+    assert!(!idents(&toks).contains(&"lock"));
+    assert!(!idents(&toks).contains(&"unwrap"));
+    assert!(idents(&toks).contains(&"doc"));
+    assert!(idents(&toks).contains(&"fn"));
+}
+
+#[test]
+fn raw_identifiers_keep_their_prefix() {
+    let toks = lex("let r#match = r#fn + other;");
+    let ids = idents(&toks);
+    assert!(ids.contains(&"r#match"));
+    assert!(ids.contains(&"r#fn"));
+    assert!(
+        !ids.contains(&"match"),
+        "r#match must never collide with the keyword in rule tables"
+    );
+}
+
+#[test]
+fn numbers_do_not_eat_ranges_or_method_calls() {
+    let toks = lex("for i in 0..n { x.0 = 1.max(2); y = 1.5e-3; }");
+    let nums: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["0", "0", "1", "2", "1.5e-3"]);
+    assert!(idents(&toks).contains(&"max"));
+}
+
+#[test]
+fn hex_and_suffixed_literals() {
+    let toks = lex("let a = 0xff_u8; let b = 1_000_000u64;");
+    let nums: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["0xff_u8", "1_000_000u64"]);
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "first\n/* two\nlines */\nr\"raw\nstring\"\nlast";
+    let toks = lex(src);
+    let by_text: Vec<(u32, &str)> = toks.iter().map(|t| (t.line, t.text.as_str())).collect();
+    assert_eq!(by_text[0], (1, "first"));
+    assert_eq!(toks[1].line, 2, "block comment starts on line 2");
+    assert_eq!(toks[2].line, 4, "raw string starts on line 4");
+    assert_eq!(
+        toks[3],
+        Token {
+            kind: TokKind::Ident,
+            text: "last".to_string(),
+            line: 6,
+        }
+    );
+}
+
+#[test]
+fn unterminated_inputs_never_hang_or_panic() {
+    for src in [
+        "/* never closed",
+        "r#\"never closed",
+        "\"never closed",
+        "'",
+        "b'",
+        "r#",
+    ] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "lexing {src:?}");
+    }
+}

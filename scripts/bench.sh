@@ -4,7 +4,7 @@
 # the perf trajectory across PRs is machine-readable.
 #
 # Usage:
-#   scripts/bench.sh              # run benches, write BENCH_7.json
+#   scripts/bench.sh              # run benches, write BENCH_8.json
 #   scripts/bench.sh --smoke      # CI mode: compile benches, run a
 #                                 # fast scaling curve, write nothing
 #   PR=8 scripts/bench.sh         # write BENCH_8.json instead
@@ -22,9 +22,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HCC_SEED="${HCC_SEED:-0}"
-PR="${PR:-7}"
+PR="${PR:-8}"
 OUT="BENCH_${PR}.json"
 REPS="${REPS:-3}"
+
+# A scoreboard entry from a tree that violates the workspace
+# invariants (docs/lints.md) would pin a number nobody should trust;
+# refuse to emit one. Smoke mode runs the same gate so CI fails fast.
+cargo run --release -q -p hcc-lint -- --deny all
 
 if [[ "${1:-}" == "--smoke" ]]; then
   cargo bench -p hcc-bench --no-run

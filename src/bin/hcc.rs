@@ -58,6 +58,8 @@
 //!     drops one reference to a prepared dataset
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

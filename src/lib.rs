@@ -36,6 +36,9 @@
 //! # let _ = &mut data;
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use hcc_consistency as consistency;
 pub use hcc_core as core;
 pub use hcc_data as data;
