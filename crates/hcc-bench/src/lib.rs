@@ -23,5 +23,6 @@ pub mod experiments;
 pub mod harness;
 pub mod hotpath;
 pub mod scaling;
+pub mod wire;
 
 pub use harness::ExpConfig;

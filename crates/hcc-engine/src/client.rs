@@ -1,9 +1,21 @@
-//! Blocking TCP client for the engine server.
+//! TCP clients for the engine server: [`Client`] speaks the legacy
+//! line protocol (one blocking request/response at a time);
+//! [`MuxClient`] speaks the versioned framed protocol and pipelines —
+//! many requests may be in flight on one connection, with responses
+//! matched back by request id in whatever order the server finishes
+//! them.
 
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::job::JobId;
+use crate::protocol::frame::{
+    self, parse_busy, parse_error, parse_hello_ok, parse_result, read_frame, Frame, HelloLimits,
+    T_BUSY, T_ERROR, T_GOODBYE, T_HELLO, T_HELLO_OK, T_METRICS, T_OK_TEXT, T_PING, T_PONG,
+    T_RESULT, T_STATS,
+};
 use crate::protocol::{read_line, read_section_body, write_section, SubmitParams};
 use crate::registry::DatasetHandle;
 use crate::telemetry::SpanEvent;
@@ -336,4 +348,368 @@ impl Client {
         let _ = self.request_line("QUIT")?;
         Ok(())
     }
+}
+
+/// One ε-grid point's outcome from [`MuxClient::sweep`], in grid
+/// order.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The grid point's privacy budget.
+    pub epsilon: f64,
+    /// The fetched release, or the server's rejection/failure text.
+    pub outcome: Result<FetchedRelease, String>,
+}
+
+/// Multiplexed framed-protocol client: one connection, many requests
+/// in flight, responses matched by request id.
+///
+/// Where [`Client`] pays a full round trip per request, `MuxClient`
+/// writes a whole batch of frames back-to-back and collects the
+/// responses as the server finishes them — on a sweep this collapses
+/// `n` round trips into roughly one. Structured [`frame::T_BUSY`]
+/// backpressure is honoured transparently: shed submits are
+/// resubmitted after the server's retry hint.
+pub struct MuxClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    limits: HelloLimits,
+    /// Responses read while looking for a different request id.
+    stash: VecDeque<Frame>,
+}
+
+/// Response-size cap: a client trusts its own server, and release CSVs
+/// can be large.
+const CLIENT_MAX_FRAME: u32 = u32::MAX;
+
+impl MuxClient {
+    /// Connects and performs the `HELLO` handshake, learning the
+    /// server's advertised limits.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = MuxClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 1,
+            limits: HelloLimits {
+                max_frame: frame::DEFAULT_MAX_FRAME,
+                interactive_inflight: 1,
+                bulk_inflight: 1,
+                park_capacity: 0,
+            },
+            stash: VecDeque::new(),
+        };
+        let rid = client.send(|rid| Frame::empty(T_HELLO, rid))?;
+        let reply = client.recv_for(rid)?;
+        match reply.ftype {
+            T_HELLO_OK => {
+                client.limits = parse_hello_ok(&reply.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(client)
+            }
+            T_ERROR => {
+                let (_, msg) = parse_error(&reply.payload);
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("handshake rejected: {msg}"),
+                ))
+            }
+            other => Err(unexpected_frame(other)),
+        }
+    }
+
+    /// The limits the server advertised during the handshake.
+    pub fn limits(&self) -> HelloLimits {
+        self.limits
+    }
+
+    /// Builds a frame with a fresh request id and writes it out.
+    fn send(&mut self, build: impl FnOnce(u64) -> Frame) -> io::Result<u64> {
+        let rid = self.next_id;
+        self.next_id += 1;
+        let f = build(rid);
+        frame::write_frame(&mut self.writer, &f)?;
+        Ok(rid)
+    }
+
+    /// Reads the next response frame (stashed frames first).
+    fn recv_any(&mut self) -> io::Result<Frame> {
+        if let Some(f) = self.stash.pop_front() {
+            return Ok(f);
+        }
+        read_frame(&mut self.reader, CLIENT_MAX_FRAME)
+    }
+
+    /// Reads until the response for `rid` arrives, stashing any
+    /// out-of-band responses for other in-flight requests.
+    fn recv_for(&mut self, rid: u64) -> io::Result<Frame> {
+        if let Some(pos) = self.stash.iter().position(|f| f.request_id == rid) {
+            if let Some(f) = self.stash.remove(pos) {
+                return Ok(f);
+            }
+        }
+        loop {
+            let f = read_frame(&mut self.reader, CLIENT_MAX_FRAME)?;
+            if f.request_id == rid {
+                return Ok(f);
+            }
+            self.stash.push_back(f);
+        }
+    }
+
+    /// One request/response exchange resolving to `OK <text>`-style
+    /// replies.
+    fn rpc_text(&mut self, build: impl FnOnce(u64) -> Frame) -> io::Result<Result<String, String>> {
+        let rid = self.send(build)?;
+        let reply = self.recv_for(rid)?;
+        match reply.ftype {
+            T_OK_TEXT => Ok(Ok(String::from_utf8_lossy(&reply.payload).into_owned())),
+            T_ERROR => {
+                let (_, msg) = parse_error(&reply.payload);
+                Ok(Err(msg))
+            }
+            other => Err(unexpected_frame(other)),
+        }
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let rid = self.send(|rid| Frame::empty(T_PING, rid))?;
+        Ok(self.recv_for(rid)?.ftype == T_PONG)
+    }
+
+    /// The server's `STATS` line (workers, queue depth, counters).
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.rpc_text(|rid| Frame::empty(T_STATS, rid))?
+            .map_err(io::Error::other)
+    }
+
+    /// The server's Prometheus-style metrics text, wire counters
+    /// included.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.rpc_text(|rid| Frame::empty(T_METRICS, rid))?
+            .map_err(io::Error::other)
+    }
+
+    /// Registers the three CSV tables as a prepared dataset (see
+    /// [`Client::prepare`]).
+    pub fn prepare(
+        &mut self,
+        hierarchy_csv: &str,
+        groups_csv: &str,
+        entities_csv: &str,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        let tables = [hierarchy_csv, groups_csv, entities_csv];
+        let reply = self.rpc_text(|rid| frame::prepare_frame(rid, tables))?;
+        Ok(reply.and_then(|text| text.parse()))
+    }
+
+    /// Derives a prepared dataset by applying `delta` to `parent`
+    /// (see [`Client::derive`]).
+    pub fn derive(
+        &mut self,
+        parent: DatasetHandle,
+        delta: &hcc_data::DatasetDelta,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        let csv = delta.to_csv();
+        let parent = parent.to_string();
+        let reply =
+            self.rpc_text(|rid| frame::derive_frame(rid, frame::T_DERIVE, &parent, &csv))?;
+        Ok(reply.and_then(|text| text.parse()))
+    }
+
+    /// Rolling-update variant of [`MuxClient::derive`] (see
+    /// [`Client::append`]).
+    pub fn append(
+        &mut self,
+        parent: DatasetHandle,
+        delta: &hcc_data::DatasetDelta,
+    ) -> io::Result<Result<DatasetHandle, String>> {
+        let csv = delta.to_csv();
+        let parent = parent.to_string();
+        let reply =
+            self.rpc_text(|rid| frame::derive_frame(rid, frame::T_APPEND, &parent, &csv))?;
+        Ok(reply.and_then(|text| text.parse()))
+    }
+
+    /// Drops one reference to a prepared dataset; returns how many
+    /// references the server still holds.
+    pub fn unprepare(&mut self, handle: DatasetHandle) -> io::Result<Result<u64, String>> {
+        let handle = handle.to_string();
+        let reply = self.rpc_text(|rid| frame::unprepare_frame(rid, &handle))?;
+        Ok(reply.and_then(|text| {
+            text.strip_prefix("refs=")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("unexpected reply {text:?}"))
+        }))
+    }
+
+    /// Submits one release from raw CSV tables and blocks until its
+    /// result frame arrives. `BUSY` sheds are retried after the
+    /// server's hint.
+    pub fn submit_release(
+        &mut self,
+        params: &SubmitParams,
+        hierarchy_csv: &str,
+        groups_csv: &str,
+        entities_csv: &str,
+    ) -> io::Result<Result<FetchedRelease, String>> {
+        let tables = Some([hierarchy_csv, groups_csv, entities_csv]);
+        loop {
+            let rid = self.send(|rid| frame::submit_frame(rid, params, tables, false))?;
+            match self.await_submit(rid)? {
+                SubmitOutcome::Done(outcome) => return Ok(outcome),
+                SubmitOutcome::Busy(retry_ms) => {
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+                }
+            }
+        }
+    }
+
+    /// Submits one release of a prepared dataset and blocks until its
+    /// result frame arrives.
+    pub fn submit_prepared(
+        &mut self,
+        params: &SubmitParams,
+        handle: DatasetHandle,
+    ) -> io::Result<Result<FetchedRelease, String>> {
+        let params = SubmitParams {
+            handle: Some(handle),
+            ..params.clone()
+        };
+        loop {
+            let rid = self.send(|rid| frame::submit_frame(rid, &params, None, false))?;
+            match self.await_submit(rid)? {
+                SubmitOutcome::Done(outcome) => return Ok(outcome),
+                SubmitOutcome::Busy(retry_ms) => {
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+                }
+            }
+        }
+    }
+
+    /// Resolves one in-flight submit's response frame.
+    fn await_submit(&mut self, rid: u64) -> io::Result<SubmitOutcome> {
+        let reply = self.recv_for(rid)?;
+        Ok(match reply.ftype {
+            T_RESULT => {
+                let parsed = parse_result(&reply.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                SubmitOutcome::Done(Ok(FetchedRelease {
+                    csv: parsed.csv,
+                    from_cache: parsed.from_cache,
+                }))
+            }
+            T_ERROR => {
+                let (_, msg) = parse_error(&reply.payload);
+                SubmitOutcome::Done(Err(msg))
+            }
+            T_BUSY => {
+                let busy = parse_busy(&reply.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                SubmitOutcome::Busy(busy.retry_ms)
+            }
+            other => return Err(unexpected_frame(other)),
+        })
+    }
+
+    /// Pipelined ε-sweep over one prepared handle: every grid point's
+    /// submit frame is written before any response is read, so the
+    /// sweep costs roughly one round trip instead of one per point.
+    /// Results return in grid order regardless of completion order;
+    /// `BUSY` sheds resubmit after the server's retry hint. Points
+    /// beyond the first are submitted on the bulk lane, keeping a big
+    /// sweep from starving the connection's interactive quota.
+    pub fn sweep(
+        &mut self,
+        base: &SubmitParams,
+        handle: DatasetHandle,
+        epsilons: &[f64],
+    ) -> io::Result<Vec<SweepPoint>> {
+        let mut outcomes: Vec<Option<Result<FetchedRelease, String>>> =
+            epsilons.iter().map(|_| None).collect();
+        // request id → grid index
+        let mut pending: Vec<(u64, usize)> = Vec::with_capacity(epsilons.len());
+        for (idx, &epsilon) in epsilons.iter().enumerate() {
+            let params = SubmitParams {
+                epsilon,
+                handle: Some(handle),
+                ..base.clone()
+            };
+            let rid = self.send(|rid| frame::submit_frame(rid, &params, None, idx > 0))?;
+            pending.push((rid, idx));
+        }
+        let mut done = 0usize;
+        while done < epsilons.len() {
+            let reply = self.recv_any()?;
+            let Some(pos) = pending.iter().position(|&(rid, _)| rid == reply.request_id) else {
+                // A response for nothing we sent (e.g. a server-side
+                // idle notice) — fatal for the sweep.
+                return Err(unexpected_frame(reply.ftype));
+            };
+            let (_, idx) = pending.swap_remove(pos);
+            match reply.ftype {
+                T_RESULT => {
+                    let parsed = parse_result(&reply.payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    if let Some(slot) = outcomes.get_mut(idx) {
+                        *slot = Some(Ok(FetchedRelease {
+                            csv: parsed.csv,
+                            from_cache: parsed.from_cache,
+                        }));
+                    }
+                    done += 1;
+                }
+                T_ERROR => {
+                    let (_, msg) = parse_error(&reply.payload);
+                    if let Some(slot) = outcomes.get_mut(idx) {
+                        *slot = Some(Err(msg));
+                    }
+                    done += 1;
+                }
+                T_BUSY => {
+                    let busy = parse_busy(&reply.payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    std::thread::sleep(Duration::from_millis(u64::from(busy.retry_ms)));
+                    let params = SubmitParams {
+                        epsilon: epsilons.get(idx).copied().unwrap_or(base.epsilon),
+                        handle: Some(handle),
+                        ..base.clone()
+                    };
+                    let rid = self.send(|rid| frame::submit_frame(rid, &params, None, idx > 0))?;
+                    pending.push((rid, idx));
+                }
+                other => return Err(unexpected_frame(other)),
+            }
+        }
+        Ok(epsilons
+            .iter()
+            .zip(outcomes)
+            .map(|(&epsilon, outcome)| SweepPoint {
+                epsilon,
+                outcome: outcome.unwrap_or_else(|| Err("sweep point never resolved".to_string())),
+            })
+            .collect())
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let rid = self.send(|rid| Frame::empty(T_GOODBYE, rid))?;
+        let _ = self.recv_for(rid)?;
+        Ok(())
+    }
+}
+
+/// A submit's response frame, resolved.
+enum SubmitOutcome {
+    Done(Result<FetchedRelease, String>),
+    Busy(u32),
+}
+
+fn unexpected_frame(ftype: u8) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response frame type 0x{ftype:02X}"),
+    )
 }

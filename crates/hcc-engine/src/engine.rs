@@ -214,6 +214,10 @@ struct Counters {
     derived: AtomicU64,
 }
 
+/// Callback registered by [`Engine::on_finish`], invoked exactly once
+/// with the terminal status of its job.
+type FinishWatcher = Box<dyn FnOnce(JobId, JobStatus) + Send>;
+
 struct State {
     queue: VecDeque<QueuedJob>,
     /// Ordered map so any future iteration (logging, admin listings)
@@ -222,6 +226,11 @@ struct State {
     jobs: BTreeMap<JobId, JobStatus>,
     /// Finished job ids, oldest first; bounds `jobs` growth.
     finished: VecDeque<JobId>,
+    /// Completion watchers for jobs that are not yet terminal, drained
+    /// by `finish_job` and invoked outside every engine lock. The
+    /// event-driven wire path registers one per in-flight framed
+    /// request instead of parking a thread in [`Engine::wait`].
+    watchers: BTreeMap<JobId, Vec<FinishWatcher>>,
     next_id: u64,
     /// Job-lifecycle counters (see [`Counters`] for why they live
     /// under the lock). Every writer already holds the lock at the
@@ -321,6 +330,7 @@ impl Engine {
                     queue: VecDeque::new(),
                     jobs: BTreeMap::new(),
                     finished: VecDeque::new(),
+                    watchers: BTreeMap::new(),
                     next_id: 0,
                     submitted: 0,
                     completed: 0,
@@ -578,6 +588,45 @@ impl Engine {
                 Some(_) => {
                     state = state.wait(&self.shared.done);
                 }
+            }
+        }
+    }
+
+    /// Registers a completion callback for `id`, invoked exactly once
+    /// with the job's terminal status — the event-driven alternative
+    /// to parking a thread in [`Engine::wait`].
+    ///
+    /// If the job is already terminal the watcher runs immediately on
+    /// the calling thread; otherwise it runs on the worker thread that
+    /// finishes the job. Either way it is invoked *outside* every
+    /// engine lock, so a watcher may call back into the engine (e.g.
+    /// submit a follow-up job) freely — but it must stay cheap, since
+    /// on the deferred path it borrows a pool worker. Watcher panics
+    /// are caught and discarded; they never take down a worker.
+    ///
+    /// Returns [`EngineError::UnknownJob`] for ids never submitted (or
+    /// already forgotten past the retention bound).
+    pub fn on_finish(
+        &self,
+        id: JobId,
+        watcher: impl FnOnce(JobId, JobStatus) + Send + 'static,
+    ) -> Result<(), EngineError> {
+        let mut state = self.lock_state();
+        match state.jobs.get(&id) {
+            None => Err(EngineError::UnknownJob(id)),
+            Some(status @ (JobStatus::Done { .. } | JobStatus::Failed(_))) => {
+                let status = status.clone();
+                drop(state);
+                invoke_watcher(Box::new(watcher), id, status);
+                Ok(())
+            }
+            Some(_) => {
+                state
+                    .watchers
+                    .entry(id)
+                    .or_default()
+                    .push(Box::new(watcher));
+                Ok(())
             }
         }
     }
@@ -984,21 +1033,33 @@ fn finalize_job(shared: &Shared, job: &ActiveJob) -> Result<JobStatus, String> {
     })
 }
 
-/// Publishes a terminal status and wakes waiters.
+/// Publishes a terminal status, wakes blocking waiters, and fires any
+/// completion watchers registered through [`Engine::on_finish`].
 fn finish_job(shared: &Shared, id: JobId, status: Result<JobStatus, String>) {
     let (status, failed) = match status {
         Ok(status) => (status, false),
         Err(msg) => (JobStatus::Failed(msg), true),
     };
     let mut state = shared.state.lock();
-    state.finish(id, status, shared.config.retained_jobs);
+    state.finish(id, status.clone(), shared.config.retained_jobs);
     if failed {
         state.failed += 1;
     } else {
         state.completed += 1;
     }
+    let watchers = state.watchers.remove(&id).unwrap_or_default();
     drop(state);
     shared.done.notify_all();
+    for watcher in watchers {
+        invoke_watcher(watcher, id, status.clone());
+    }
+}
+
+/// Runs one completion watcher outside every engine lock, isolating
+/// panics: deferred watchers execute on pool worker threads, and a
+/// panicking callback must not kill a worker.
+fn invoke_watcher(watcher: FinishWatcher, id: JobId, status: JobStatus) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || watcher(id, status)));
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {

@@ -46,13 +46,22 @@
 //!   pass — with the derived handle chaining content fingerprints so
 //!   it is identical to a cold `PREPARE` of the post-delta tables
 //!   (see [`Engine::derive`]).
-//! * **[`serve`]/[`Client`]** — a `std::net` TCP server speaking a
-//!   line-delimited protocol ([`protocol`]), wired into the CLI as
-//!   `hcc serve`, `hcc submit`, `hcc prepare`, `hcc derive`, and
-//!   `hcc sweep`. [`serve_with`] exposes transport knobs
-//!   ([`ServeConfig`]): a per-connection read timeout so idle or
-//!   slowloris clients cannot pin the bounded connection slots, and
-//!   the connection bound itself.
+//! * **[`serve`]/[`Client`]/[`MuxClient`]** — a `std::net` TCP
+//!   serving layer wired into the CLI as `hcc serve`, `hcc submit`,
+//!   `hcc prepare`, `hcc derive`, and `hcc sweep`. [`serve`] runs the
+//!   **epoll reactor** ([`serve_reactor`]): one event-loop thread
+//!   multiplexing every connection, speaking both the versioned
+//!   binary framed protocol ([`protocol::frame`] — length-prefixed
+//!   frames, client-chosen request ids, pipelining with out-of-order
+//!   responses) and, by first-byte auto-detection, the legacy
+//!   line-delimited protocol ([`protocol`]) byte-for-byte. Per-
+//!   connection **admission control** ([`ReactorConfig`]) gives each
+//!   client an interactive and a bulk lane with separate in-flight
+//!   quotas and a bounded park buffer; overload is shed with
+//!   structured `BUSY` backpressure frames rather than stalls.
+//!   [`Client`] speaks the legacy protocol; [`MuxClient`] the framed
+//!   one. [`serve_blocking`] keeps the thread-per-connection
+//!   line-protocol server as a comparison baseline.
 //! * **[`telemetry`]** — always-on-cheap observability: per-worker
 //!   relaxed-atomic counters and log-bucketed latency histograms over
 //!   the full job lifecycle (queue wait, expansion, per-node
@@ -65,11 +74,16 @@
 //!   as Chrome-trace JSON ([`chrome_trace_json`]).
 //! * **[`locks`]** — every engine mutex is a rank-ordered
 //!   `RankedMutex` (state < cache < registry < lanes < gate < job <
-//!   telemetry); `debug_assertions` builds panic on any misordered
-//!   acquisition, and the `hcc-lint` static `lock-order` rule checks
-//!   the same order over the extracted acquisition graph.
+//!   telemetry < wire); `debug_assertions` builds panic on any
+//!   misordered acquisition, and the `hcc-lint` static `lock-order`
+//!   rule checks the same order over the extracted acquisition graph.
+//!
+//! The crate denies `unsafe_code`; the single exception is the
+//! reactor's audited epoll FFI module, every call site of which
+//! carries an `hcc-lint` hygiene waiver (the lint audits all `unsafe`
+//! tokens workspace-wide).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -80,19 +94,23 @@ pub mod fingerprint;
 mod job;
 pub mod locks;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 mod scheduler;
 mod server;
 pub mod telemetry;
 
-pub use client::{Client, FetchedRelease};
+pub use client::{Client, FetchedRelease, MuxClient, SweepPoint};
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use exec::{parallel_release, parallel_release_pooled};
 pub use fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
 pub use job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 pub use protocol::level_method;
+pub use reactor::{serve_reactor, ReactorConfig};
 pub use registry::{DatasetHandle, DatasetRegistry};
-pub use server::{serve, serve_with, ServeConfig, ServerHandle};
+pub use server::{
+    serve, serve_blocking, serve_blocking_with, serve_with, ServeConfig, ServerHandle,
+};
 pub use telemetry::{
     chrome_trace_json, HistogramSnapshot, MethodKind, SpanEvent, SpanKind, TelemetrySnapshot,
     WorkerSnapshot,

@@ -4,7 +4,7 @@
 //! its lock families:
 //!
 //! ```text
-//! state < cache < registry < lanes < gate < job < telemetry
+//! state < cache < registry < lanes < gate < job < telemetry < wire
 //! ```
 //!
 //! Every engine mutex is a crate-internal `RankedMutex` carrying its
@@ -25,7 +25,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Human-readable names of the ranks, lowest first. Index `i` names
 /// `Rank` variant `i`; `hcc-lint` asserts this matches its declared order.
-pub const RANK_NAMES: [&str; 7] = [
+pub const RANK_NAMES: [&str; 8] = [
     "state",
     "cache",
     "registry",
@@ -33,6 +33,7 @@ pub const RANK_NAMES: [&str; 7] = [
     "gate",
     "job",
     "telemetry",
+    "wire",
 ];
 
 /// Acquisition rank of an engine lock, lowest-acquired-first.
@@ -56,6 +57,11 @@ pub enum Rank {
     Job,
     /// Telemetry span rings.
     Telemetry,
+    /// The reactor's cross-thread completion queue (`completions`):
+    /// highest rank, so engine completion watchers may push into it
+    /// while the worker holds nothing, and the reactor drains it
+    /// before touching any engine lock.
+    Wire,
 }
 
 impl Rank {
@@ -69,6 +75,7 @@ impl Rank {
             Rank::Gate => "gate",
             Rank::Job => "job",
             Rank::Telemetry => "telemetry",
+            Rank::Wire => "wire",
         }
     }
 }
@@ -286,6 +293,7 @@ mod tests {
             Rank::Gate,
             Rank::Job,
             Rank::Telemetry,
+            Rank::Wire,
         ];
         for (i, rank) in ranks.iter().enumerate() {
             assert_eq!(rank.name(), RANK_NAMES[i]);

@@ -1,13 +1,23 @@
-//! TCP front end: serves the engine's job API over `std::net` using
-//! the line protocol of [`crate::protocol`].
+//! TCP front end: serves the engine's job API over `std::net`.
 //!
-//! One thread accepts connections; each connection gets its own
-//! handler thread (requests on a connection are processed in order,
-//! but `SUBMIT` returns immediately, so a single connection can keep
-//! many jobs in flight and `WAIT` on them selectively).
+//! [`serve`]/[`serve_with`] boot the event-driven reactor
+//! ([`crate::reactor`]): one epoll thread multiplexes every
+//! connection, speaking the binary framed protocol
+//! ([`crate::protocol::frame`]) and auto-detecting legacy
+//! line-protocol clients from the first byte. The pre-reactor
+//! thread-per-connection server survives as
+//! [`serve_blocking`]/[`serve_blocking_with`] — it is the baseline the
+//! `engine_wire` benchmark compares against, and a second
+//! implementation pinning the legacy protocol's observable behavior.
+//!
+//! The line-protocol request dispatch ([`dispatch_legacy`]) is shared:
+//! the blocking server feeds it straight from the socket, the reactor
+//! feeds it from a buffered, already-framed request — so the two
+//! paths cannot drift apart.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -18,19 +28,21 @@ use hcc_data::DatasetDelta;
 use hcc_hierarchy::{hierarchy_from_csv, Hierarchy};
 use hcc_tables::CsvLoader;
 
-use crate::job::{EngineError, JobStatus, ReleaseRequest};
+use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 use crate::protocol::{
     format_stats, level_method, one_line, read_line, read_section_body, SubmitParams,
 };
+use crate::reactor::ReactorConfig;
 use crate::registry::DatasetHandle;
+use crate::telemetry::WireStats;
 use crate::Engine;
 
 /// Most lines one `SUBMIT` section may declare; counts come from the
 /// peer, so they are bounded before any payload is read.
-const MAX_SECTION_LINES: usize = 50_000_000;
+pub(crate) const MAX_SECTION_LINES: usize = 50_000_000;
 
 /// Most bytes one `SUBMIT` section may occupy once reassembled.
-const MAX_SECTION_BYTES: usize = 1 << 30;
+pub(crate) const MAX_SECTION_BYTES: usize = 1 << 30;
 
 /// Transport knobs of [`serve_with`]; [`serve`] uses the defaults.
 #[derive(Clone, Debug)]
@@ -87,30 +99,69 @@ impl Drop for ConnectionGuard {
     }
 }
 
-/// A running TCP server; dropping the handle stops accepting (open
+/// A running TCP server; dropping the handle stops the server (open
+/// connections are torn down by the reactor; blocking-server
 /// connections finish their current request).
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    /// Reactor wake pipe; `None` for the blocking server, which is
+    /// woken by a throwaway connection instead.
+    wake: Option<UnixStream>,
+    thread: Option<JoinHandle<()>>,
+    /// Wire-level counters; `None` for the blocking server, whose
+    /// legacy transport predates them.
+    wire: Option<Arc<WireStats>>,
 }
 
 impl ServerHandle {
+    pub(crate) fn for_reactor(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        wake: UnixStream,
+        thread: JoinHandle<()>,
+        wire: Arc<WireStats>,
+    ) -> Self {
+        Self {
+            addr,
+            stop,
+            wake: Some(wake),
+            thread: Some(thread),
+            wire: Some(wire),
+        }
+    }
+
     /// The bound address (useful with port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops the accept loop and joins it.
-    pub fn shutdown(mut self) {
-        self.stop_accepting();
+    /// A snapshot of the wire-level counters (connections, frames,
+    /// bytes, backpressure). `None` for the blocking server, which
+    /// predates them.
+    pub fn wire_stats(&self) -> Option<crate::telemetry::WireSnapshot> {
+        self.wire.as_ref().map(|w| w.snapshot())
     }
 
-    fn stop_accepting(&mut self) {
+    /// Stops the server thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_serving();
+    }
+
+    fn stop_serving(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept() call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        match &self.wake {
+            // Reactor: one byte on the wake pipe interrupts epoll.
+            Some(wake) => {
+                let _ = (&*wake).write_all(&[1]);
+            }
+            // Blocking server: unblock accept() with a throwaway
+            // connection.
+            None => {
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
@@ -118,19 +169,42 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop_serving();
     }
 }
 
 /// Binds `addr` and serves the engine with the default
 /// [`ServeConfig`] until the handle is shut down.
+///
+/// This boots the epoll reactor: the framed binary protocol
+/// ([`crate::protocol::frame`]) and the legacy line protocol share
+/// the port, told apart by the first byte each connection sends.
 pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
     serve_with(engine, addr, ServeConfig::default())
 }
 
 /// Binds `addr` and serves the engine until the handle is shut down,
-/// with explicit transport configuration.
+/// with explicit transport configuration. See [`serve`].
 pub fn serve_with(
+    engine: Arc<Engine>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let reactor_config = ReactorConfig::default()
+        .with_read_timeout(config.read_timeout)
+        .with_max_connections(config.max_connections);
+    crate::reactor::serve_reactor(engine, addr, reactor_config)
+}
+
+/// Binds `addr` and serves the engine with the pre-reactor blocking
+/// thread-per-connection server (line protocol only). Baseline for
+/// the `engine_wire` benchmark and the legacy-compat tests.
+pub fn serve_blocking(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_blocking_with(engine, addr, ServeConfig::default())
+}
+
+/// [`serve_blocking`] with explicit transport configuration.
+pub fn serve_blocking_with(
     engine: Arc<Engine>,
     addr: impl ToSocketAddrs,
     config: ServeConfig,
@@ -179,7 +253,9 @@ pub fn serve_with(
     Ok(ServerHandle {
         addr,
         stop,
-        accept_thread: Some(accept_thread),
+        wake: None,
+        thread: Some(accept_thread),
+        wire: None,
     })
 }
 
@@ -209,135 +285,199 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
             }
             Err(e) => return Err(e),
         };
-        let (cmd, tail) = match line.split_once(' ') {
-            Some((c, t)) => (c, t.trim()),
-            None => (line.as_str(), ""),
-        };
-        match cmd {
-            "" => continue,
-            "PING" => writeln!(writer, "PONG")?,
-            "QUIT" => {
-                writeln!(writer, "BYE")?;
+        match dispatch_legacy(engine, &line, &mut reader, None)? {
+            LegacyOutcome::Reply(bytes) => {
+                writer.write_all(&bytes)?;
+                writer.flush()?;
+            }
+            LegacyOutcome::Close(bytes) => {
+                writer.write_all(&bytes)?;
                 writer.flush()?;
                 return Ok(());
             }
-            "STATS" => {
-                let line = format_stats(
-                    engine.config().workers,
-                    engine.queue_len(),
-                    engine.prepared_len(),
-                    &engine.stats(),
-                );
-                writeln!(writer, "{line}")?;
+            LegacyOutcome::Wait(id) => {
+                // The blocking server can afford to park this thread
+                // on the job; the reactor resolves the same outcome
+                // with a completion callback instead.
+                let finished = engine.wait(id).map_err(|e| e.to_string());
+                writer.write_all(&render_wait_reply(finished))?;
+                writer.flush()?;
             }
-            "METRICS" => {
-                // Prometheus text exposition, framed like every other
-                // bulk payload: `METRICS <n>` + n lines + END.
-                let text = engine.telemetry().to_prometheus();
-                writeln!(writer, "METRICS {}", text.lines().count())?;
-                writer.write_all(text.as_bytes())?;
-                writeln!(writer, "END")?;
-            }
-            "TRACE" => {
-                // Drains the span recorder (empty unless the engine
-                // was started with a trace capacity).
-                let spans = engine.take_trace();
-                writeln!(writer, "TRACE {}", spans.len())?;
-                for span in &spans {
-                    writeln!(writer, "{}", span.to_wire_line())?;
-                }
-                writeln!(writer, "END")?;
-            }
-            "SUBMIT" => match read_submit(engine, &mut reader, tail) {
-                Ok(id) => writeln!(writer, "OK {id}")?,
-                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Err(SubmitFailure::Fatal(e)) => {
-                    // Section framing is lost; any further reads would
-                    // misparse payload as commands. Report and close.
-                    writeln!(writer, "ERR {}", one_line(&e))?;
-                    writer.flush()?;
-                    return Ok(());
-                }
-                Err(SubmitFailure::Io(e)) => return Err(e),
-            },
-            "PREPARE" => match read_prepare(engine, &mut reader) {
-                Ok(handle) => writeln!(writer, "OK {handle}")?,
-                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Err(SubmitFailure::Fatal(e)) => {
-                    writeln!(writer, "ERR {}", one_line(&e))?;
-                    writer.flush()?;
-                    return Ok(());
-                }
-                Err(SubmitFailure::Io(e)) => return Err(e),
-            },
-            "UNPREPARE" => match tail.parse::<DatasetHandle>() {
-                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Ok(handle) => match engine.unprepare(handle) {
-                    Ok(refs) => writeln!(writer, "OK refs={refs}")?,
-                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
-                },
-            },
-            "DERIVE" | "APPEND" => match read_derive(engine, &mut reader, tail, cmd == "APPEND") {
-                Ok(handle) => writeln!(writer, "OK {handle}")?,
-                Err(SubmitFailure::Protocol(e)) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Err(SubmitFailure::Fatal(e)) => {
-                    writeln!(writer, "ERR {}", one_line(&e))?;
-                    writer.flush()?;
-                    return Ok(());
-                }
-                Err(SubmitFailure::Io(e)) => return Err(e),
-            },
-            "STATUS" => match tail.parse::<crate::JobId>() {
-                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Ok(id) => match engine.status(id) {
-                    None => writeln!(writer, "ERR unknown job {id}")?,
-                    Some(JobStatus::Queued) => writeln!(writer, "QUEUED")?,
-                    Some(JobStatus::Running) => writeln!(writer, "RUNNING")?,
-                    Some(JobStatus::Done { result, from_cache }) => writeln!(
-                        writer,
-                        "DONE rows={} cached={}",
-                        result.rows,
-                        u8::from(from_cache)
-                    )?,
-                    Some(JobStatus::Failed(msg)) => writeln!(writer, "FAILED {}", one_line(&msg))?,
-                },
-            },
-            "WAIT" | "FETCH" => match tail.parse::<crate::JobId>() {
-                Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
-                Ok(id) => {
-                    let finished = if cmd == "WAIT" {
-                        engine.wait(id).map_err(|e| e.to_string())
-                    } else {
-                        match engine.status(id) {
-                            None => Err(EngineError::UnknownJob(id).to_string()),
-                            Some(JobStatus::Done { result, from_cache }) => {
-                                Ok((result, from_cache))
-                            }
-                            Some(JobStatus::Failed(msg)) => {
-                                Err(EngineError::JobFailed(msg).to_string())
-                            }
-                            Some(_) => Err(format!("job {id} not finished")),
-                        }
-                    };
-                    match finished {
-                        Err(e) => writeln!(writer, "ERR {}", one_line(&e))?,
-                        Ok((result, from_cache)) => {
-                            writeln!(
-                                writer,
-                                "RELEASE {} cached={}",
-                                result.csv.lines().count(),
-                                u8::from(from_cache)
-                            )?;
-                            writer.write_all(result.csv.as_bytes())?;
-                            writeln!(writer, "END")?;
-                        }
-                    }
-                }
-            },
-            other => writeln!(writer, "ERR unknown command {:?}", one_line(other))?,
         }
-        writer.flush()?;
     }
+}
+
+/// What one legacy line-protocol request asks of the transport, after
+/// [`dispatch_legacy`] has executed it against the engine.
+pub(crate) enum LegacyOutcome {
+    /// Reply bytes; keep the connection.
+    Reply(Vec<u8>),
+    /// Reply bytes; close the connection afterwards (`QUIT`, or a
+    /// fatal framing error that desynced the stream).
+    Close(Vec<u8>),
+    /// `WAIT`: the reply is [`render_wait_reply`] over the job's
+    /// terminal status, whenever it arrives.
+    Wait(JobId),
+}
+
+/// Renders the terminal half of a `WAIT`/`FETCH` reply: `ERR` line,
+/// or `RELEASE <n> cached=<b>` + CSV + `END`.
+pub(crate) fn render_wait_reply(finished: Result<(Arc<ReleaseResult>, bool), String>) -> Vec<u8> {
+    match finished {
+        Err(e) => format!("ERR {}\n", one_line(&e)).into_bytes(),
+        Ok((result, from_cache)) => {
+            let mut out = format!(
+                "RELEASE {} cached={}\n",
+                result.csv.lines().count(),
+                u8::from(from_cache)
+            )
+            .into_bytes();
+            out.extend_from_slice(result.csv.as_bytes());
+            out.extend_from_slice(b"END\n");
+            out
+        }
+    }
+}
+
+/// Converts a terminal [`JobStatus`] into the payload
+/// [`render_wait_reply`] expects, with the same error text
+/// `Engine::wait` would produce.
+pub(crate) fn wait_outcome(
+    id: JobId,
+    status: JobStatus,
+) -> Result<(Arc<ReleaseResult>, bool), String> {
+    match status {
+        JobStatus::Done { result, from_cache } => Ok((result, from_cache)),
+        JobStatus::Failed(msg) => Err(EngineError::JobFailed(msg).to_string()),
+        JobStatus::Queued | JobStatus::Running => Err(format!("job {id} not finished")),
+    }
+}
+
+/// Executes one legacy line-protocol request: `line` is the command
+/// line (already stripped of its newline), `reader` supplies any
+/// sectioned payload. `wire` appends the reactor's wire counters to
+/// `METRICS` output when serving through the reactor.
+///
+/// Every observable byte written for a given request is produced
+/// here, so the blocking server and the reactor cannot drift apart.
+/// An `Err` return means the transport failed mid-request (or the
+/// payload ended early) and the connection is beyond saving.
+pub(crate) fn dispatch_legacy(
+    engine: &Engine,
+    line: &str,
+    reader: &mut impl io::BufRead,
+    wire: Option<&WireStats>,
+) -> io::Result<LegacyOutcome> {
+    let (cmd, tail) = match line.split_once(' ') {
+        Some((c, t)) => (c, t.trim()),
+        None => (line, ""),
+    };
+    let mut out = Vec::new();
+    match cmd {
+        "" => {}
+        "PING" => writeln!(out, "PONG")?,
+        "QUIT" => {
+            writeln!(out, "BYE")?;
+            return Ok(LegacyOutcome::Close(out));
+        }
+        "STATS" => {
+            let line = format_stats(
+                engine.config().workers,
+                engine.queue_len(),
+                engine.prepared_len(),
+                &engine.stats(),
+            );
+            writeln!(out, "{line}")?;
+        }
+        "METRICS" => {
+            // Prometheus text exposition, framed like every other
+            // bulk payload: `METRICS <n>` + n lines + END.
+            let mut text = engine.telemetry().to_prometheus();
+            if let Some(wire) = wire {
+                text.push_str(&wire.snapshot().to_prometheus());
+            }
+            writeln!(out, "METRICS {}", text.lines().count())?;
+            out.extend_from_slice(text.as_bytes());
+            writeln!(out, "END")?;
+        }
+        "TRACE" => {
+            // Drains the span recorder (empty unless the engine
+            // was started with a trace capacity).
+            let spans = engine.take_trace();
+            writeln!(out, "TRACE {}", spans.len())?;
+            for span in &spans {
+                writeln!(out, "{}", span.to_wire_line())?;
+            }
+            writeln!(out, "END")?;
+        }
+        "SUBMIT" => match read_submit(engine, reader, tail) {
+            Ok(id) => writeln!(out, "OK {id}")?,
+            Err(SubmitFailure::Protocol(e)) => writeln!(out, "ERR {}", one_line(&e))?,
+            Err(SubmitFailure::Fatal(e)) => {
+                // Section framing is lost; any further reads would
+                // misparse payload as commands. Report and close.
+                writeln!(out, "ERR {}", one_line(&e))?;
+                return Ok(LegacyOutcome::Close(out));
+            }
+            Err(SubmitFailure::Io(e)) => return Err(e),
+        },
+        "PREPARE" => match read_prepare(engine, reader) {
+            Ok(handle) => writeln!(out, "OK {handle}")?,
+            Err(SubmitFailure::Protocol(e)) => writeln!(out, "ERR {}", one_line(&e))?,
+            Err(SubmitFailure::Fatal(e)) => {
+                writeln!(out, "ERR {}", one_line(&e))?;
+                return Ok(LegacyOutcome::Close(out));
+            }
+            Err(SubmitFailure::Io(e)) => return Err(e),
+        },
+        "UNPREPARE" => match tail.parse::<DatasetHandle>() {
+            Err(e) => writeln!(out, "ERR {}", one_line(&e))?,
+            Ok(handle) => match engine.unprepare(handle) {
+                Ok(refs) => writeln!(out, "OK refs={refs}")?,
+                Err(e) => writeln!(out, "ERR {}", one_line(&e.to_string()))?,
+            },
+        },
+        "DERIVE" | "APPEND" => match read_derive(engine, reader, tail, cmd == "APPEND") {
+            Ok(handle) => writeln!(out, "OK {handle}")?,
+            Err(SubmitFailure::Protocol(e)) => writeln!(out, "ERR {}", one_line(&e))?,
+            Err(SubmitFailure::Fatal(e)) => {
+                writeln!(out, "ERR {}", one_line(&e))?;
+                return Ok(LegacyOutcome::Close(out));
+            }
+            Err(SubmitFailure::Io(e)) => return Err(e),
+        },
+        "STATUS" => match tail.parse::<crate::JobId>() {
+            Err(e) => writeln!(out, "ERR {}", one_line(&e))?,
+            Ok(id) => match engine.status(id) {
+                None => writeln!(out, "ERR unknown job {id}")?,
+                Some(JobStatus::Queued) => writeln!(out, "QUEUED")?,
+                Some(JobStatus::Running) => writeln!(out, "RUNNING")?,
+                Some(JobStatus::Done { result, from_cache }) => writeln!(
+                    out,
+                    "DONE rows={} cached={}",
+                    result.rows,
+                    u8::from(from_cache)
+                )?,
+                Some(JobStatus::Failed(msg)) => writeln!(out, "FAILED {}", one_line(&msg))?,
+            },
+        },
+        "WAIT" => match tail.parse::<crate::JobId>() {
+            Err(e) => writeln!(out, "ERR {}", one_line(&e))?,
+            Ok(id) => return Ok(LegacyOutcome::Wait(id)),
+        },
+        "FETCH" => match tail.parse::<crate::JobId>() {
+            Err(e) => writeln!(out, "ERR {}", one_line(&e))?,
+            Ok(id) => {
+                let finished = match engine.status(id) {
+                    None => Err(EngineError::UnknownJob(id).to_string()),
+                    Some(status) => wait_outcome(id, status),
+                };
+                out.extend_from_slice(&render_wait_reply(finished));
+            }
+        },
+        other => writeln!(out, "ERR unknown command {:?}", one_line(other))?,
+    }
+    Ok(LegacyOutcome::Reply(out))
 }
 
 enum SubmitFailure {
@@ -434,25 +574,33 @@ fn read_table_sections(
 }
 
 /// Parses the three CSV tables and aggregates the per-node true
-/// views — the expensive load that `PREPARE` amortizes.
-fn load_dataset(
+/// views — the expensive load that `PREPARE` amortizes. Shared with
+/// the reactor's framed `SUBMIT`/`PREPARE` handlers.
+pub(crate) fn load_dataset(
     hierarchy_csv: &str,
     groups_csv: &str,
     entities_csv: &str,
-) -> Result<(Arc<Hierarchy>, Arc<HierarchicalCounts>), SubmitFailure> {
-    let (hierarchy, _) = hierarchy_from_csv(hierarchy_csv)
-        .map_err(|e| SubmitFailure::Protocol(format!("hierarchy: {e}")))?;
+) -> Result<(Arc<Hierarchy>, Arc<HierarchicalCounts>), String> {
+    let (hierarchy, _) =
+        hierarchy_from_csv(hierarchy_csv).map_err(|e| format!("hierarchy: {e}"))?;
     let mut loader = CsvLoader::new(&hierarchy);
     loader
         .load_groups(groups_csv)
-        .map_err(|e| SubmitFailure::Protocol(format!("groups: {e}")))?;
+        .map_err(|e| format!("groups: {e}"))?;
     loader
         .load_entities(entities_csv)
-        .map_err(|e| SubmitFailure::Protocol(format!("entities: {e}")))?;
+        .map_err(|e| format!("entities: {e}"))?;
     let db = loader.finish();
     let data = HierarchicalCounts::from_node_histograms(&hierarchy, db.node_histograms(&hierarchy))
-        .map_err(|e| SubmitFailure::Protocol(e.to_string()))?;
+        .map_err(|e| e.to_string())?;
     Ok((Arc::new(hierarchy), Arc::new(data)))
+}
+
+/// Builds the release configuration a request's parameters describe —
+/// the half of request validation shared by both wire protocols.
+pub(crate) fn submit_config(params: &SubmitParams) -> Result<TopDownConfig, String> {
+    let method = level_method(&params.method, params.bound)?;
+    Ok(TopDownConfig::new(params.epsilon).with_method(method))
 }
 
 /// Reads the sections of a `SUBMIT` (inline tables or none for a
@@ -472,8 +620,7 @@ fn read_submit(
     let params = SubmitParams::decode(params_tail);
     let sections = read_table_sections(reader)?;
     let params = params.map_err(SubmitFailure::Protocol)?;
-    let method = level_method(&params.method, params.bound).map_err(SubmitFailure::Protocol)?;
-    let config = TopDownConfig::new(params.epsilon).with_method(method);
+    let config = submit_config(&params).map_err(SubmitFailure::Protocol)?;
 
     if let Some(handle) = params.handle {
         if sections.iter().any(Option::is_some) {
@@ -491,7 +638,8 @@ fn read_submit(
             "SUBMIT needs HIERARCHY, GROUPS, and ENTITIES sections (or a handle=)".to_string(),
         ));
     };
-    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)?;
+    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)
+        .map_err(SubmitFailure::Protocol)?;
     let request = ReleaseRequest::new(hierarchy, data, config, params.seed);
     engine
         .submit(request)
@@ -521,7 +669,8 @@ fn read_prepare(
             "PREPARE needs HIERARCHY, GROUPS, and ENTITIES sections".to_string(),
         ));
     };
-    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)?;
+    let (hierarchy, data) = load_dataset(&hierarchy_csv, &groups_csv, &entities_csv)
+        .map_err(SubmitFailure::Protocol)?;
     engine
         .prepare(hierarchy, data)
         .map_err(|e| SubmitFailure::Protocol(e.to_string()))

@@ -988,6 +988,148 @@ pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
     out
 }
 
+/// Connection-level counters of the reactor wire path. All relaxed
+/// atomics bumped from the reactor thread (and, for `backpressure`,
+/// wherever a shed happens): no cross-field invariant, read only when
+/// a snapshot is taken — same discipline as the per-worker
+/// `WorkerMetrics` counters.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Connections accepted and registered with the reactor.
+    pub accepted: AtomicU64,
+    /// Currently-open connections (gauge: incremented on accept,
+    /// decremented on close).
+    pub active: AtomicU64,
+    /// Connections turned away at the `max_connections` bound.
+    pub rejected: AtomicU64,
+    /// Bytes read off client sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to client sockets.
+    pub bytes_out: AtomicU64,
+    /// Framed requests decoded.
+    pub frames_in: AtomicU64,
+    /// Response frames sent.
+    pub frames_out: AtomicU64,
+    /// BUSY backpressure frames sent (load shed to a framed client).
+    pub backpressure: AtomicU64,
+    /// Connections auto-detected as legacy line-protocol speakers.
+    pub legacy_connections: AtomicU64,
+    /// Framed requests currently parked awaiting an engine queue slot
+    /// or lane quota (gauge).
+    pub parked: AtomicU64,
+}
+
+impl WireStats {
+    /// Copies the counters into a plain snapshot.
+    pub fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            legacy_connections: self.legacy_connections.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`WireStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Currently-open connections.
+    pub active: u64,
+    /// Connections rejected at the connection bound.
+    pub rejected: u64,
+    /// Bytes read from clients.
+    pub bytes_in: u64,
+    /// Bytes written to clients.
+    pub bytes_out: u64,
+    /// Framed requests decoded.
+    pub frames_in: u64,
+    /// Response frames sent.
+    pub frames_out: u64,
+    /// BUSY backpressure frames sent.
+    pub backpressure: u64,
+    /// Connections served via legacy line-protocol auto-detection.
+    pub legacy_connections: u64,
+    /// Requests currently parked for admission.
+    pub parked: u64,
+}
+
+impl WireSnapshot {
+    /// Renders the wire counters as Prometheus text exposition; the
+    /// reactor appends this to the engine's `METRICS` payload.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let counters: [(&str, &str, u64); 8] = [
+            (
+                "hcc_wire_connections_accepted_total",
+                "Connections accepted by the reactor",
+                self.accepted,
+            ),
+            (
+                "hcc_wire_connections_rejected_total",
+                "Connections rejected at the connection bound",
+                self.rejected,
+            ),
+            (
+                "hcc_wire_bytes_in_total",
+                "Bytes read from clients",
+                self.bytes_in,
+            ),
+            (
+                "hcc_wire_bytes_out_total",
+                "Bytes written to clients",
+                self.bytes_out,
+            ),
+            (
+                "hcc_wire_frames_in_total",
+                "Framed requests decoded",
+                self.frames_in,
+            ),
+            (
+                "hcc_wire_frames_out_total",
+                "Response frames sent",
+                self.frames_out,
+            ),
+            (
+                "hcc_wire_backpressure_total",
+                "BUSY backpressure frames sent",
+                self.backpressure,
+            ),
+            (
+                "hcc_wire_legacy_connections_total",
+                "Connections auto-detected as legacy line protocol",
+                self.legacy_connections,
+            ),
+        ];
+        for (name, help, value) in counters {
+            push_series(&mut out, name, "counter", help, &[("", value)]);
+        }
+        push_series(
+            &mut out,
+            "hcc_wire_connections_active",
+            "gauge",
+            "Currently-open connections",
+            &[("", self.active)],
+        );
+        push_series(
+            &mut out,
+            "hcc_wire_parked_requests",
+            "gauge",
+            "Framed requests parked awaiting admission",
+            &[("", self.parked)],
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

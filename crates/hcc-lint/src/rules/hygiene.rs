@@ -1,15 +1,26 @@
-//! Rule `hygiene`: crate roots carry the workspace hygiene attributes.
+//! Rule `hygiene`: crate roots carry the workspace hygiene attributes, and
+//! every `unsafe` token is individually waived.
 //!
 //! Every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must open
-//! with `#![forbid(unsafe_code)]`; library roots must additionally carry a
-//! `missing_docs` lint attribute (`#![warn(missing_docs)]` or stronger).
-//! The ten `hcc-*` crates established this convention; the rule stops new
-//! crates (and the root facade/binary) from drifting.
+//! with `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`; library roots
+//! must additionally carry a `missing_docs` lint attribute
+//! (`#![warn(missing_docs)]` or stronger). The ten `hcc-*` crates
+//! established the convention with `forbid`; `hcc-engine` moved to `deny`
+//! when the reactor's epoll FFI arrived, because `forbid` cannot be
+//! overridden even by an audited, allow-listed module.
+//!
+//! That relaxation is paid for by the second check: **every `unsafe` token
+//! in the workspace** (outside `#[cfg(test)]`) must carry a per-site waiver
+//! — `// hcc-lint: allow(hygiene, reason = "...")` on the token's line or
+//! the line above — stating why the site is sound. `--deny all` therefore
+//! still guarantees no unvetted unsafe code anywhere, while letting the one
+//! audited FFI module exist.
 
 use crate::rules::Finding;
 use crate::syntax::SourceFile;
 
-/// True when `rel` is a crate root this rule audits.
+/// True when `rel` is a crate root audited for hygiene attributes. (The
+/// unsafe-token audit applies to every file, not just roots.)
 pub fn in_scope(rel: &str) -> bool {
     let file = rel.rsplit('/').next().unwrap_or(rel);
     let is_root_name = file == "lib.rs" || file == "main.rs";
@@ -22,34 +33,38 @@ fn is_lib(rel: &str) -> bool {
     rel.ends_with("lib.rs")
 }
 
-/// Scan the inner attributes at the top of the file for the two markers.
+/// Scan crate roots for the hygiene attributes and every file for unwaived
+/// `unsafe` tokens.
 pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    audit_unsafe(file, out);
     if !in_scope(&file.rel) {
         return;
     }
-    let mut has_forbid_unsafe = false;
+    let mut has_unsafe_gate = false;
     let mut has_missing_docs = false;
     // Inner attributes can only appear before any item; scanning the whole
     // token stream for the ident pair is a safe over-approximation.
     let toks: Vec<_> = file.code().map(|(_, t)| t).collect();
     for w in toks.windows(4) {
-        if w[0].is_ident("forbid")
+        if (w[0].is_ident("forbid") || w[0].is_ident("deny"))
             && w[1].is_punct('(')
             && w[2].is_ident("unsafe_code")
             && w[3].is_punct(')')
         {
-            has_forbid_unsafe = true;
+            has_unsafe_gate = true;
         }
     }
     if toks.iter().any(|t| t.is_ident("missing_docs")) {
         has_missing_docs = true;
     }
-    if !has_forbid_unsafe {
+    if !has_unsafe_gate {
         out.push(Finding {
             rule: "hygiene",
             path: file.rel.clone(),
             line: 1,
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            message: "crate root is missing `#![forbid(unsafe_code)]` (or, with audited \
+                      waived sites, `#![deny(unsafe_code)]`)"
+                .to_string(),
         });
     }
     if is_lib(&file.rel) && !has_missing_docs {
@@ -61,5 +76,23 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                       (e.g. `#![warn(missing_docs)]`)"
                 .to_string(),
         });
+    }
+}
+
+/// Every `unsafe` token outside tests needs its own waiver with a reason.
+/// `unsafe_code` (the lint name inside attributes) is a distinct identifier
+/// and never matches.
+fn audit_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (_, t) in file.code() {
+        if t.is_ident("unsafe") && !file.waives("hygiene", t.line) {
+            out.push(Finding {
+                rule: "hygiene",
+                path: file.rel.clone(),
+                line: t.line,
+                message: "`unsafe` requires a per-site waiver stating why it is sound \
+                          (`// hcc-lint: allow(hygiene, reason = \"...\")`)"
+                    .to_string(),
+            });
+        }
     }
 }

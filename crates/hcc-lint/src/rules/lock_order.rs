@@ -1,13 +1,13 @@
 //! Rule `lock-order`: the engine's lock-acquisition graph must be cycle-free
 //! and respect the declared rank order.
 //!
-//! The engine holds five families of locks (plus two internal ones added
-//! since the topology was first declared). Deadlock freedom is guaranteed by
-//! a total order: a thread may only acquire a lock of strictly higher rank
-//! than every lock it already holds:
+//! The engine holds eight families of locks (the original five, two
+//! internal ones, and the reactor's completion queue). Deadlock freedom is
+//! guaranteed by a total order: a thread may only acquire a lock of strictly
+//! higher rank than every lock it already holds:
 //!
 //! ```text
-//! state < cache < registry < lanes < gate < job < telemetry
+//! state < cache < registry < lanes < gate < job < telemetry < wire
 //! ```
 //!
 //! This pass extracts every `.lock()` acquisition site in
@@ -31,7 +31,7 @@ use crate::syntax::SourceFile;
 
 /// The declared rank order, lowest first. Must match
 /// `hcc_engine::locks::RANK_NAMES` (asserted by the self-check test).
-pub const LOCK_ORDER: [&str; 7] = [
+pub const LOCK_ORDER: [&str; 8] = [
     "state",
     "cache",
     "registry",
@@ -39,6 +39,7 @@ pub const LOCK_ORDER: [&str; 7] = [
     "gate",
     "job",
     "telemetry",
+    "wire",
 ];
 
 /// Map a receiver identifier at a `.lock()` call site to its rank name.
@@ -54,6 +55,7 @@ fn rank_of_receiver(name: &str) -> Option<&'static str> {
         "permits" => Some("gate"),
         "estimates" | "failure" | "slots" => Some("job"),
         "rings" | "ring" => Some("telemetry"),
+        "completions" => Some("wire"),
         _ => None,
     }
 }

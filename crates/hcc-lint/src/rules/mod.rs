@@ -56,7 +56,7 @@ pub const RULES: [RuleInfo; 6] = [
         name: "lock-order",
         summary: "every .lock() site in hcc-engine maps to a declared rank; the static \
                   nesting graph must be cycle-free and respect \
-                  state < cache < registry < lanes < gate < job < telemetry",
+                  state < cache < registry < lanes < gate < job < telemetry < wire",
     },
     RuleInfo {
         name: "atomics",
@@ -75,7 +75,8 @@ pub const RULES: [RuleInfo; 6] = [
     },
     RuleInfo {
         name: "hygiene",
-        summary: "crate roots carry #![forbid(unsafe_code)] and a missing_docs lint attr",
+        summary: "crate roots carry #![forbid(unsafe_code)] (or deny) and a missing_docs \
+                  lint attr; every unsafe token needs a per-site waiver",
     },
 ];
 

@@ -18,8 +18,9 @@ use crate::rules::Finding;
 use crate::syntax::SourceFile;
 
 /// Server-connection and worker-task path files.
-const SCOPED_FILES: [&str; 6] = [
+const SCOPED_FILES: [&str; 7] = [
     "crates/hcc-engine/src/server.rs",
+    "crates/hcc-engine/src/reactor.rs",
     "crates/hcc-engine/src/protocol.rs",
     "crates/hcc-engine/src/engine.rs",
     "crates/hcc-engine/src/scheduler.rs",

@@ -59,8 +59,9 @@ fn lock_graph_covers_every_rank_and_is_acyclic() {
     // the rendered graph agrees.
     let rendered = graph.render();
     assert!(
-        rendered
-            .contains("declared order: state < cache < registry < lanes < gate < job < telemetry"),
+        rendered.contains(
+            "declared order: state < cache < registry < lanes < gate < job < telemetry < wire"
+        ),
         "{rendered}"
     );
 }

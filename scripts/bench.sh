@@ -4,25 +4,28 @@
 # the perf trajectory across PRs is machine-readable.
 #
 # Usage:
-#   scripts/bench.sh              # run benches, write BENCH_8.json
+#   scripts/bench.sh              # run benches, write BENCH_9.json
 #   scripts/bench.sh --smoke      # CI mode: compile benches, run a
-#                                 # fast scaling curve, write nothing
-#   PR=8 scripts/bench.sh         # write BENCH_8.json instead
+#                                 # fast scaling curve + wire sweep,
+#                                 # write nothing
+#   PR=9 scripts/bench.sh         # write BENCH_9.json instead
 #   REPS=5 scripts/bench.sh       # more release_hot_path repetitions
 #
 # The cheap release_hot_path bench runs REPS times (median per label);
-# the broader micro suite and the engine scaling curve (8-job batch
+# the broader micro suite, the engine scaling curve (8-job batch
 # wall time at 1/2/4/8 workers, `engine_scaling/jobs_batch8/<w>`)
-# run once. HCC_SEED pins the RNG stream the release_hot_path bench
-# draws from (default 0). The scaling run also dumps each point's
-# engine telemetry snapshot (stage latency quantiles, steal/gate
-# counters), embedded under a "telemetry" key in BENCH_N.json so a
-# scaling regression names the stage it grew in.
+# and the wire-path curve (`wire_path/sweep100/{blocking,framed}`,
+# `wire_path/submit_*/c{1,64,1000}`) run once. HCC_SEED pins the RNG
+# stream the release_hot_path bench draws from (default 0). The
+# scaling run also dumps each point's engine telemetry snapshot
+# (stage latency quantiles, steal/gate counters), embedded under a
+# "telemetry" key in BENCH_N.json so a scaling regression names the
+# stage it grew in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HCC_SEED="${HCC_SEED:-0}"
-PR="${PR:-8}"
+PR="${PR:-9}"
 OUT="BENCH_${PR}.json"
 REPS="${REPS:-3}"
 
@@ -37,7 +40,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
   # paying for the full measurement workload.
   HCC_SCALING_SCALE=2e-6 HCC_SCALING_BOUND=500 HCC_SCALING_REPS=1 \
     cargo run --release -q -p hcc-bench --bin scaling
-  echo "bench smoke OK (benches compile; scaling curve ran)"
+  # Tiny wire curve: reactor + framed protocol end-to-end over
+  # loopback, without the full 1000-connection measurement.
+  HCC_WIRE_SWEEP=8 HCC_WIRE_CONNS=1,8 HCC_WIRE_OPS=2 \
+    cargo run --release -q -p hcc-bench --bin engine_wire
+  echo "bench smoke OK (benches compile; scaling + wire curves ran)"
   exit 0
 fi
 
@@ -51,6 +58,7 @@ done
 cargo bench -p hcc-bench --bench micro | tee -a "$RAW"
 HCC_SCALING_METRICS="$METRICS" \
   cargo run --release -q -p hcc-bench --bin scaling | tee -a "$RAW"
+cargo run --release -q -p hcc-bench --bin engine_wire | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" "$METRICS" <<'EOF'
 import json

@@ -30,12 +30,16 @@
 //!
 //! hcc serve    --addr 127.0.0.1:7878 --threads 4
 //!     boots the hcc-engine job server (bounded queue, worker pool,
-//!     result cache) and serves release requests over TCP
+//!     result cache) and serves release requests over TCP — an epoll
+//!     reactor speaking both the framed protocol and the legacy line
+//!     protocol on one port (--legacy-wire restores the blocking
+//!     thread-per-connection server)
 //!
 //! hcc submit   --addr 127.0.0.1:7878 --hierarchy data/hierarchy.csv \
 //!              --groups data/groups.csv --entities data/entities.csv \
 //!              --epsilon 1.0 --out release.csv
 //!     submits one release to a running server and fetches the result
+//!     (framed protocol; --line-protocol uses the legacy text wire)
 //!
 //! hcc prepare  --addr 127.0.0.1:7878 --hierarchy data/hierarchy.csv \
 //!              --groups data/groups.csv --entities data/entities.csv
@@ -72,8 +76,8 @@ use hccount::consistency::{
 use hccount::core::{emd, size_stats};
 use hccount::data::{Dataset, DatasetKind};
 use hccount::engine::{
-    level_method, protocol::SubmitParams, serve_with, Client, DatasetHandle, Engine, EngineConfig,
-    ServeConfig,
+    level_method, protocol::SubmitParams, serve_blocking_with, serve_reactor, Client,
+    DatasetHandle, Engine, EngineConfig, MuxClient, ReactorConfig, ServeConfig,
 };
 use hccount::hierarchy::{hierarchy_from_csv, Hierarchy};
 use hccount::tables::CsvLoader;
@@ -130,11 +134,15 @@ const USAGE: &str = "usage:
   hcc serve    --addr HOST:PORT [--threads N] [--queue N] [--cache N]
                [--prepared N] [--read-timeout SECS (0 disables, default 30)]
                [--trace N (span-recorder capacity per worker, default 0 = off)]
+               [--connections N] [--inflight N] [--bulk-inflight N] [--park N]
+               [--legacy-wire (blocking thread-per-connection server)]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
+               [--line-protocol (legacy text wire instead of framed)]
   hcc prepare  --addr HOST:PORT --hierarchy F --groups F --entities F
   hcc sweep    --addr HOST:PORT --eps F,F,... (--handle ds-HEX | --hierarchy F --groups F --entities F)
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out-dir DIR]
+               [--line-protocol (sequential text wire instead of pipelined frames)]
   hcc derive   --addr HOST:PORT --handle ds-HEX --delta F [--append]
   hcc unprepare --addr HOST:PORT --handle ds-HEX
   hcc trace    --addr HOST:PORT [--out F (default stdout)]
@@ -150,7 +158,7 @@ type Opts = HashMap<String, String>;
 
 /// Options that are bare flags (present/absent) rather than
 /// `--key value` pairs.
-const FLAGS: &[&str] = &["append", "raw"];
+const FLAGS: &[&str] = &["append", "raw", "legacy-wire", "line-protocol"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
@@ -421,6 +429,18 @@ fn render_metrics_summary(text: &str) -> String {
         get("hcc_trace_spans_dropped_total"),
     ));
     out.push_str(&format!(
+        "wire      conns {} active ({} accepted, {} rejected, {} legacy)  \
+         frames {} in / {} out  busy {}  parked {}\n",
+        get("hcc_wire_connections_active"),
+        get("hcc_wire_connections_accepted_total"),
+        get("hcc_wire_connections_rejected_total"),
+        get("hcc_wire_legacy_connections_total"),
+        get("hcc_wire_frames_in_total"),
+        get("hcc_wire_frames_out_total"),
+        get("hcc_wire_backpressure_total"),
+        get("hcc_wire_parked_requests"),
+    ));
+    out.push_str(&format!(
         "tasks     executed {}  stolen {}\n",
         sum_labeled("hcc_tasks_executed_total"),
         sum_labeled("hcc_tasks_stolen_total"),
@@ -535,6 +555,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let prepared: usize = parsed(opts, "prepared", 16)?;
     let read_timeout_secs: u64 = parsed(opts, "read-timeout", 30)?;
     let trace: usize = parsed(opts, "trace", 0)?;
+    let legacy_wire = opts.contains_key("legacy-wire");
+    let inflight: usize = parsed(opts, "inflight", 256)?;
+    let bulk_inflight: usize = parsed(opts, "bulk-inflight", 64)?;
+    let park: usize = parsed(opts, "park", 64)?;
+    let connections: usize = parsed(opts, "connections", 1024)?;
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
@@ -544,15 +569,32 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .with_trace_capacity(trace),
     );
     // `--read-timeout 0` disables the idle disconnect.
-    let serve_cfg = ServeConfig::default().with_read_timeout(
-        (read_timeout_secs > 0).then(|| std::time::Duration::from_secs(read_timeout_secs)),
-    );
-    let handle = serve_with(Arc::new(engine), addr, serve_cfg)
-        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let read_timeout =
+        (read_timeout_secs > 0).then(|| std::time::Duration::from_secs(read_timeout_secs));
+    let handle = if legacy_wire {
+        let serve_cfg = ServeConfig::default()
+            .with_read_timeout(read_timeout)
+            .with_max_connections(connections.max(1));
+        serve_blocking_with(Arc::new(engine), addr, serve_cfg)
+    } else {
+        let reactor_cfg = ReactorConfig::default()
+            .with_read_timeout(read_timeout)
+            .with_max_connections(connections.max(1))
+            .with_interactive_inflight(inflight.max(1))
+            .with_bulk_inflight(bulk_inflight.max(1))
+            .with_park_capacity(park);
+        serve_reactor(Arc::new(engine), addr, reactor_cfg)
+    }
+    .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "hcc-engine listening on {} ({workers} workers, queue {queue}, cache {cache}, \
+        "hcc-engine listening on {} ({} wire, {workers} workers, queue {queue}, cache {cache}, \
          prepared {prepared}, read timeout {}, trace {})",
         handle.addr(),
+        if legacy_wire {
+            "blocking legacy".to_string()
+        } else {
+            format!("reactor, lanes {inflight}/{bulk_inflight} park {park}")
+        },
         if read_timeout_secs > 0 {
             format!("{read_timeout_secs}s")
         } else {
@@ -571,7 +613,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 }
 
 /// Client mode: submits one release request to a running `hcc serve`
-/// and downloads the result.
+/// and downloads the result. Speaks the framed protocol by default;
+/// `--line-protocol` falls back to the legacy text wire.
 fn cmd_submit(opts: &Opts) -> Result<(), String> {
     let addr = required(opts, "addr")?;
     let params = SubmitParams {
@@ -589,22 +632,35 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
     let groups_csv = read(required(opts, "groups")?)?;
     let entities_csv = read(required(opts, "entities")?)?;
 
-    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let io = |e: std::io::Error| format!("talking to {addr}: {e}");
-    let id = client
-        .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
-        .map_err(io)?
-        .map_err(|e| format!("server rejected the request: {e}"))?;
-    let release = client
-        .wait(id)
-        .map_err(io)?
-        .map_err(|e| format!("{id} failed: {e}"))?;
+    let (label, release) = if opts.contains_key("line-protocol") {
+        let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let id = client
+            .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+            .map_err(io)?
+            .map_err(|e| format!("server rejected the request: {e}"))?;
+        let release = client
+            .wait(id)
+            .map_err(io)?
+            .map_err(|e| format!("{id} failed: {e}"))?;
+        let _ = client.quit();
+        (id.to_string(), release)
+    } else {
+        let mut client =
+            MuxClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let release = client
+            .submit_release(&params, &hierarchy_csv, &groups_csv, &entities_csv)
+            .map_err(io)?
+            .map_err(|e| format!("server rejected the request: {e}"))?;
+        let _ = client.quit();
+        ("submitted".to_string(), release)
+    };
     match opts.get("out") {
         Some(out) => {
             let out = PathBuf::from(out);
             write(&out, &release.csv)?;
             println!(
-                "{id}: {} rows ({}) written to {}",
+                "{label}: {} rows ({}) written to {}",
                 release.csv.lines().count().saturating_sub(1),
                 if release.from_cache {
                     "cache hit"
@@ -616,7 +672,6 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
         }
         None => print!("{}", release.csv),
     }
-    let _ = client.quit();
     Ok(())
 }
 
@@ -683,11 +738,12 @@ fn cmd_unprepare(opts: &Opts) -> Result<(), String> {
 }
 
 /// Batch-submits an ε grid over one prepared handle on a single
-/// connection and streams the per-ε results as they complete. With
-/// table paths instead of `--handle`, prepares them first (and
-/// unprepares on the way out). Each release is written to
+/// connection. With table paths instead of `--handle`, prepares them
+/// first (and unprepares on the way out). Each release is written to
 /// `--out-dir/release-eps-<ε>.csv` when given; otherwise only the
-/// per-ε summary lines are printed.
+/// per-ε summary lines are printed. The default wire is the framed
+/// protocol with every grid point pipelined up front;
+/// `--line-protocol` falls back to the legacy sequential text wire.
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let addr = required(opts, "addr")?;
     let eps_tokens: Vec<String> = required(opts, "eps")?
@@ -715,74 +771,107 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     };
     level_method(&base.method, base.bound)?;
     let out_dir = opts.get("out-dir").map(PathBuf::from);
-
-    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let io_err = |e: std::io::Error| format!("talking to {addr}: {e}");
-    let (handle, auto_prepared) = match opts.get("handle") {
-        Some(h) => (h.parse::<DatasetHandle>()?, false),
-        None => {
-            let hierarchy_csv = read(required(opts, "hierarchy")?)?;
-            let groups_csv = read(required(opts, "groups")?)?;
-            let entities_csv = read(required(opts, "entities")?)?;
-            let handle = client
-                .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
-                .map_err(io_err)?
-                .map_err(|e| format!("server rejected the tables: {e}"))?;
-            println!("prepared {handle}");
-            (handle, true)
-        }
-    };
 
     let mut failures = 0usize;
     let mut write_err: Option<String> = None;
     let mut point = 0usize;
-    client
-        .sweep(&base, handle, &epsilons, |epsilon, result| {
-            // Results stream in grid order, so the token is positional
-            // — value-matching would alias distinct tokens that parse
-            // equal (`--eps 1,1.0`) and silently skip an output file.
-            let token = eps_tokens
-                .get(point)
-                .cloned()
-                .unwrap_or_else(|| epsilon.to_string());
-            point += 1;
-            match result {
-                Ok(release) => {
-                    let rows = release.csv.lines().count().saturating_sub(1);
-                    let source = if release.from_cache {
-                        "cache hit"
-                    } else {
-                        "computed"
-                    };
-                    match &out_dir {
-                        Some(dir) => {
-                            let path = dir.join(format!("release-eps-{token}.csv"));
-                            match write(&path, &release.csv) {
-                                Ok(()) => println!(
+    // Shared per-point reporting for both wire protocols. The token is
+    // positional — value-matching would alias distinct tokens that
+    // parse equal (`--eps 1,1.0`) and silently skip an output file.
+    let mut on_point = |epsilon: f64, result: Result<hccount::engine::FetchedRelease, String>| {
+        let token = eps_tokens
+            .get(point)
+            .cloned()
+            .unwrap_or_else(|| epsilon.to_string());
+        point += 1;
+        match result {
+            Ok(release) => {
+                let rows = release.csv.lines().count().saturating_sub(1);
+                let source = if release.from_cache {
+                    "cache hit"
+                } else {
+                    "computed"
+                };
+                match &out_dir {
+                    Some(dir) => {
+                        let path = dir.join(format!("release-eps-{token}.csv"));
+                        match write(&path, &release.csv) {
+                            Ok(()) => {
+                                println!(
                                     "eps={token}: {rows} rows ({source}) -> {}",
                                     path.display()
-                                ),
-                                Err(e) => {
-                                    failures += 1;
-                                    write_err.get_or_insert(e);
-                                }
+                                )
+                            }
+                            Err(e) => {
+                                failures += 1;
+                                write_err.get_or_insert(e);
                             }
                         }
-                        None => println!("eps={token}: {rows} rows ({source})"),
                     }
-                }
-                Err(e) => {
-                    failures += 1;
-                    eprintln!("eps={token}: failed: {e}");
+                    None => println!("eps={token}: {rows} rows ({source})"),
                 }
             }
-        })
-        .map_err(io_err)?;
+            Err(e) => {
+                failures += 1;
+                eprintln!("eps={token}: failed: {e}");
+            }
+        }
+    };
 
-    if auto_prepared {
-        let _ = client.unprepare(handle);
+    if opts.contains_key("line-protocol") {
+        let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let (handle, auto_prepared) = match opts.get("handle") {
+            Some(h) => (h.parse::<DatasetHandle>()?, false),
+            None => {
+                let hierarchy_csv = read(required(opts, "hierarchy")?)?;
+                let groups_csv = read(required(opts, "groups")?)?;
+                let entities_csv = read(required(opts, "entities")?)?;
+                let handle = client
+                    .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+                    .map_err(io_err)?
+                    .map_err(|e| format!("server rejected the tables: {e}"))?;
+                println!("prepared {handle}");
+                (handle, true)
+            }
+        };
+        client
+            .sweep(&base, handle, &epsilons, &mut on_point)
+            .map_err(io_err)?;
+        if auto_prepared {
+            let _ = client.unprepare(handle);
+        }
+        let _ = client.quit();
+    } else {
+        // Framed wire: every grid point is pipelined up front on one
+        // connection; the server computes them concurrently and the
+        // responses come back matched by request id.
+        let mut client =
+            MuxClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let (handle, auto_prepared) = match opts.get("handle") {
+            Some(h) => (h.parse::<DatasetHandle>()?, false),
+            None => {
+                let hierarchy_csv = read(required(opts, "hierarchy")?)?;
+                let groups_csv = read(required(opts, "groups")?)?;
+                let entities_csv = read(required(opts, "entities")?)?;
+                let handle = client
+                    .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+                    .map_err(io_err)?
+                    .map_err(|e| format!("server rejected the tables: {e}"))?;
+                println!("prepared {handle}");
+                (handle, true)
+            }
+        };
+        let points = client.sweep(&base, handle, &epsilons).map_err(io_err)?;
+        for p in points {
+            on_point(p.epsilon, p.outcome);
+        }
+        if auto_prepared {
+            let _ = client.unprepare(handle);
+        }
+        let _ = client.quit();
     }
-    let _ = client.quit();
+
     if let Some(e) = write_err {
         return Err(e);
     }

@@ -10,7 +10,7 @@ use hccount::data::{Dataset, DatasetKind};
 use hccount::data::{DatasetDelta, DeltaOp};
 use hccount::engine::{
     protocol::SubmitParams, serve, serve_with, Client, DatasetHandle, Engine, EngineConfig,
-    ReleaseRequest, ServeConfig,
+    EngineError, JobStatus, ReleaseRequest, ServeConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -787,4 +787,57 @@ fn raw_protocol_framing_errors() {
     assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
 
     handle.shutdown();
+}
+
+/// The completion-watcher API behind the reactor's event-driven
+/// result delivery: a watcher registered on a live job fires exactly
+/// once with the terminal status, a watcher registered after the job
+/// finished fires immediately, and an id the engine never saw is a
+/// typed error.
+#[test]
+fn on_finish_fires_once_with_the_terminal_status() {
+    let ds = dataset();
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let hierarchy = Arc::new(ds.hierarchy);
+    let data = Arc::new(ds.data);
+
+    // Deferred path: register while the job is (likely) still live.
+    let id = engine
+        .submit(ReleaseRequest::new(
+            Arc::clone(&hierarchy),
+            Arc::clone(&data),
+            config(),
+            11,
+        ))
+        .unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    engine
+        .on_finish(id, move |job, status| tx.send((job, status)).unwrap())
+        .unwrap();
+    let (seen_id, status) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(seen_id, id);
+    let JobStatus::Done { result, .. } = status else {
+        panic!("watcher saw non-terminal status");
+    };
+    let (direct, _) = engine.wait(id).unwrap();
+    assert_eq!(result.csv, direct.csv);
+
+    // Immediate path: the job above is terminal, so a fresh watcher
+    // runs on the calling thread before `on_finish` returns.
+    let (tx, rx) = std::sync::mpsc::channel();
+    engine
+        .on_finish(id, move |job, status| tx.send((job, status)).unwrap())
+        .unwrap();
+    let (seen_id, status) = rx
+        .try_recv()
+        .expect("terminal-job watcher must run synchronously");
+    assert_eq!(seen_id, id);
+    assert!(matches!(status, JobStatus::Done { .. }));
+
+    // Unknown id: an engine that never issued the id reports it.
+    let other = Engine::start(EngineConfig::default().with_workers(1));
+    match other.on_finish(id, |_, _| {}) {
+        Err(EngineError::UnknownJob(e)) => assert_eq!(e, id),
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
 }
