@@ -1,0 +1,122 @@
+//! Emits the durable-store scoreboard — the cost of making state
+//! survive a crash — in the `<label> <ns> ns/iter` format
+//! `scripts/bench.sh` parses into BENCH_N.json.
+//!
+//! Labels:
+//!
+//! * `store_path/cold_prepare` — per-dataset cost of persisting a
+//!   fresh dataset record (WAL append + fsync) into an empty store;
+//! * `store_path/warm_reload` — full `Store::open` on the populated
+//!   files (snapshot decode + WAL replay), i.e. what `hcc serve
+//!   --store` pays at boot before handles are warm;
+//! * `store_path/wal_append` — per-charge cost of the budget ledger's
+//!   durability (one WAL record + fsync), the per-release overhead a
+//!   capped server adds to every submission.
+//!
+//! Knobs (environment):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `HCC_STORE_DATASETS` | datasets persisted | `8` |
+//! | `HCC_STORE_NODES` | hierarchy nodes per dataset | `200` |
+//! | `HCC_STORE_CHARGES` | ledger charges timed | `64` |
+//! | `HCC_STORE_RELOADS` | warm reopens timed | `8` |
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hcc_store::{DatasetRecord, Store};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A census-shaped record: `nodes` regions, each with a short
+/// run-length histogram, sized like a PREPAREd mid-scale dataset.
+fn synth_record(handle: u128, nodes: usize) -> DatasetRecord {
+    let mut names = Vec::with_capacity(nodes);
+    let mut parents = Vec::with_capacity(nodes);
+    let mut histograms = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        names.push(format!("region-{i:06}"));
+        parents.push(if i == 0 { u64::MAX } else { (i as u64 - 1) / 4 });
+        let base = (i as u64 % 7) + 1;
+        histograms.push(vec![(base, 40), (base + 2, 11), (base + 9, 3)]);
+    }
+    DatasetRecord {
+        handle,
+        names,
+        parents,
+        histograms,
+        refs: 1,
+    }
+}
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hcc-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+fn main() {
+    let datasets: usize = env_or("HCC_STORE_DATASETS", 8);
+    let nodes: usize = env_or("HCC_STORE_NODES", 200);
+    let charges: usize = env_or("HCC_STORE_CHARGES", 64);
+    let reloads: usize = env_or("HCC_STORE_RELOADS", 8);
+
+    let dir = scratch();
+    let path = dir.join("bench.hcc");
+
+    // Cold prepare: first-ever persistence of each dataset.
+    let mut store = Store::open(&path).expect("open fresh store");
+    let start = Instant::now();
+    for i in 0..datasets {
+        store
+            .put_dataset(&synth_record(0xBEEF_0000 + i as u128, nodes))
+            .expect("persist dataset");
+    }
+    let cold = start.elapsed() / datasets.max(1) as u32;
+    println!("store_path/cold_prepare {} ns/iter", cold.as_nanos());
+
+    // Ledger durability: one WAL record + fsync per charge.
+    let start = Instant::now();
+    for i in 0..charges {
+        store
+            .charge(0xBEEF_0000, 0.001 * (i + 1) as f64)
+            .expect("charge budget");
+    }
+    let append = start.elapsed() / charges.max(1) as u32;
+    println!("store_path/wal_append {} ns/iter", append.as_nanos());
+
+    // Fold half the state into the snapshot so the reload exercises
+    // both the page decode and the WAL replay path.
+    store.checkpoint().expect("checkpoint");
+    for i in 0..charges {
+        store
+            .charge(0xBEEF_0001, 0.001 * (i + 1) as f64)
+            .expect("post-checkpoint charge");
+    }
+    drop(store);
+
+    // Warm reload: what `hcc serve --store` pays at boot.
+    let start = Instant::now();
+    for _ in 0..reloads {
+        let reopened = Store::open(&path).expect("warm reopen");
+        assert_eq!(reopened.datasets().len(), datasets);
+    }
+    let reload = start.elapsed() / reloads.max(1) as u32;
+    println!("store_path/warm_reload {} ns/iter", reload.as_nanos());
+
+    eprintln!(
+        "# store_path: {datasets} datasets x {nodes} nodes, {charges} charges, \
+         {reloads} reloads (cold {cold:?}/dataset, append {append:?}/charge, \
+         reload {reload:?}/open)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

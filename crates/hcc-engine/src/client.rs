@@ -29,11 +29,85 @@ pub struct FetchedRelease {
     pub from_cache: bool,
 }
 
+/// How a client reacts to `BUSY` backpressure: bounded exponential
+/// backoff seeded from the server's retry hint, with deterministic
+/// jitter (no ambient entropy — two clients built with the same seed
+/// sleep the same schedule).
+///
+/// Attempt `n` sleeps `min(hint << n, max_delay_ms)` plus a jitter of
+/// up to a quarter of that, then resubmits; after `max_attempts`
+/// sheds the request fails with the server's `busy:` text instead of
+/// retrying forever. [`RetryPolicy::disabled`] (the CLI's
+/// `--no-retry`) surfaces the first shed immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many sheds are retried before giving up (0 = fail on the
+    /// first `BUSY`).
+    pub max_attempts: u32,
+    /// Ceiling on any single backoff sleep, in milliseconds.
+    pub max_delay_ms: u32,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            max_delay_ms: 2_000,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: the first `BUSY` shed is surfaced to the caller.
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The bounded, jittered sleep before retry number `attempt`
+    /// (0-based), given the server's `retry_ms` hint. Pure: the same
+    /// (policy, attempt, hint) always yields the same delay.
+    pub fn delay_ms(&self, attempt: u32, hint_ms: u32) -> u32 {
+        let base = u64::from(hint_ms.max(1))
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(u64::from(self.max_delay_ms));
+        // splitmix-style scramble keyed by (seed, attempt): spreads
+        // synchronized clients without consulting a clock or OS RNG.
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let jitter = x % (base / 4 + 1);
+        u32::try_from(
+            base.saturating_add(jitter)
+                .min(u64::from(self.max_delay_ms)),
+        )
+        .unwrap_or(self.max_delay_ms)
+    }
+
+    /// The failure text reported when every allowed retry was shed.
+    fn exhausted(&self, last: &str) -> String {
+        format!(
+            "{} server backpressure persisted after {} retries: {last}",
+            crate::protocol::BUSY,
+            self.max_attempts
+        )
+    }
+}
+
 /// One connection to an engine server; every method is a blocking
 /// request/response exchange.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry: RetryPolicy,
 }
 
 /// Splits an `OK <tail>` / `ERR <message>` reply line, delegating the
@@ -55,7 +129,14 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the `BUSY` backoff policy (see [`RetryPolicy`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     fn request_line(&mut self, line: &str) -> io::Result<String> {
@@ -267,6 +348,10 @@ impl Client {
                 epsilon,
                 ..base.clone()
             };
+            // Backoff attempts only count when we hold nothing to
+            // drain — draining an in-flight point makes progress and
+            // resets the clock.
+            let mut backoffs = 0u32;
             loop {
                 match self.submit_prepared(&params, handle)? {
                     Ok(id) => {
@@ -277,12 +362,27 @@ impl Client {
                     // never matched on prose): drain our oldest
                     // in-flight point and retry — or, when *other*
                     // clients saturate the queue and we hold nothing
-                    // to drain, back off briefly and retry, like the
-                    // blocking WAIT this method is built on.
+                    // to drain, back off with the bounded jittered
+                    // policy and retry, failing the point once the
+                    // attempts run out.
                     Err(e) if e.starts_with(crate::protocol::BUSY) => match in_flight.pop_front() {
-                        Some((done_eps, Ok(id))) => each(done_eps, self.wait(id)?),
-                        Some((done_eps, Err(failed))) => each(done_eps, Err(failed)),
-                        None => std::thread::sleep(std::time::Duration::from_millis(50)),
+                        Some((done_eps, Ok(id))) => {
+                            backoffs = 0;
+                            each(done_eps, self.wait(id)?);
+                        }
+                        Some((done_eps, Err(failed))) => {
+                            backoffs = 0;
+                            each(done_eps, Err(failed));
+                        }
+                        None => {
+                            if backoffs >= self.retry.max_attempts {
+                                in_flight.push_back((epsilon, Err(self.retry.exhausted(&e))));
+                                break;
+                            }
+                            let delay = self.retry.delay_ms(backoffs, 50);
+                            backoffs += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(u64::from(delay)));
+                        }
                     },
                     Err(e) => {
                         in_flight.push_back((epsilon, Err(e)));
@@ -376,6 +476,7 @@ pub struct MuxClient {
     limits: HelloLimits,
     /// Responses read while looking for a different request id.
     stash: VecDeque<Frame>,
+    retry: RetryPolicy,
 }
 
 /// Response-size cap: a client trusts its own server, and release CSVs
@@ -399,6 +500,7 @@ impl MuxClient {
                 park_capacity: 0,
             },
             stash: VecDeque::new(),
+            retry: RetryPolicy::default(),
         };
         let rid = client.send(|rid| Frame::empty(T_HELLO, rid))?;
         let reply = client.recv_for(rid)?;
@@ -422,6 +524,12 @@ impl MuxClient {
     /// The limits the server advertised during the handshake.
     pub fn limits(&self) -> HelloLimits {
         self.limits
+    }
+
+    /// Replaces the `BUSY` backoff policy (see [`RetryPolicy`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Builds a frame with a fresh request id and writes it out.
@@ -556,12 +664,18 @@ impl MuxClient {
         entities_csv: &str,
     ) -> io::Result<Result<FetchedRelease, String>> {
         let tables = Some([hierarchy_csv, groups_csv, entities_csv]);
+        let mut attempt = 0u32;
         loop {
             let rid = self.send(|rid| frame::submit_frame(rid, params, tables, false))?;
             match self.await_submit(rid)? {
                 SubmitOutcome::Done(outcome) => return Ok(outcome),
                 SubmitOutcome::Busy(retry_ms) => {
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+                    if attempt >= self.retry.max_attempts {
+                        return Ok(Err(self.retry.exhausted(&format!("retry in {retry_ms}ms"))));
+                    }
+                    let delay = self.retry.delay_ms(attempt, retry_ms);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(delay)));
                 }
             }
         }
@@ -578,12 +692,18 @@ impl MuxClient {
             handle: Some(handle),
             ..params.clone()
         };
+        let mut attempt = 0u32;
         loop {
             let rid = self.send(|rid| frame::submit_frame(rid, &params, None, false))?;
             match self.await_submit(rid)? {
                 SubmitOutcome::Done(outcome) => return Ok(outcome),
                 SubmitOutcome::Busy(retry_ms) => {
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+                    if attempt >= self.retry.max_attempts {
+                        return Ok(Err(self.retry.exhausted(&format!("retry in {retry_ms}ms"))));
+                    }
+                    let delay = self.retry.delay_ms(attempt, retry_ms);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(delay)));
                 }
             }
         }
@@ -629,6 +749,9 @@ impl MuxClient {
     ) -> io::Result<Vec<SweepPoint>> {
         let mut outcomes: Vec<Option<Result<FetchedRelease, String>>> =
             epsilons.iter().map(|_| None).collect();
+        // Per-point shed count: the backoff ladder climbs point by
+        // point, so one hot grid entry cannot exhaust its neighbours.
+        let mut attempts: Vec<u32> = epsilons.iter().map(|_| 0).collect();
         // request id → grid index
         let mut pending: Vec<(u64, usize)> = Vec::with_capacity(epsilons.len());
         for (idx, &epsilon) in epsilons.iter().enumerate() {
@@ -671,7 +794,21 @@ impl MuxClient {
                 T_BUSY => {
                     let busy = parse_busy(&reply.payload)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                    std::thread::sleep(Duration::from_millis(u64::from(busy.retry_ms)));
+                    let attempt = attempts.get(idx).copied().unwrap_or(0);
+                    if attempt >= self.retry.max_attempts {
+                        if let Some(slot) = outcomes.get_mut(idx) {
+                            *slot = Some(Err(self
+                                .retry
+                                .exhausted(&format!("retry in {}ms", busy.retry_ms))));
+                        }
+                        done += 1;
+                        continue;
+                    }
+                    if let Some(a) = attempts.get_mut(idx) {
+                        *a += 1;
+                    }
+                    let delay = self.retry.delay_ms(attempt, busy.retry_ms);
+                    std::thread::sleep(Duration::from_millis(u64::from(delay)));
                     let params = SubmitParams {
                         epsilon: epsilons.get(idx).copied().unwrap_or(base.epsilon),
                         handle: Some(handle),

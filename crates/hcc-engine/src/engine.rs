@@ -37,11 +37,13 @@ use hcc_consistency::{
     estimate_node, to_csv, top_down_from_estimates, ConsistencyError, HierarchicalCounts,
     TopDownConfig,
 };
+use hcc_core::CountOfCounts;
 use hcc_estimators::EstimatorWorkspace;
-use hcc_hierarchy::Hierarchy;
+use hcc_hierarchy::{Hierarchy, HierarchyBuilder};
+use hcc_store::{DatasetRecord, Store};
 
 use crate::cache::ResultCache;
-use crate::fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};
+use crate::fingerprint::{dataset_fingerprint, request_fingerprint, Fingerprint};
 use crate::job::{EngineError, JobId, JobStatus, ReleaseRequest, ReleaseResult};
 use crate::locks::{Rank, RankedGuard, RankedMutex};
 use crate::registry::{DatasetHandle, DatasetRegistry};
@@ -85,6 +87,13 @@ pub struct EngineConfig {
     /// histograms are always on). When full, the oldest spans are
     /// overwritten and counted as dropped.
     pub trace_capacity: usize,
+    /// Per-dataset privacy-budget cap: a submission whose cumulative
+    /// ε charge against its dataset would exceed this is rejected
+    /// with [`EngineError::BudgetExhausted`] *before* any budget is
+    /// charged or noise drawn. `None` (the default) disables cap
+    /// enforcement; the ledger still accumulates when a durable
+    /// store is attached ([`Engine::start_with_store`]).
+    pub budget_cap: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +106,7 @@ impl Default for EngineConfig {
             retained_jobs: 1024,
             prepared_capacity: 16,
             trace_capacity: 0,
+            budget_cap: None,
         }
     }
 }
@@ -161,6 +171,17 @@ impl EngineConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Caps the cumulative per-dataset privacy spend (see
+    /// [`EngineConfig::budget_cap`]).
+    pub fn with_budget_cap(mut self, cap: f64) -> Self {
+        assert!(
+            cap.is_finite() && cap > 0.0,
+            "budget cap must be positive and finite"
+        );
+        self.budget_cap = Some(cap);
+        self
+    }
 }
 
 /// Point-in-time counters. The snapshot is internally consistent:
@@ -217,6 +238,27 @@ struct Counters {
 /// Callback registered by [`Engine::on_finish`], invoked exactly once
 /// with the terminal status of its job.
 type FinishWatcher = Box<dyn FnOnce(JobId, JobStatus) + Send>;
+
+/// The engine's durable half: the per-dataset privacy-budget ledger
+/// and, optionally, the on-disk store backing it. One mutex (rank
+/// `store` in the lock order) covers both so a cap check, the WAL'd
+/// charge, and the in-memory mirror update are a single atomic step.
+///
+/// The in-memory `ledger` is always authoritative for cap checks —
+/// it equals the store's ledger when one is attached (rebuilt from it
+/// at boot, updated in lockstep after every fsynced charge) and it is
+/// the *only* ledger when the engine runs with a cap but no store.
+struct Durable {
+    /// Per-dataset ε cap, `None` = unlimited (ledger still records).
+    cap: Option<f64>,
+    /// Cumulative ε charged per dataset fingerprint. Entries are
+    /// never removed: budget is spent against the data, so it
+    /// survives `UNPREPARE`, eviction, and re-`PREPARE` of the same
+    /// content.
+    ledger: BTreeMap<u128, f64>,
+    /// The WAL'd on-disk store, when the engine was booted with one.
+    store: Option<Store>,
+}
 
 struct State {
     queue: VecDeque<QueuedJob>,
@@ -278,6 +320,10 @@ struct Shared {
     /// Prepared datasets. Its own lock for the same reason — handle
     /// resolution at submission never contends with running tasks.
     registry: RankedMutex<DatasetRegistry>,
+    /// Budget ledger + durable store; `None` when the engine runs
+    /// without a cap and without a store, so the common ephemeral
+    /// configuration pays nothing on the submit path.
+    durable: Option<RankedMutex<Durable>>,
     /// The engine-wide work-stealing task pool.
     deques: TaskDeques,
     /// Caps simultaneous compute (see [`EngineConfig::active_limit`]).
@@ -320,8 +366,67 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Boots the worker pool.
+    /// Boots the worker pool. With [`EngineConfig::budget_cap`] set,
+    /// the budget ledger is enforced in memory only; attach a durable
+    /// store with [`Engine::start_with_store`] to make it survive
+    /// restarts.
     pub fn start(config: EngineConfig) -> Self {
+        let registry = DatasetRegistry::new(config.prepared_capacity);
+        let durable = config.budget_cap.map(|cap| Durable {
+            cap: Some(cap),
+            ledger: BTreeMap::new(),
+            store: None,
+        });
+        Self::boot(config, registry, durable)
+    }
+
+    /// Boots the worker pool on top of an already-opened durable
+    /// store: every dataset the store holds is rebuilt and re-registered
+    /// at its persisted reference count, and the budget ledger resumes
+    /// from the recovered cumulative charges.
+    ///
+    /// Each reloaded dataset's content fingerprint is **recomputed
+    /// from the reloaded bytes** and must equal the stored handle —
+    /// a mismatch means the snapshot or WAL replay did not reproduce
+    /// the acknowledged data byte-identically, and boot fails rather
+    /// than serving silently different data under an old handle.
+    pub fn start_with_store(config: EngineConfig, mut store: Store) -> Result<Self, EngineError> {
+        let mut registry = DatasetRegistry::new(config.prepared_capacity);
+        for rec in store.datasets().values().cloned().collect::<Vec<_>>() {
+            let (hierarchy, data) = rebuild_dataset(&rec).map_err(EngineError::StoreFailed)?;
+            let recomputed = dataset_fingerprint(&hierarchy, &data);
+            if recomputed.0 != rec.handle {
+                return Err(EngineError::StoreFailed(format!(
+                    "dataset ds-{:032x} reloaded with fingerprint {recomputed} — \
+                     the recovered bytes do not reproduce the acknowledged handle",
+                    rec.handle
+                )));
+            }
+            let (_, evicted) = registry.insert_with_refs(
+                DatasetHandle(recomputed),
+                Arc::new(hierarchy),
+                Arc::new(data),
+                rec.refs,
+            )?;
+            // More durable datasets than registry capacity: the LRU
+            // bound wins, and the drop is persisted like any runtime
+            // eviction (the budget ledger is untouched).
+            for ev in evicted {
+                store
+                    .set_refs(ev.0 .0, 0)
+                    .map_err(|e| EngineError::StoreFailed(e.to_string()))?;
+            }
+        }
+        let ledger = store.ledger().iter().map(|(&h, &eps)| (h, eps)).collect();
+        let durable = Some(Durable {
+            cap: config.budget_cap,
+            ledger,
+            store: Some(store),
+        });
+        Ok(Self::boot(config, registry, durable))
+    }
+
+    fn boot(config: EngineConfig, registry: DatasetRegistry, durable: Option<Durable>) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         let shared = Arc::new(Shared {
             state: RankedMutex::new(
@@ -342,10 +447,8 @@ impl Engine {
             work: Condvar::new(),
             done: Condvar::new(),
             cache: RankedMutex::new(Rank::Cache, ResultCache::new(config.cache_capacity)),
-            registry: RankedMutex::new(
-                Rank::Registry,
-                DatasetRegistry::new(config.prepared_capacity),
-            ),
+            registry: RankedMutex::new(Rank::Registry, registry),
+            durable: durable.map(|d| RankedMutex::new(Rank::Store, d)),
             deques: TaskDeques::new(config.workers),
             gate: ComputeGate::new(config.effective_active_limit()),
             shutting_down: AtomicBool::new(false),
@@ -375,15 +478,22 @@ impl Engine {
     /// at capacity — callers decide whether to retry, shed load, or
     /// block.
     pub fn submit(&self, request: ReleaseRequest) -> Result<JobId, EngineError> {
-        let key = (self.shared.config.cache_capacity > 0).then(|| {
-            fingerprint(
-                &request.hierarchy,
-                &request.data,
+        // The dataset digest serves double duty: the cache key folds
+        // it with config + seed, and the budget ledger charges
+        // against it — so an inline submission of the same tables a
+        // client PREPAREd draws from the same budget line.
+        let dataset = (self.shared.config.cache_capacity > 0 || self.shared.durable.is_some())
+            .then(|| dataset_fingerprint(&request.hierarchy, &request.data));
+        let key = match dataset {
+            Some(ds) if self.shared.config.cache_capacity > 0 => Some(request_fingerprint(
+                ds,
+                request.hierarchy.num_levels(),
                 &request.config,
                 request.seed,
-            )
-        });
-        self.admit(request, key)
+            )),
+            _ => None,
+        };
+        self.admit(request, key, dataset)
     }
 
     /// Registers a dataset in the prepared registry, returning its
@@ -403,7 +513,7 @@ impl Engine {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        self.lock_registry().insert(handle, hierarchy, data)?;
+        self.register_dataset(handle, hierarchy, data)?;
         self.shared
             .counters
             .prepared
@@ -411,12 +521,85 @@ impl Engine {
         Ok(handle)
     }
 
+    /// Inserts into the registry and, when a durable store is
+    /// attached, persists the new state *before* the handle is
+    /// acknowledged: a `PREPARE`/`DERIVE` only returns `OK` once the
+    /// dataset (or its refcount bump) is WAL-appended and fsynced.
+    /// On a store failure the in-memory insert is rolled back, so
+    /// memory never runs ahead of disk for acknowledged handles.
+    ///
+    /// The registry lock is held across the persist (rank `registry`
+    /// < rank `store`), keeping on-disk reference counts ordered
+    /// identically to the in-memory ones under concurrent
+    /// prepare/unprepare of one handle.
+    fn register_dataset(
+        &self,
+        handle: DatasetHandle,
+        hierarchy: Arc<Hierarchy>,
+        data: Arc<HierarchicalCounts>,
+    ) -> Result<(), EngineError> {
+        let mut registry = self.lock_registry();
+        let (refs, evicted) = registry.insert(handle, Arc::clone(&hierarchy), Arc::clone(&data))?;
+        let persisted = self.persist_dataset(handle, refs, &hierarchy, &data, &evicted);
+        if let Err(e) = persisted {
+            let _ = registry.release(handle);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The store half of [`Engine::register_dataset`]: a no-op
+    /// without a durable store. Evicted handles are dropped from the
+    /// store (their budget-ledger entries survive — budget is spent
+    /// against the data, not the registry slot).
+    fn persist_dataset(
+        &self,
+        handle: DatasetHandle,
+        refs: u64,
+        hierarchy: &Hierarchy,
+        data: &HierarchicalCounts,
+        evicted: &[DatasetHandle],
+    ) -> Result<(), EngineError> {
+        let Some(durable) = &self.shared.durable else {
+            return Ok(());
+        };
+        let mut d = durable.lock();
+        let Some(store) = d.store.as_mut() else {
+            return Ok(());
+        };
+        let written = if refs == 1 {
+            store.put_dataset(&dataset_record(handle.0 .0, hierarchy, data, refs))
+        } else {
+            store.set_refs(handle.0 .0, refs)
+        };
+        written.map_err(|e| EngineError::StoreFailed(e.to_string()))?;
+        for ev in evicted {
+            store
+                .set_refs(ev.0 .0, 0)
+                .map_err(|e| EngineError::StoreFailed(e.to_string()))?;
+        }
+        Ok(())
+    }
+
     /// Drops one reference to a prepared dataset, removing it when no
     /// references remain. Returns the number of references still
     /// held. In-flight jobs keep their `Arc`s, so unpreparing never
-    /// invalidates running work.
+    /// invalidates running work. With a durable store attached the
+    /// new reference count is persisted before the acknowledgment
+    /// (dropping the dataset record entirely at zero — the budget
+    /// ledger entry survives).
     pub fn unprepare(&self, handle: DatasetHandle) -> Result<u64, EngineError> {
-        self.lock_registry().release(handle)
+        let mut registry = self.lock_registry();
+        let remaining = registry.release(handle)?;
+        if let Some(durable) = &self.shared.durable {
+            let mut d = durable.lock();
+            if let Some(store) = d.store.as_mut() {
+                store
+                    .set_refs(handle.0 .0, remaining)
+                    .map_err(|e| EngineError::StoreFailed(e.to_string()))?;
+            }
+        }
+        Ok(remaining)
     }
 
     /// Registers the dataset obtained by applying `delta` to the
@@ -463,8 +646,7 @@ impl Engine {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
-        self.lock_registry()
-            .insert(handle, hierarchy, Arc::new(derived))?;
+        self.register_dataset(handle, hierarchy, Arc::new(derived))?;
         self.shared.counters.derived.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
@@ -512,15 +694,20 @@ impl Engine {
         let (hierarchy, data) = self.lock_registry().get(handle)?;
         let key = (self.shared.config.cache_capacity > 0)
             .then(|| request_fingerprint(handle.0, hierarchy.num_levels(), &config, seed));
-        self.admit(ReleaseRequest::new(hierarchy, data, config, seed), key)
+        self.admit(
+            ReleaseRequest::new(hierarchy, data, config, seed),
+            key,
+            Some(handle.0),
+        )
     }
 
-    /// The shared back half of submission: consult the cache, then
-    /// enqueue.
+    /// The shared back half of submission: consult the cache, charge
+    /// the budget ledger, then enqueue.
     fn admit(
         &self,
         request: ReleaseRequest,
         key: Option<Fingerprint>,
+        dataset: Option<Fingerprint>,
     ) -> Result<JobId, EngineError> {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
@@ -528,10 +715,11 @@ impl Engine {
         // Cache consultation takes only the cache lock; a racing
         // identical submission at worst enqueues twice, and the
         // worker-side re-check at expansion serves the second from
-        // the cache anyway.
+        // the cache anyway. A cache hit re-serves already-released
+        // bytes, so it spends no budget and is never charged.
         let cached = key.and_then(|k| self.lock_cache().get(k));
-        let mut state = self.lock_state();
         if let Some(result) = cached {
+            let mut state = self.lock_state();
             let id = JobId(state.next_id);
             state.next_id += 1;
             state.finish(
@@ -549,7 +737,9 @@ impl Engine {
             self.shared.done.notify_all();
             return Ok(id);
         }
-        if state.queue.len() >= self.shared.config.queue_capacity {
+        let charged = self.charge_budget(&request, dataset)?;
+        let mut state = self.lock_state();
+        if !charged && state.queue.len() >= self.shared.config.queue_capacity {
             return Err(EngineError::QueueFull {
                 capacity: self.shared.config.queue_capacity,
             });
@@ -567,6 +757,81 @@ impl Engine {
         drop(state);
         self.shared.work.notify_one();
         Ok(id)
+    }
+
+    /// Charge-then-release: records the request's ε against its
+    /// dataset's cumulative spend *before* the job is enqueued (and
+    /// so before any noise is drawn), WAL-appending and fsyncing the
+    /// charge when a durable store is attached. Returns whether a
+    /// charge happened (`false` when the engine has no durable half).
+    ///
+    /// A charge is never refunded: a crash (or job failure) after the
+    /// charge but before the release over-counts spent budget, which
+    /// is the safe direction — the ledger can only ever claim *more*
+    /// privacy loss than actually occurred.
+    ///
+    /// Ordering: the queue-capacity pre-check runs first, under the
+    /// state lock, so a `QueueFull` rejection — the retryable error
+    /// clients loop on — can never burn budget. The enqueue after a
+    /// successful charge is then unconditional; a racing burst can
+    /// overshoot the queue bound by the number of in-flight charges,
+    /// which is bounded by the submitter count and strictly better
+    /// than charging for work that is then rejected.
+    fn charge_budget(
+        &self,
+        request: &ReleaseRequest,
+        dataset: Option<Fingerprint>,
+    ) -> Result<bool, EngineError> {
+        let Some(durable) = &self.shared.durable else {
+            return Ok(false);
+        };
+        {
+            let state = self.lock_state();
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                return Err(EngineError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+        }
+        let ds = match dataset {
+            Some(ds) => ds,
+            None => dataset_fingerprint(&request.hierarchy, &request.data),
+        };
+        let requested = request.config.epsilon();
+        let mut d = durable.lock();
+        let spent = d.ledger.get(&ds.0).copied().unwrap_or(0.0);
+        if let Some(cap) = d.cap {
+            if spent + requested > cap {
+                return Err(EngineError::BudgetExhausted {
+                    handle: DatasetHandle(ds),
+                    spent,
+                    cap,
+                    requested,
+                });
+            }
+        }
+        if let Some(store) = d.store.as_mut() {
+            store
+                .charge(ds.0, requested)
+                .map_err(|e| EngineError::StoreFailed(e.to_string()))?;
+        }
+        *d.ledger.entry(ds.0).or_insert(0.0) += requested;
+        Ok(true)
+    }
+
+    /// Cumulative ε charged against a dataset, or `None` when the
+    /// engine runs without a budget ledger. Spend survives
+    /// `UNPREPARE` and eviction — it is keyed by content, not by
+    /// registry slot.
+    pub fn budget_spent(&self, handle: DatasetHandle) -> Option<f64> {
+        let durable = self.shared.durable.as_ref()?;
+        let d = durable.lock();
+        Some(d.ledger.get(&handle.0 .0).copied().unwrap_or(0.0))
+    }
+
+    /// The configured per-dataset budget cap, if any.
+    pub fn budget_cap(&self) -> Option<f64> {
+        self.shared.config.budget_cap
     }
 
     /// Snapshot of a job's current status (`None` for unknown ids).
@@ -720,6 +985,15 @@ impl Engine {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Best-effort checkpoint so a clean shutdown leaves a short
+        // WAL. Purely an optimization: recovery replays the WAL
+        // regardless, so a failure here loses nothing.
+        if let Some(durable) = &self.shared.durable {
+            let mut d = durable.lock();
+            if let Some(store) = d.store.as_mut() {
+                let _ = store.checkpoint();
+            }
+        }
     }
 
     fn lock_state(&self) -> RankedGuard<'_, State> {
@@ -739,6 +1013,98 @@ impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Serializes a prepared dataset for the durable store: node names
+/// and parent indices in node-id order, plus each node's histogram
+/// run-length encoded as ascending `(size, count)` pairs.
+fn dataset_record(
+    handle: u128,
+    hierarchy: &Hierarchy,
+    data: &HierarchicalCounts,
+    refs: u64,
+) -> DatasetRecord {
+    let n = hierarchy.num_nodes();
+    let mut names = Vec::with_capacity(n);
+    let mut parents = Vec::with_capacity(n);
+    let mut histograms = Vec::with_capacity(n);
+    for node in hierarchy.iter() {
+        names.push(hierarchy.name(node).to_string());
+        parents.push(match hierarchy.parent(node) {
+            Some(p) => p.index() as u64,
+            None => u64::MAX,
+        });
+        histograms.push(
+            data.node(node)
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(size, &count)| (size as u64, count))
+                .collect(),
+        );
+    }
+    DatasetRecord {
+        handle,
+        names,
+        parents,
+        histograms,
+        refs,
+    }
+}
+
+/// Rebuilds the in-memory dataset a [`dataset_record`] was taken
+/// from. The inverse is exact — the caller verifies that by
+/// recomputing the content fingerprint and comparing it to the
+/// stored handle.
+fn rebuild_dataset(rec: &DatasetRecord) -> Result<(Hierarchy, HierarchicalCounts), String> {
+    let n = rec.names.len();
+    if n == 0 {
+        return Err("dataset record has no nodes".to_string());
+    }
+    if rec.parents.len() != n || rec.histograms.len() != n {
+        return Err(format!(
+            "dataset record is ragged: {n} names, {} parents, {} histograms",
+            rec.parents.len(),
+            rec.histograms.len()
+        ));
+    }
+    if rec.parents.first() != Some(&u64::MAX) {
+        return Err("dataset record node 0 is not a root".to_string());
+    }
+    let Some(root_name) = rec.names.first() else {
+        return Err("dataset record has no nodes".to_string());
+    };
+    // The builder assigns sequential node ids (root = 0), so pushing
+    // children in record order reproduces the original ids exactly.
+    let mut builder = HierarchyBuilder::new(root_name.clone());
+    let mut nodes = vec![Hierarchy::ROOT];
+    for (off, (name, &parent)) in rec.names.iter().zip(rec.parents.iter()).skip(1).enumerate() {
+        let i = off + 1;
+        let parent_node = usize::try_from(parent)
+            .ok()
+            .filter(|&p| p < i)
+            .and_then(|p| nodes.get(p).copied())
+            .ok_or_else(|| {
+                format!("dataset record node {i}: parent {parent} does not precede it")
+            })?;
+        nodes.push(builder.add_child(parent_node, name.clone()));
+    }
+    let hierarchy = builder.build();
+    let hists = rec
+        .histograms
+        .iter()
+        .map(|pairs| {
+            let mut h = CountOfCounts::new();
+            for &(size, count) in pairs {
+                h.add_groups(size, count);
+            }
+            h
+        })
+        .collect();
+    let data = HierarchicalCounts::from_node_histograms(&hierarchy, hists)
+        .map_err(|e| format!("dataset record histograms are inconsistent: {e}"))?;
+    Ok((hierarchy, data))
 }
 
 fn worker_loop(shared: &Shared, me: usize) {
@@ -1543,5 +1909,184 @@ mod tests {
             }
             other => panic!("expected JobFailed, got {other:?}"),
         }
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hcc-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn budget_cap_charges_per_dataset_and_rejects_over_cap() {
+        // request() carries ε=1.0; a 2.5 cap admits two charged
+        // releases and refuses the third before any noise is drawn.
+        let engine = Engine::start(EngineConfig::default().with_workers(1).with_budget_cap(2.5));
+        let req = request(1);
+        let handle = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        let id = engine
+            .submit_prepared(handle, req.config.clone(), 1)
+            .unwrap();
+        engine.wait(id).unwrap();
+        assert_eq!(engine.budget_spent(handle), Some(1.0));
+        // A cache hit re-serves the computed release for free.
+        let id = engine
+            .submit_prepared(handle, req.config.clone(), 1)
+            .unwrap();
+        let (_, from_cache) = engine.wait(id).unwrap();
+        assert!(from_cache);
+        assert_eq!(engine.budget_spent(handle), Some(1.0));
+        // A fresh seed computes and charges again.
+        let id = engine
+            .submit_prepared(handle, req.config.clone(), 2)
+            .unwrap();
+        engine.wait(id).unwrap();
+        assert_eq!(engine.budget_spent(handle), Some(2.0));
+        // 2.0 + 1.0 > 2.5: typed refusal, ledger untouched.
+        match engine.submit_prepared(handle, req.config.clone(), 3) {
+            Err(EngineError::BudgetExhausted {
+                handle: h,
+                spent,
+                cap,
+                requested,
+            }) => {
+                assert_eq!(h, handle);
+                assert_eq!(spent, 2.0);
+                assert_eq!(cap, 2.5);
+                assert_eq!(requested, 1.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(engine.budget_spent(handle), Some(2.0));
+        // Inline submission of the same tables draws from the same
+        // budget line: an uncached seed is also refused.
+        let mut inline = req;
+        inline.seed = 99;
+        assert!(matches!(
+            engine.submit(inline),
+            Err(EngineError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn queue_overflow_never_burns_budget() {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0)
+                .with_budget_cap(1000.0),
+        );
+        let req = request(0);
+        let handle = engine
+            .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+            .unwrap();
+        let mut accepted = 0u32;
+        let mut ids = Vec::new();
+        for s in 0..50 {
+            match engine.submit_prepared(handle, req.config.clone(), s) {
+                Ok(id) => {
+                    accepted += 1;
+                    ids.push(id);
+                }
+                Err(EngineError::QueueFull { .. }) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        for id in ids {
+            engine.wait(id).unwrap();
+        }
+        // Every admitted job charged ε=1.0 exactly once; every
+        // QueueFull bounce charged nothing, so a BUSY retry loop
+        // never drains the budget.
+        assert_eq!(engine.budget_spent(handle), Some(f64::from(accepted)));
+    }
+
+    #[test]
+    fn durable_store_restores_handles_refs_and_ledger() {
+        let dir = store_dir("roundtrip");
+        let path = dir.join("engine.hcc");
+        let req = request(9);
+        let handle = {
+            let store = hcc_store::Store::open(&path).unwrap();
+            let mut engine = Engine::start_with_store(
+                EngineConfig::default()
+                    .with_workers(1)
+                    .with_budget_cap(10.0),
+                store,
+            )
+            .unwrap();
+            let handle = engine
+                .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+                .unwrap();
+            // Prepare again: refcount 2 must survive the restart.
+            engine
+                .prepare(Arc::clone(&req.hierarchy), Arc::clone(&req.data))
+                .unwrap();
+            let id = engine
+                .submit_prepared(handle, req.config.clone(), 1)
+                .unwrap();
+            engine.wait(id).unwrap();
+            assert_eq!(engine.budget_spent(handle), Some(1.0));
+            engine.shutdown();
+            handle
+        };
+        // Cold process: everything comes back from the file alone.
+        let store = hcc_store::Store::open(&path).unwrap();
+        let engine = Engine::start_with_store(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_budget_cap(10.0),
+            store,
+        )
+        .unwrap();
+        assert_eq!(engine.prepared_len(), 1);
+        assert_eq!(engine.budget_spent(handle), Some(1.0));
+        // The reloaded dataset answers under its original handle and
+        // produces byte-identical releases.
+        let id = engine
+            .submit_prepared(handle, req.config.clone(), 2)
+            .unwrap();
+        assert!(engine.wait(id).is_ok());
+        assert_eq!(engine.budget_spent(handle), Some(2.0));
+        // Both persisted references are intact.
+        assert_eq!(engine.unprepare(handle).unwrap(), 1);
+        assert_eq!(engine.unprepare(handle).unwrap(), 0);
+        // Spend is keyed by content: it survives UNPREPARE.
+        assert_eq!(engine.budget_spent(handle), Some(2.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_rejects_bytes_that_do_not_reproduce_the_handle() {
+        let dir = store_dir("badhandle");
+        let path = dir.join("engine.hcc");
+        {
+            let mut store = hcc_store::Store::open(&path).unwrap();
+            // A structurally valid record filed under a handle its
+            // content does not digest to.
+            store
+                .put_dataset(&hcc_store::DatasetRecord {
+                    handle: 42,
+                    names: vec!["root".into(), "leaf".into()],
+                    parents: vec![u64::MAX, 0],
+                    histograms: vec![vec![(1, 3)], vec![(1, 3)]],
+                    refs: 1,
+                })
+                .unwrap();
+        }
+        let store = hcc_store::Store::open(&path).unwrap();
+        match Engine::start_with_store(EngineConfig::default(), store) {
+            Err(EngineError::StoreFailed(msg)) => {
+                assert!(msg.contains("do not reproduce"), "{msg}");
+            }
+            Err(other) => panic!("expected StoreFailed, got {other:?}"),
+            Ok(_) => panic!("boot must refuse a fingerprint mismatch"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

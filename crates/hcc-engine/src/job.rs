@@ -109,7 +109,7 @@ impl JobStatus {
 }
 
 /// Errors surfaced by the engine's job API.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     /// The bounded job queue is at capacity; retry later.
     QueueFull {
@@ -139,6 +139,24 @@ pub enum EngineError {
     /// dataset (unknown region, non-leaf region, removing groups that
     /// are not there, malformed delta CSV).
     BadDelta(String),
+    /// Admitting the submission would push the dataset's cumulative
+    /// privacy spend past the configured budget cap. Nothing was
+    /// charged and no noise was drawn; the request must not be
+    /// retried with the same ε.
+    BudgetExhausted {
+        /// The dataset whose budget is exhausted.
+        handle: crate::DatasetHandle,
+        /// ε already charged against this dataset.
+        spent: f64,
+        /// The configured per-dataset cap.
+        cap: f64,
+        /// ε this submission asked for.
+        requested: f64,
+    },
+    /// The durable store could not persist a mutation (WAL append or
+    /// checkpoint failed). The engine refuses to acknowledge work it
+    /// cannot make durable.
+    StoreFailed(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -171,6 +189,21 @@ impl std::fmt::Display for EngineError {
                 write!(f, "the prepared-dataset registry is disabled (capacity 0)")
             }
             EngineError::BadDelta(msg) => write!(f, "bad delta: {msg}"),
+            EngineError::BudgetExhausted {
+                handle,
+                spent,
+                cap,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted for {handle}: \
+                     spent ε={spent} of cap ε={cap}, requested ε={requested}"
+                )
+            }
+            EngineError::StoreFailed(msg) => {
+                write!(f, "durable store failed: {msg}")
+            }
         }
     }
 }

@@ -100,7 +100,7 @@ mod scheduler;
 mod server;
 pub mod telemetry;
 
-pub use client::{Client, FetchedRelease, MuxClient, SweepPoint};
+pub use client::{Client, FetchedRelease, MuxClient, RetryPolicy, SweepPoint};
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use exec::{parallel_release, parallel_release_pooled};
 pub use fingerprint::{dataset_fingerprint, fingerprint, request_fingerprint, Fingerprint};

@@ -4,7 +4,7 @@
 //! its lock families:
 //!
 //! ```text
-//! state < cache < registry < lanes < gate < job < telemetry < wire
+//! state < cache < registry < store < lanes < gate < job < telemetry < wire
 //! ```
 //!
 //! Every engine mutex is a crate-internal `RankedMutex` carrying its
@@ -25,10 +25,11 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Human-readable names of the ranks, lowest first. Index `i` names
 /// `Rank` variant `i`; `hcc-lint` asserts this matches its declared order.
-pub const RANK_NAMES: [&str; 8] = [
+pub const RANK_NAMES: [&str; 9] = [
     "state",
     "cache",
     "registry",
+    "store",
     "lanes",
     "gate",
     "job",
@@ -49,6 +50,13 @@ pub enum Rank {
     Cache,
     /// The prepared-dataset registry.
     Registry,
+    /// The durable budget ledger and its backing on-disk store
+    /// (`hcc-store`). Above `Registry` so a prepare/unprepare may
+    /// persist its refcount change while still holding the registry
+    /// lock (keeping disk refcounts ordered with the in-memory ones),
+    /// and below the execution-side locks so persistence never nests
+    /// inside a running task.
+    Store,
     /// Per-worker task deque lanes.
     Lanes,
     /// The compute-admission gate's permit count.
@@ -71,6 +79,7 @@ impl Rank {
             Rank::State => "state",
             Rank::Cache => "cache",
             Rank::Registry => "registry",
+            Rank::Store => "store",
             Rank::Lanes => "lanes",
             Rank::Gate => "gate",
             Rank::Job => "job",
@@ -289,6 +298,7 @@ mod tests {
             Rank::State,
             Rank::Cache,
             Rank::Registry,
+            Rank::Store,
             Rank::Lanes,
             Rank::Gate,
             Rank::Job,

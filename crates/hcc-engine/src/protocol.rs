@@ -91,6 +91,13 @@ use crate::registry::DatasetHandle;
 /// this token, never on the human-readable prose after it.
 pub const BUSY: &str = "busy:";
 
+/// Stable machine-readable marker prefixing *privacy-budget*
+/// rejections: the server emits `ERR budget: <prose>` when admitting
+/// the submission would push its dataset's cumulative ε past the
+/// configured cap. Unlike [`BUSY`], this is **not** retryable with
+/// the same request — the budget does not come back.
+pub const BUDGET: &str = "budget:";
+
 /// Renders the one-line `STATS` reply — the single source of truth
 /// for its format, called by the server and pinned (field by field)
 /// by this doctest, so the module documentation above can never drift
@@ -414,6 +421,10 @@ pub mod frame {
     /// [`T_ERROR`] code: the connection idled past the server's read
     /// timeout with nothing in flight and is being closed.
     pub const E_TIMEOUT: u8 = 5;
+    /// [`T_ERROR`] code: the submission would push its dataset's
+    /// cumulative privacy spend past the server's budget cap. Not
+    /// retryable — unlike `T_BUSY`, waiting does not help.
+    pub const E_BUDGET: u8 = 6;
     /// [`T_BUSY`] code: the engine's bounded job queue (and this
     /// connection's park buffer) are full.
     pub const B_QUEUE: u8 = 1;

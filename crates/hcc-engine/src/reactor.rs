@@ -51,9 +51,9 @@ use crate::locks::{Rank, RankedMutex};
 use crate::protocol::frame::{
     self, busy_frame, decode_frame, encode_frame, error_frame, hello_ok_frame, ok_text_frame,
     parse_derive, parse_prepare, parse_submit, parse_unprepare, result_frame, Frame, FrameError,
-    HelloLimits, B_QUEUE, B_QUOTA, E_FAILED, E_PROTO, E_REJECTED, E_TIMEOUT, E_VERSION, FLAG_BULK,
-    HEADER_LEN, T_APPEND, T_DERIVE, T_GOODBYE, T_HELLO, T_METRICS, T_PING, T_PONG, T_PREPARE,
-    T_STATS, T_SUBMIT, T_UNPREPARE,
+    HelloLimits, B_QUEUE, B_QUOTA, E_BUDGET, E_FAILED, E_PROTO, E_REJECTED, E_TIMEOUT, E_VERSION,
+    FLAG_BULK, HEADER_LEN, T_APPEND, T_DERIVE, T_GOODBYE, T_HELLO, T_METRICS, T_PING, T_PONG,
+    T_PREPARE, T_STATS, T_SUBMIT, T_UNPREPARE,
 };
 use crate::protocol::{format_stats, one_line};
 use crate::registry::DatasetHandle;
@@ -1024,6 +1024,10 @@ impl Reactor {
                     self.shed(token, &pending, B_QUEUE, queued);
                 }
             }
+            Err(e @ EngineError::BudgetExhausted { .. }) => self.push_frame(
+                token,
+                error_frame(pending.request_id, E_BUDGET, &one_line(&e.to_string())),
+            ),
             Err(e) => self.push_frame(
                 token,
                 error_frame(pending.request_id, E_REJECTED, &one_line(&e.to_string())),
@@ -1194,13 +1198,13 @@ impl Reactor {
                             return;
                         }
                         Err(e) => {
+                            let code = match e {
+                                EngineError::BudgetExhausted { .. } => E_BUDGET,
+                                _ => E_REJECTED,
+                            };
                             self.push_frame(
                                 token,
-                                error_frame(
-                                    pending.request_id,
-                                    E_REJECTED,
-                                    &one_line(&e.to_string()),
-                                ),
+                                error_frame(pending.request_id, code, &one_line(&e.to_string())),
                             );
                         }
                     }

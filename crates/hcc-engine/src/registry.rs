@@ -114,7 +114,9 @@ impl DatasetRegistry {
 
     /// Registers a dataset under `handle` (one more reference if the
     /// identical content is already prepared), evicting the
-    /// least-recently-used entry beyond capacity.
+    /// least-recently-used entry beyond capacity. Returns the entry's
+    /// reference count after this insert plus every handle the LRU
+    /// bound evicted to make room — the caller persists both.
     ///
     /// Handles are FNV-1a digests, which are not collision-resistant
     /// against adversarial inputs — so a repeat preparation is only
@@ -127,35 +129,52 @@ impl DatasetRegistry {
         handle: DatasetHandle,
         hierarchy: Arc<Hierarchy>,
         data: Arc<HierarchicalCounts>,
-    ) -> Result<(), EngineError> {
+    ) -> Result<(u64, Vec<DatasetHandle>), EngineError> {
+        self.insert_with_refs(handle, hierarchy, data, 1)
+    }
+
+    /// [`DatasetRegistry::insert`] with an explicit starting reference
+    /// count — the boot-reload path restores handles at the count the
+    /// durable store recorded, not at one.
+    pub fn insert_with_refs(
+        &mut self,
+        handle: DatasetHandle,
+        hierarchy: Arc<Hierarchy>,
+        data: Arc<HierarchicalCounts>,
+        refs: u64,
+    ) -> Result<(u64, Vec<DatasetHandle>), EngineError> {
         if self.capacity == 0 {
             return Err(EngineError::RegistryDisabled);
         }
-        if let Some(entry) = self.entries.get_mut(&handle) {
+        let refs_now = if let Some(entry) = self.entries.get_mut(&handle) {
             if *entry.hierarchy != *hierarchy || *entry.data != *data {
                 return Err(EngineError::DatasetCollision(handle));
             }
-            entry.refs += 1;
+            entry.refs += refs;
+            entry.refs
         } else {
             self.entries.insert(
                 handle,
                 Entry {
                     hierarchy,
                     data,
-                    refs: 1,
+                    refs,
                 },
             );
             // A re-prepared handle is live again, not evicted.
             self.tombstones.retain(|&h| h != handle);
-        }
+            refs
+        };
         self.touch(handle);
+        let mut evicted = Vec::new();
         while self.entries.len() > self.capacity {
             if let Some(lru) = self.order.pop_front() {
                 self.entries.remove(&lru);
                 self.bury(lru);
+                evicted.push(lru);
             }
         }
-        Ok(())
+        Ok((refs_now, evicted))
     }
 
     /// Resolves a handle to its dataset, refreshing its recency.

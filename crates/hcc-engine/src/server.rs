@@ -648,11 +648,14 @@ fn read_submit(
 
 /// Renders an engine-side submission rejection for the wire,
 /// prefixing retryable conditions with the stable
-/// [`protocol::BUSY`](crate::protocol::BUSY) token so clients can key
-/// backpressure handling on it instead of on error prose.
+/// [`protocol::BUSY`](crate::protocol::BUSY) token (and budget
+/// exhaustion with [`protocol::BUDGET`](crate::protocol::BUDGET)) so
+/// clients can key their handling on a stable token instead of on
+/// error prose.
 fn reject_text(e: EngineError) -> String {
     match e {
         EngineError::QueueFull { .. } => format!("{} {e}", crate::protocol::BUSY),
+        EngineError::BudgetExhausted { .. } => format!("{} {e}", crate::protocol::BUDGET),
         other => other.to_string(),
     }
 }

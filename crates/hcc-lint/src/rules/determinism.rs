@@ -33,12 +33,16 @@ const BANNED: [(&str, &str); 6] = [
 ];
 
 /// Release-path crates: every file under these `src/` trees is in scope.
-const SCOPED_CRATES: [&str; 5] = [
+/// hcc-store is included because recovery must replay to the *same* bytes
+/// on every run — a nondeterministic store invalidates the fingerprint
+/// check at boot.
+const SCOPED_CRATES: [&str; 6] = [
     "crates/hcc-core/src/",
     "crates/hcc-noise/src/",
     "crates/hcc-isotonic/src/",
     "crates/hcc-estimators/src/",
     "crates/hcc-consistency/src/",
+    "crates/hcc-store/src/",
 ];
 
 /// Task-execution files of hcc-engine (the scheduler and everything a worker

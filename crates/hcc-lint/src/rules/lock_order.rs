@@ -1,13 +1,14 @@
 //! Rule `lock-order`: the engine's lock-acquisition graph must be cycle-free
 //! and respect the declared rank order.
 //!
-//! The engine holds eight families of locks (the original five, two
-//! internal ones, and the reactor's completion queue). Deadlock freedom is
-//! guaranteed by a total order: a thread may only acquire a lock of strictly
-//! higher rank than every lock it already holds:
+//! The engine holds nine families of locks (the original five, two
+//! internal ones, the reactor's completion queue, and the durable
+//! store). Deadlock freedom is guaranteed by a total order: a thread may
+//! only acquire a lock of strictly higher rank than every lock it
+//! already holds:
 //!
 //! ```text
-//! state < cache < registry < lanes < gate < job < telemetry < wire
+//! state < cache < registry < store < lanes < gate < job < telemetry < wire
 //! ```
 //!
 //! This pass extracts every `.lock()` acquisition site in
@@ -31,10 +32,11 @@ use crate::syntax::SourceFile;
 
 /// The declared rank order, lowest first. Must match
 /// `hcc_engine::locks::RANK_NAMES` (asserted by the self-check test).
-pub const LOCK_ORDER: [&str; 8] = [
+pub const LOCK_ORDER: [&str; 9] = [
     "state",
     "cache",
     "registry",
+    "store",
     "lanes",
     "gate",
     "job",
@@ -51,6 +53,7 @@ fn rank_of_receiver(name: &str) -> Option<&'static str> {
         "state" => Some("state"),
         "cache" => Some("cache"),
         "registry" => Some("registry"),
+        "durable" => Some("store"),
         "lanes" | "lane" => Some("lanes"),
         "permits" => Some("gate"),
         "estimates" | "failure" | "slots" => Some("job"),

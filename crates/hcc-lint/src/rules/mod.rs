@@ -56,7 +56,7 @@ pub const RULES: [RuleInfo; 6] = [
         name: "lock-order",
         summary: "every .lock() site in hcc-engine maps to a declared rank; the static \
                   nesting graph must be cycle-free and respect \
-                  state < cache < registry < lanes < gate < job < telemetry < wire",
+                  state < cache < registry < store < lanes < gate < job < telemetry < wire",
     },
     RuleInfo {
         name: "atomics",
@@ -65,8 +65,8 @@ pub const RULES: [RuleInfo; 6] = [
     },
     RuleInfo {
         name: "panic-policy",
-        summary: "no unwrap/expect/slice-index panics on server-connection and worker-task \
-                  paths outside #[cfg(test)]",
+        summary: "no unwrap/expect/slice-index panics on server-connection, worker-task, \
+                  and durable-store paths outside #[cfg(test)]",
     },
     RuleInfo {
         name: "noise-discipline",

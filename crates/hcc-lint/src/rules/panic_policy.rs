@@ -28,6 +28,11 @@ const SCOPED_FILES: [&str; 7] = [
     "crates/hcc-engine/src/locks.rs",
 ];
 
+/// Crates whose entire `src/` tree is on a panic-policy path. The durable
+/// store sits under every acknowledged mutation: a panic there takes down
+/// the connection *and* can leave the WAL mid-record.
+const SCOPED_CRATES: [&str; 1] = ["crates/hcc-store/src/"];
+
 /// Keywords that may directly precede `[` without forming an index
 /// expression (`return [..]`, `match x {..}[..]` is not real code, etc.).
 const NON_VALUE_KEYWORDS: [&str; 12] = [
@@ -36,7 +41,7 @@ const NON_VALUE_KEYWORDS: [&str; 12] = [
 
 /// True when `rel` is on a panic-policy path.
 pub fn in_scope(rel: &str) -> bool {
-    SCOPED_FILES.contains(&rel)
+    SCOPED_FILES.contains(&rel) || SCOPED_CRATES.iter().any(|p| rel.starts_with(p))
 }
 
 /// Run the rule over one file.

@@ -60,7 +60,8 @@ fn lock_graph_covers_every_rank_and_is_acyclic() {
     let rendered = graph.render();
     assert!(
         rendered.contains(
-            "declared order: state < cache < registry < lanes < gate < job < telemetry < wire"
+            "declared order: \
+             state < cache < registry < store < lanes < gate < job < telemetry < wire"
         ),
         "{rendered}"
     );

@@ -1,0 +1,178 @@
+//! Little-endian serialization helpers shared by the snapshot pager
+//! and the WAL record codec, plus the FNV-1a 64 digest both use as
+//! their integrity check.
+//!
+//! Everything on disk is length-prefixed and digest-guarded, so the
+//! reader half ([`Reader`]) is strictly bounds-checked: a truncated or
+//! bit-flipped input surfaces as a decode error, never a panic or an
+//! out-of-bounds read.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64 digest.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Appends little-endian scalars to an output buffer.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// See [`put_u32`].
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// See [`put_u32`].
+pub(crate) fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` length prefix followed by the bytes themselves.
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, u32::try_from(bytes.len()).unwrap_or(u32::MAX));
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every
+/// failure carries the field name that could not be read.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn consumed(&self) -> usize {
+        self.at
+    }
+
+    /// Bytes left to read.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).ok_or_else(|| overflow(what))?;
+        let bytes = self
+            .buf
+            .get(self.at..end)
+            .ok_or_else(|| truncated(what, n, self.remaining()))?;
+        self.at = end;
+        Ok(bytes)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, String> {
+        let bytes = self.take(1, what)?;
+        bytes.first().copied().ok_or_else(|| truncated(what, 1, 0))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let bytes = self.take(4, what)?;
+        let arr = <[u8; 4]>::try_from(bytes).map_err(|_| truncated(what, 4, bytes.len()))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let bytes = self.take(8, what)?;
+        let arr = <[u8; 8]>::try_from(bytes).map_err(|_| truncated(what, 8, bytes.len()))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    pub(crate) fn u128(&mut self, what: &str) -> Result<u128, String> {
+        let bytes = self.take(16, what)?;
+        let arr = <[u8; 16]>::try_from(bytes).map_err(|_| truncated(what, 16, bytes.len()))?;
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Reads a `u32` length prefix and then that many raw bytes.
+    pub(crate) fn bytes(&mut self, what: &str) -> Result<&'a [u8], String> {
+        let len = self.u32(what)?;
+        self.take(usize::try_from(len).map_err(|_| overflow(what))?, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub(crate) fn string(&mut self, what: &str) -> Result<String, String> {
+        let bytes = self.bytes(what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what}: invalid UTF-8"))
+    }
+}
+
+fn truncated(what: &str, want: usize, have: usize) -> String {
+    format!("{what}: need {want} bytes, have {have}")
+}
+
+fn overflow(what: &str) -> String {
+    format!("{what}: length overflows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_bytes() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        put_u64(&mut out, u64::MAX - 1);
+        put_u128(&mut out, 0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        put_bytes(&mut out, b"hello");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(
+            r.u128("c").unwrap(),
+            0x1234_5678_9abc_def0_1122_3344_5566_7788
+        );
+        assert_eq!(r.bytes("d").unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        let err = r.u64("field").unwrap_err();
+        assert!(err.contains("field"), "{err}");
+        assert!(err.contains("need 8"), "{err}");
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vector() {
+        // FNV-1a 64 of the empty string is the offset basis; of "a"
+        // it is the published reference value.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic fault injection for the store's crash-recovery
+//! tests.
+//!
+//! A [`FailPolicy`] can schedule one I/O fault (fail outright, tear
+//! the write in half, or cut its tail) at the Nth counted I/O
+//! operation, and can arm any number of named *crash points* — the
+//! hooks the store passes through at every durability-relevant moment
+//! (after a WAL record is buffered, after it is synced, between the
+//! checkpoint's temp-write / rename / truncate steps, …). Hitting
+//! either wedges the store: every later mutation fails, exactly as if
+//! the process had been `kill -9`ed at that instant, and the test
+//! reopens the files to exercise recovery. Nothing here draws on
+//! ambient state (no clocks, no entropy), so a given policy replays
+//! the same fault at the same byte every run.
+
+/// How a scheduled I/O fault corrupts the operation it fires on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails before writing anything.
+    Fail,
+    /// A torn write: the first half of the buffer reaches the file,
+    /// the rest never does.
+    Torn,
+    /// A short write: all but the final few bytes reach the file.
+    Short,
+}
+
+/// Deterministic fault schedule consulted by every store I/O
+/// operation and crash-point hook. The default policy injects
+/// nothing.
+#[derive(Debug, Default)]
+pub struct FailPolicy {
+    /// Inject `kind` on the I/O operation with this 0-based index.
+    fault_at: Option<(u64, FaultKind)>,
+    /// Named crash points armed to wedge the store when reached.
+    crash_points: Vec<String>,
+    /// I/O operations counted so far.
+    ops: u64,
+}
+
+impl FailPolicy {
+    /// A policy that injects nothing.
+    pub fn new() -> FailPolicy {
+        FailPolicy::default()
+    }
+
+    /// Schedules `kind` for the `op`-th (0-based) counted I/O
+    /// operation. Only one I/O fault may be scheduled; the last call
+    /// wins.
+    pub fn with_fault_at(mut self, op: u64, kind: FaultKind) -> FailPolicy {
+        self.fault_at = Some((op, kind));
+        self
+    }
+
+    /// Arms the named crash point (builder form of [`arm_crash`]).
+    ///
+    /// [`arm_crash`]: FailPolicy::arm_crash
+    pub fn with_crash_point(mut self, point: &str) -> FailPolicy {
+        self.arm_crash(point);
+        self
+    }
+
+    /// Arms a named crash point: the store wedges (as if `kill -9`ed)
+    /// the next time it passes through it. Point names are listed in
+    /// `docs/store.md`; e.g. `written.put` fires after a PREPARE's WAL
+    /// record is buffered but before it is synced, and
+    /// `checkpoint.rename` fires between the checkpoint's atomic
+    /// rename and the WAL truncate.
+    pub fn arm_crash(&mut self, point: &str) {
+        self.crash_points.push(point.to_string());
+    }
+
+    /// How many I/O operations this policy has counted.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Counts one I/O operation, returning the fault to inject on it,
+    /// if any.
+    pub(crate) fn check_op(&mut self) -> Option<FaultKind> {
+        let op = self.ops;
+        self.ops += 1;
+        match self.fault_at {
+            Some((at, kind)) if at == op => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Whether the named crash point is armed. The point stays armed:
+    /// a wedged store fails every later mutation anyway.
+    pub(crate) fn check_point(&self, point: &str) -> bool {
+        self.crash_points.iter().any(|p| p == point)
+    }
+}

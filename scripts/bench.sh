@@ -4,7 +4,7 @@
 # the perf trajectory across PRs is machine-readable.
 #
 # Usage:
-#   scripts/bench.sh              # run benches, write BENCH_9.json
+#   scripts/bench.sh              # run benches, write BENCH_10.json
 #   scripts/bench.sh --smoke      # CI mode: compile benches, run a
 #                                 # fast scaling curve + wire sweep,
 #                                 # write nothing
@@ -13,9 +13,11 @@
 #
 # The cheap release_hot_path bench runs REPS times (median per label);
 # the broader micro suite, the engine scaling curve (8-job batch
-# wall time at 1/2/4/8 workers, `engine_scaling/jobs_batch8/<w>`)
-# and the wire-path curve (`wire_path/sweep100/{blocking,framed}`,
-# `wire_path/submit_*/c{1,64,1000}`) run once. HCC_SEED pins the RNG
+# wall time at 1/2/4/8 workers, `engine_scaling/jobs_batch8/<w>`),
+# the wire-path curve (`wire_path/sweep100/{blocking,framed}`,
+# `wire_path/submit_*/c{1,64,1000}`), and the durable-store curve
+# (`store_path/{cold_prepare,warm_reload,wal_append}` — the fsync
+# cost of crash safety) run once. HCC_SEED pins the RNG
 # stream the release_hot_path bench draws from (default 0). The
 # scaling run also dumps each point's engine telemetry snapshot
 # (stage latency quantiles, steal/gate counters), embedded under a
@@ -25,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HCC_SEED="${HCC_SEED:-0}"
-PR="${PR:-9}"
+PR="${PR:-10}"
 OUT="BENCH_${PR}.json"
 REPS="${REPS:-3}"
 
@@ -44,7 +46,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
   # loopback, without the full 1000-connection measurement.
   HCC_WIRE_SWEEP=8 HCC_WIRE_CONNS=1,8 HCC_WIRE_OPS=2 \
     cargo run --release -q -p hcc-bench --bin engine_wire
-  echo "bench smoke OK (benches compile; scaling + wire curves ran)"
+  # Tiny store curve: WAL append + checkpoint + warm reload on real
+  # files, without the full dataset count.
+  HCC_STORE_DATASETS=2 HCC_STORE_NODES=32 HCC_STORE_CHARGES=8 HCC_STORE_RELOADS=2 \
+    cargo run --release -q -p hcc-bench --bin store_path
+  echo "bench smoke OK (benches compile; scaling + wire + store curves ran)"
   exit 0
 fi
 
@@ -59,6 +65,7 @@ cargo bench -p hcc-bench --bench micro | tee -a "$RAW"
 HCC_SCALING_METRICS="$METRICS" \
   cargo run --release -q -p hcc-bench --bin scaling | tee -a "$RAW"
 cargo run --release -q -p hcc-bench --bin engine_wire | tee -a "$RAW"
+cargo run --release -q -p hcc-bench --bin store_path | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" "$HCC_SEED" "$REPS" "$METRICS" <<'EOF'
 import json

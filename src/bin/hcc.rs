@@ -77,7 +77,7 @@ use hccount::core::{emd, size_stats};
 use hccount::data::{Dataset, DatasetKind};
 use hccount::engine::{
     level_method, protocol::SubmitParams, serve_blocking_with, serve_reactor, Client,
-    DatasetHandle, Engine, EngineConfig, MuxClient, ReactorConfig, ServeConfig,
+    DatasetHandle, Engine, EngineConfig, MuxClient, ReactorConfig, RetryPolicy, ServeConfig,
 };
 use hccount::hierarchy::{hierarchy_from_csv, Hierarchy};
 use hccount::tables::CsvLoader;
@@ -135,14 +135,18 @@ const USAGE: &str = "usage:
                [--prepared N] [--read-timeout SECS (0 disables, default 30)]
                [--trace N (span-recorder capacity per worker, default 0 = off)]
                [--connections N] [--inflight N] [--bulk-inflight N] [--park N]
+               [--store F.hcc (durable dataset store + WAL'd budget ledger)]
+               [--budget-cap EPS (per-dataset cumulative ε ceiling)]
                [--legacy-wire (blocking thread-per-connection server)]
   hcc submit   --addr HOST:PORT --hierarchy F --groups F --entities F --epsilon F
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out F]
                [--line-protocol (legacy text wire instead of framed)]
+               [--no-retry (fail on the first BUSY shed instead of backing off)]
   hcc prepare  --addr HOST:PORT --hierarchy F --groups F --entities F
   hcc sweep    --addr HOST:PORT --eps F,F,... (--handle ds-HEX | --hierarchy F --groups F --entities F)
                [--method hc|hc-l2|hg|naive|adaptive] [--bound N] [--seed N] [--out-dir DIR]
                [--line-protocol (sequential text wire instead of pipelined frames)]
+               [--no-retry (fail on the first BUSY shed instead of backing off)]
   hcc derive   --addr HOST:PORT --handle ds-HEX --delta F [--append]
   hcc unprepare --addr HOST:PORT --handle ds-HEX
   hcc trace    --addr HOST:PORT [--out F (default stdout)]
@@ -158,7 +162,7 @@ type Opts = HashMap<String, String>;
 
 /// Options that are bare flags (present/absent) rather than
 /// `--key value` pairs.
-const FLAGS: &[&str] = &["append", "raw", "legacy-wire", "line-protocol"];
+const FLAGS: &[&str] = &["append", "raw", "legacy-wire", "line-protocol", "no-retry"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
@@ -223,6 +227,16 @@ fn load_all(opts: &Opts) -> Result<(Hierarchy, HierarchicalCounts), String> {
     let data = HierarchicalCounts::from_node_histograms(&hierarchy, db.node_histograms(&hierarchy))
         .map_err(|e| e.to_string())?;
     Ok((hierarchy, data))
+}
+
+/// `--no-retry` turns BUSY backpressure into an immediate failure;
+/// the default is the bounded jittered backoff ladder.
+fn retry_policy(opts: &Opts) -> RetryPolicy {
+    if opts.contains_key("no-retry") {
+        RetryPolicy::disabled()
+    } else {
+        RetryPolicy::default()
+    }
 }
 
 /// Resolves `--threads`, falling back to `HCC_THREADS`, then `default`.
@@ -560,14 +574,46 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let bulk_inflight: usize = parsed(opts, "bulk-inflight", 64)?;
     let park: usize = parsed(opts, "park", 64)?;
     let connections: usize = parsed(opts, "connections", 1024)?;
-    let engine = Engine::start(
-        EngineConfig::default()
-            .with_workers(workers)
-            .with_queue_capacity(queue.max(1))
-            .with_cache_capacity(cache)
-            .with_prepared_capacity(prepared)
-            .with_trace_capacity(trace),
-    );
+    let budget_cap: Option<f64> = match opts.get("budget-cap") {
+        Some(v) => {
+            let cap: f64 = v
+                .parse()
+                .map_err(|_| format!("--budget-cap: cannot parse {v:?}"))?;
+            if !(cap.is_finite() && cap > 0.0) {
+                return Err("--budget-cap must be a positive finite ε".to_string());
+            }
+            Some(cap)
+        }
+        None => None,
+    };
+    let mut engine_cfg = EngineConfig::default()
+        .with_workers(workers)
+        .with_queue_capacity(queue.max(1))
+        .with_cache_capacity(cache)
+        .with_prepared_capacity(prepared)
+        .with_trace_capacity(trace);
+    if let Some(cap) = budget_cap {
+        engine_cfg = engine_cfg.with_budget_cap(cap);
+    }
+    let engine = match opts.get("store") {
+        Some(path) => {
+            // Recovery happens inside `open` (WAL replay) and
+            // `start_with_store` (fingerprint-verified reload); the
+            // summary line is printed before serving so restart
+            // scripts can compare budgets across a crash.
+            let store = hccount::store::Store::open(Path::new(path))
+                .map_err(|e| format!("opening store {path}: {e}"))?;
+            println!(
+                "store {path}: {} dataset(s), total spent eps={:.6}, cap {}",
+                store.datasets().len(),
+                store.total_spent(),
+                budget_cap.map_or("off".to_string(), |c| format!("eps={c}")),
+            );
+            Engine::start_with_store(engine_cfg, store)
+                .map_err(|e| format!("recovering store {path}: {e}"))?
+        }
+        None => Engine::start(engine_cfg),
+    };
     // `--read-timeout 0` disables the idle disconnect.
     let read_timeout =
         (read_timeout_secs > 0).then(|| std::time::Duration::from_secs(read_timeout_secs));
@@ -634,7 +680,9 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
 
     let io = |e: std::io::Error| format!("talking to {addr}: {e}");
     let (label, release) = if opts.contains_key("line-protocol") {
-        let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let mut client = Client::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?
+            .with_retry_policy(retry_policy(opts));
         let id = client
             .submit(&params, &hierarchy_csv, &groups_csv, &entities_csv)
             .map_err(io)?
@@ -646,8 +694,9 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
         let _ = client.quit();
         (id.to_string(), release)
     } else {
-        let mut client =
-            MuxClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let mut client = MuxClient::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?
+            .with_retry_policy(retry_policy(opts));
         let release = client
             .submit_release(&params, &hierarchy_csv, &groups_csv, &entities_csv)
             .map_err(io)?
@@ -820,7 +869,9 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     };
 
     if opts.contains_key("line-protocol") {
-        let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let mut client = Client::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?
+            .with_retry_policy(retry_policy(opts));
         let (handle, auto_prepared) = match opts.get("handle") {
             Some(h) => (h.parse::<DatasetHandle>()?, false),
             None => {
@@ -846,8 +897,9 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         // Framed wire: every grid point is pipelined up front on one
         // connection; the server computes them concurrently and the
         // responses come back matched by request id.
-        let mut client =
-            MuxClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let mut client = MuxClient::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?
+            .with_retry_policy(retry_policy(opts));
         let (handle, auto_prepared) = match opts.get("handle") {
             Some(h) => (h.parse::<DatasetHandle>()?, false),
             None => {

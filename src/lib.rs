@@ -47,6 +47,7 @@ pub use hcc_estimators as estimators;
 pub use hcc_hierarchy as hierarchy;
 pub use hcc_isotonic as isotonic;
 pub use hcc_noise as noise;
+pub use hcc_store as store;
 pub use hcc_tables as tables;
 
 /// Convenience prelude with the most commonly used items.

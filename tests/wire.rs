@@ -16,11 +16,11 @@ use std::sync::Arc;
 use hccount::data::{Dataset, DatasetKind};
 use hccount::engine::protocol::frame::{
     encode_frame, parse_busy, parse_error, read_frame, submit_frame, Frame, B_QUOTA,
-    DEFAULT_MAX_FRAME, E_VERSION, T_BUSY, T_ERROR, T_HELLO, T_HELLO_OK, T_RESULT,
+    DEFAULT_MAX_FRAME, E_BUDGET, E_VERSION, T_BUSY, T_ERROR, T_HELLO, T_HELLO_OK, T_RESULT,
 };
 use hccount::engine::{
     protocol::SubmitParams, serve_blocking_with, serve_reactor, Client, Engine, EngineConfig,
-    MuxClient, ReactorConfig, ServeConfig,
+    MuxClient, ReactorConfig, RetryPolicy, ServeConfig,
 };
 
 fn dataset() -> Dataset {
@@ -253,5 +253,172 @@ fn version_mismatch_is_rejected_with_a_typed_error() {
     let mut rest = Vec::new();
     stream.read_to_end(&mut rest).unwrap();
     assert!(rest.is_empty());
+    reactor.shutdown();
+}
+
+/// Satellite: `BUSY` sheds are retried with the bounded backoff
+/// ladder. The server is pinned to one bulk-inflight slot and a
+/// one-slot park buffer, so a four-point pipelined sweep *must* shed
+/// at least one point — the default policy resubmits until every
+/// point completes, and `RetryPolicy::disabled` surfaces the shed as
+/// a typed `busy:` failure instead.
+#[test]
+fn busy_sheds_are_retried_with_bounded_backoff() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+    let epsilons: Vec<f64> = (1..=4).map(f64::from).collect();
+    let reactor = serve_reactor(
+        engine(1),
+        "127.0.0.1:0",
+        ReactorConfig::default()
+            .with_bulk_inflight(1)
+            .with_park_capacity(1),
+    )
+    .unwrap();
+
+    // Default ladder: sheds are invisible — all four points complete.
+    let mut mux = MuxClient::connect(reactor.addr()).unwrap();
+    let handle = mux
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let base = SubmitParams {
+        bound: 500,
+        ..SubmitParams::default()
+    };
+    let points = mux.sweep(&base, handle, &epsilons).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            p.outcome.is_ok(),
+            "point {i} failed despite retries: {:?}",
+            p.outcome
+        );
+    }
+    mux.quit().unwrap();
+
+    // `--no-retry`: the overflow point fails fast with the stable
+    // `busy:` token (a fresh seed keeps the cache out of the way).
+    let mut mux = MuxClient::connect(reactor.addr())
+        .unwrap()
+        .with_retry_policy(RetryPolicy::disabled());
+    let handle = mux
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    let base = SubmitParams {
+        bound: 500,
+        seed: 43,
+        ..SubmitParams::default()
+    };
+    let points = mux.sweep(&base, handle, &epsilons).unwrap();
+    let shed = points
+        .iter()
+        .filter(|p| matches!(&p.outcome, Err(m) if m.starts_with(hccount::engine::protocol::BUSY)))
+        .count();
+    assert!(
+        shed >= 1,
+        "a 4-point sweep against 1 bulk slot + 1 park slot must shed: {:?}",
+        points.iter().map(|p| p.outcome.is_ok()).collect::<Vec<_>>()
+    );
+    assert!(
+        points.iter().any(|p| p.outcome.is_ok()),
+        "the admitted points still complete"
+    );
+    mux.quit().unwrap();
+    reactor.shutdown();
+}
+
+/// Tentpole acceptance: a submit pushing a dataset's cumulative ε
+/// past `--budget-cap` is refused with a *typed* budget error on both
+/// wires — `E_BUDGET` on the framed protocol, the stable `budget:`
+/// token on the legacy line protocol — and the refusal is not
+/// retryable backpressure.
+#[test]
+fn budget_cap_refusal_is_typed_on_both_wires() {
+    let ds = dataset();
+    let (hierarchy_csv, groups_csv, entities_csv) = ds.to_csv_tables();
+    let engine = Arc::new(Engine::start(
+        EngineConfig::default().with_workers(1).with_budget_cap(2.5),
+    ));
+    let reactor = serve_reactor(engine, "127.0.0.1:0", ReactorConfig::default()).unwrap();
+    let base = SubmitParams {
+        bound: 500,
+        ..SubmitParams::default()
+    };
+
+    // Spend ε=2.0 of the 2.5 cap over the framed wire.
+    let mut mux = MuxClient::connect(reactor.addr()).unwrap();
+    let handle = mux
+        .prepare(&hierarchy_csv, &groups_csv, &entities_csv)
+        .unwrap()
+        .unwrap();
+    for seed in [42, 43] {
+        let params = SubmitParams {
+            epsilon: 1.0,
+            seed,
+            ..base.clone()
+        };
+        mux.submit_prepared(&params, handle).unwrap().unwrap();
+    }
+    mux.quit().unwrap();
+
+    // Framed wire: the refusal frame carries the E_BUDGET code.
+    let mut stream = TcpStream::connect(reactor.addr()).unwrap();
+    let mut out = Vec::new();
+    encode_frame(&mut out, &Frame::empty(T_HELLO, 1));
+    stream.write_all(&out).unwrap();
+    assert_eq!(
+        read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap().ftype,
+        T_HELLO_OK
+    );
+    let params = SubmitParams {
+        epsilon: 1.0,
+        seed: 44,
+        handle: Some(handle),
+        ..base.clone()
+    };
+    let mut out = Vec::new();
+    encode_frame(&mut out, &submit_frame(2, &params, None, false));
+    stream.write_all(&out).unwrap();
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!((reply.ftype, reply.request_id), (T_ERROR, 2));
+    let (code, msg) = parse_error(&reply.payload);
+    assert_eq!(code, E_BUDGET, "{msg}");
+    assert!(msg.contains("privacy budget exhausted"), "{msg}");
+
+    // Legacy wire (same port, auto-detected): the stable `budget:`
+    // token leads the rejection, distinct from retryable `busy:`.
+    let mut legacy = Client::connect(reactor.addr()).unwrap();
+    let refused = legacy
+        .submit_prepared(
+            &SubmitParams {
+                epsilon: 1.0,
+                seed: 45,
+                ..base.clone()
+            },
+            handle,
+        )
+        .unwrap()
+        .unwrap_err();
+    assert!(
+        refused.starts_with(hccount::engine::protocol::BUDGET),
+        "{refused}"
+    );
+    assert!(!refused.starts_with(hccount::engine::protocol::BUSY));
+    // An under-cap point on the same connection still works: the
+    // refusal poisoned nothing.
+    let ok = legacy
+        .submit_prepared(
+            &SubmitParams {
+                epsilon: 0.25,
+                seed: 46,
+                ..base.clone()
+            },
+            handle,
+        )
+        .unwrap();
+    let id = ok.unwrap();
+    legacy.wait(id).unwrap().unwrap();
+    legacy.quit().unwrap();
     reactor.shutdown();
 }
